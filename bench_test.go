@@ -1,0 +1,149 @@
+package repro
+
+// One benchmark per table/figure of the paper's evaluation (§VII). Each
+// benchmark regenerates its figure at the quick scale and reports the
+// headline number of the corresponding figure as a custom metric, so
+// `go test -bench=. -benchmem` prints the whole evaluation. Figures take
+// seconds each; `-benchtime=1x` keeps a full sweep cheap.
+
+import (
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+func benchCfg() experiment.Config {
+	return experiment.Config{Quick: true, Seed: 1}
+}
+
+// lastOf returns the final Y of the named series (0 when missing).
+func lastOf(t *experiment.Table, name string) float64 {
+	for _, s := range t.Series {
+		if s.Name == name && len(s.Y) > 0 {
+			return s.Y[len(s.Y)-1]
+		}
+	}
+	return 0
+}
+
+func firstOf(t *experiment.Table, name string) float64 {
+	for _, s := range t.Series {
+		if s.Name == name && len(s.Y) > 0 {
+			return s.Y[0]
+		}
+	}
+	return 0
+}
+
+// BenchmarkFig8SpeedVsData regenerates Figure 8 (data retrieved vs speed)
+// and reports the slow/fast retrieval ratio for tram tours.
+func BenchmarkFig8SpeedVsData(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiment.Fig8(benchCfg())
+		if fast := lastOf(t, "tram"); fast > 0 {
+			b.ReportMetric(firstOf(t, "tram")/fast, "slow/fast-ratio")
+		}
+	}
+}
+
+// BenchmarkFig9aQuerySize regenerates Figure 9(a) (query-size sweep) and
+// reports the 20%-vs-5% data ratio at the lowest speed.
+func BenchmarkFig9aQuerySize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiment.Fig9a(benchCfg())
+		if small := firstOf(t, "query 5%"); small > 0 {
+			b.ReportMetric(firstOf(t, "query 20%")/small, "20%/5%-ratio")
+		}
+	}
+}
+
+// BenchmarkFig9bDataSize regenerates Figure 9(b) (dataset-size sweep).
+func BenchmarkFig9bDataSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiment.Fig9b(benchCfg())
+		if len(t.Series) > 0 && len(t.Series[0].Y) > 0 {
+			b.ReportMetric(t.Series[len(t.Series)-1].Y[0], "largest-set-MB")
+		}
+	}
+}
+
+// BenchmarkFig10aHitRate regenerates Figure 10(a) and reports the
+// motion-aware tram hit rate at the largest buffer.
+func BenchmarkFig10aHitRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiment.Fig10a(benchCfg())
+		b.ReportMetric(lastOf(t, "motion-aware/tram"), "hit%")
+	}
+}
+
+// BenchmarkFig10bUtilization regenerates Figure 10(b) and reports the
+// motion-aware/naive utilization ratio at the smallest buffer.
+func BenchmarkFig10bUtilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiment.Fig10b(benchCfg())
+		if nv := firstOf(t, "naive-uniform/tram"); nv > 0 {
+			b.ReportMetric(firstOf(t, "motion-aware/tram")/nv, "util-ratio")
+		}
+	}
+}
+
+// BenchmarkFig11SpeedBuffer regenerates Figure 11 (buffer performance vs
+// speed).
+func BenchmarkFig11SpeedBuffer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiment.Fig11(benchCfg())
+		b.ReportMetric(lastOf(t, "hit motion-aware/tram"), "hit%@fast")
+	}
+}
+
+// BenchmarkFig12IndexSpeed regenerates Figure 12 and reports the naive /
+// motion-aware I/O ratio at speed 0.5.
+func BenchmarkFig12IndexSpeed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiment.Fig12(benchCfg())
+		if ma := lastOf(t, "motion-aware"); ma > 0 {
+			b.ReportMetric(lastOf(t, "naive")/ma, "naive/ma-io")
+		}
+	}
+}
+
+// BenchmarkFig13aIndexQuerySize regenerates Figure 13(a).
+func BenchmarkFig13aIndexQuerySize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiment.Fig13a(benchCfg())
+		if ma := lastOf(t, "motion-aware"); ma > 0 {
+			b.ReportMetric(lastOf(t, "naive")/ma, "naive/ma-io@20%")
+		}
+	}
+}
+
+// BenchmarkFig13bIndexDataSize regenerates Figure 13(b).
+func BenchmarkFig13bIndexDataSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiment.Fig13b(benchCfg())
+		if ma := lastOf(t, "motion-aware"); ma > 0 {
+			b.ReportMetric(lastOf(t, "naive")/ma, "naive/ma-io@max")
+		}
+	}
+}
+
+// BenchmarkFig14ResponseUniform regenerates Figure 14 and reports the
+// naive / motion-aware response-time ratio at top speed on uniform data.
+func BenchmarkFig14ResponseUniform(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiment.Fig14(benchCfg())
+		if ma := lastOf(t, "motion-aware/tram"); ma > 0 {
+			b.ReportMetric(lastOf(t, "naive/tram")/ma, "naive/ma-response")
+		}
+	}
+}
+
+// BenchmarkFig15ResponseZipf regenerates Figure 15 (Zipf data).
+func BenchmarkFig15ResponseZipf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiment.Fig15(benchCfg())
+		if ma := lastOf(t, "motion-aware/tram"); ma > 0 {
+			b.ReportMetric(lastOf(t, "naive/tram")/ma, "naive/ma-response")
+		}
+	}
+}

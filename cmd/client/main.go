@@ -1,0 +1,83 @@
+// Command client connects to a retrieval server and simulates a mobile
+// user touring the city: it walks a tram or pedestrian tour, issues one
+// continuous window query per step with the speed-mapped resolution, and
+// reports the data volume, per-frame latency estimate, and reconstruction
+// progress.
+//
+// Usage:
+//
+//	client [-addr localhost:7333] [-kind tram|walk] [-speed 0.5]
+//	       [-steps 200] [-query 0.1] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/motion"
+	"repro/internal/netsim"
+	"repro/internal/proto"
+	"repro/internal/wavelet"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "localhost:7333", "server address")
+		kind  = flag.String("kind", "tram", "tour kind: tram or walk")
+		speed = flag.Float64("speed", 0.5, "normalized speed in (0,1]")
+		steps = flag.Int("steps", 200, "tour length in frames")
+		query = flag.Float64("query", 0.1, "query frame side as a fraction of the space")
+		seed  = flag.Int64("seed", 1, "tour seed")
+	)
+	flag.Parse()
+
+	c, err := proto.Dial(*addr, nil)
+	if err != nil {
+		log.Fatalf("client: %v", err)
+	}
+	defer c.Close()
+	hello := c.Hello()
+	log.Printf("connected: %d objects, %d levels, space %v",
+		hello.Objects, hello.Levels, hello.Space)
+
+	tourKind := motion.Tram
+	if *kind == "walk" {
+		tourKind = motion.Pedestrian
+	}
+	tour := motion.NewTour(tourKind, motion.TourSpec{
+		Space: hello.Space,
+		Steps: *steps,
+		Speed: *speed,
+	}, rand.New(rand.NewSource(*seed)))
+	side := hello.Space.Width() * *query
+	link := netsim.DefaultLink()
+
+	var linkSeconds float64
+	start := time.Now()
+	for i, pos := range tour.Pos {
+		s := tour.SpeedAt(i)
+		n, err := c.Frame(geom.RectAround(pos, side), s)
+		if err != nil {
+			log.Fatalf("frame %d: %v", i, err)
+		}
+		if n > 0 {
+			linkSeconds += link.RequestSeconds(int64(n)*wavelet.WireBytes, s)
+		}
+		if (i+1)%50 == 0 {
+			fmt.Printf("frame %4d: pos %v, %7d coefficients, %6.2f MB total\n",
+				i+1, pos, n, float64(c.BytesReceived)/1e6)
+		}
+	}
+
+	fmt.Printf("\n%v tour, %d frames at speed %.3g:\n", tourKind, tour.Len(), *speed)
+	fmt.Printf("  received      %.2f MB (%d coefficients)\n",
+		float64(c.BytesReceived)/1e6, c.Coefficients)
+	fmt.Printf("  server io     %d node reads\n", c.ServerIO)
+	fmt.Printf("  simulated link time over 256 kbps: %.1f s\n", linkSeconds)
+	fmt.Printf("  wall time     %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  objects seen  %d\n", len(c.Objects()))
+}

@@ -1,0 +1,81 @@
+// Command experiments regenerates the paper's evaluation figures
+// (Figures 8–15) and prints each as a text table. By default it runs the
+// full paper-scale configuration (300 objects ≈ 60 MB, 5 tours per
+// setting); -quick shrinks everything for a fast smoke run.
+//
+// Usage:
+//
+//	experiments [-quick] [-fig fig8,fig12] [-objects N] [-tours N]
+//	            [-steps N] [-seed N] [-o out.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		quick     = flag.Bool("quick", false, "reduced scale (small dataset, few tours)")
+		figs      = flag.String("fig", "", "comma-separated figure ids (default: all)")
+		ablations = flag.Bool("ablations", false, "also run the design-choice ablations")
+		objects   = flag.Int("objects", 0, "override default dataset object count")
+		tours     = flag.Int("tours", 0, "override tours per setting")
+		steps     = flag.Int("steps", 0, "override steps per tour")
+		seed      = flag.Int64("seed", 1, "base random seed")
+		out       = flag.String("o", "", "also write output to this file")
+	)
+	flag.Parse()
+
+	cfg := experiment.Config{
+		Quick:   *quick,
+		Objects: *objects,
+		Tours:   *tours,
+		Steps:   *steps,
+		Seed:    *seed,
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	want := map[string]bool{}
+	if *figs != "" {
+		for _, id := range strings.Split(*figs, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	gens := experiment.Generators()
+	if *ablations {
+		gens = append(gens, experiment.AblationGenerators()...)
+	}
+	ran := 0
+	for _, g := range gens {
+		if len(want) > 0 && !want[g.ID] {
+			continue
+		}
+		start := time.Now()
+		table := g.Run(cfg)
+		fmt.Fprintln(w, table.Format())
+		fmt.Fprintf(w, "(%s took %v)\n\n", g.ID, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: no figures matched %q\n", *figs)
+		os.Exit(1)
+	}
+}

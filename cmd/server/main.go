@@ -1,0 +1,73 @@
+// Command server runs the motion-aware 3D object retrieval server over
+// TCP: it generates a reproducible city dataset, indexes it with the
+// support-region (x, y, w) R*-tree, and serves continuous window queries
+// with per-client duplicate filtering using the binary protocol in
+// internal/proto.
+//
+// Usage:
+//
+//	server [-addr :7333] [-objects 100] [-levels 5] [-zipf] [-seed 1]
+package main
+
+import (
+	"flag"
+	"log"
+
+	"repro/internal/index"
+	"repro/internal/proto"
+	"repro/internal/retrieval"
+	"repro/internal/rtree"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":7333", "listen address")
+		objects = flag.Int("objects", 100, "number of 3D objects")
+		levels  = flag.Int("levels", 5, "subdivision levels per object")
+		zipf    = flag.Bool("zipf", false, "Zipfian object placement")
+		seed    = flag.Int64("seed", 1, "dataset seed")
+		save    = flag.String("save", "", "write the generated dataset to this file and continue")
+		load    = flag.String("load", "", "serve a previously saved dataset instead of generating")
+	)
+	flag.Parse()
+
+	var d *workload.Dataset
+	if *load != "" {
+		log.Printf("loading dataset from %s...", *load)
+		var err error
+		d, err = workload.LoadFile(*load, false)
+		if err != nil {
+			log.Fatalf("load: %v", err)
+		}
+	} else {
+		placement := workload.Uniform
+		if *zipf {
+			placement = workload.Zipf
+		}
+		log.Printf("generating %d objects at %d levels (%v placement)...",
+			*objects, *levels, placement)
+		d = workload.Generate(workload.Spec{
+			NumObjects: *objects,
+			Levels:     *levels,
+			Placement:  placement,
+			Seed:       *seed,
+			DropFinals: true,
+		})
+		if *save != "" {
+			if err := d.SaveFile(*save); err != nil {
+				log.Fatalf("save: %v", err)
+			}
+			log.Printf("saved dataset to %s", *save)
+		}
+	}
+	log.Printf("dataset ready: %v", d)
+
+	log.Printf("building motion-aware (x,y,w) R*-tree over %d coefficients...",
+		d.Store.NumCoeffs())
+	idx := index.NewMotionAware(d.Store, index.XYW, rtree.Config{})
+	srv := proto.NewServer(retrieval.NewServer(d.Store, idx), d.Spec.Levels, log.Printf)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		log.Fatal(err)
+	}
+}

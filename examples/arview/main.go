@@ -1,0 +1,71 @@
+// Arview: direction-aware retrieval. The paper's clients see the world
+// through a head-mounted display — data should follow the *view
+// direction*, not just the position. A tourist stands on a plaza and
+// looks around: each head turn streams only the newly visible sector
+// (via retrieval.Client.FrustumFrame), and walking backward while looking
+// forward costs nothing because everything ahead is already delivered.
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/index"
+	"repro/internal/mesh"
+	"repro/internal/retrieval"
+	"repro/internal/rtree"
+	"repro/internal/wavelet"
+)
+
+func main() {
+	// A plaza ringed by 16 buildings.
+	rng := rand.New(rand.NewSource(4))
+	var objects []*wavelet.Decomposition
+	for i := 0; i < 16; i++ {
+		angle := float64(i) / 16 * 2 * math.Pi
+		ground := geom.V2(500+250*math.Cos(angle), 500+250*math.Sin(angle))
+		s := mesh.RandomBuilding(rng, ground, mesh.DefaultBuildingSpec())
+		objects = append(objects, wavelet.Decompose(int32(i), mesh.BaseMeshFor(s), s, 4))
+	}
+	store := index.NewStore(objects)
+	server := retrieval.NewServer(store, index.NewMotionAware(store, index.XYW, rtree.Config{}))
+	client := retrieval.NewClient(retrieval.NewSession(server), nil)
+
+	apex := geom.V2(500, 500)
+	const fov = math.Pi / 2 // 90° display
+	const viewRange = 320
+	fmt.Printf("plaza: %d buildings, %.1f KB total; tourist at %v, %0.f° fov\n\n",
+		store.NumObjects(), float64(store.SizeBytes())/1024, apex, fov*180/math.Pi)
+
+	fmt.Println("action                          facing   new-coeffs     new KB   cumulative KB")
+	var total int64
+	look := func(action string, facing, speed float64) {
+		f := geom.NewFrustum(apex, facing, fov, viewRange)
+		resp, _ := client.FrustumFrame(f, speed)
+		total += resp.Bytes
+		fmt.Printf("%-30s %5.0f°    %9d  %9.1f  %14.1f\n",
+			action, facing*180/math.Pi, len(resp.IDs),
+			float64(resp.Bytes)/1024, float64(total)/1024)
+	}
+
+	look("arrive, look east (walking)", 0, 0.3)
+	look("same view again", 0, 0.3)
+	look("turn north", math.Pi/2, 0.3)
+	look("turn west", math.Pi, 0.3)
+	look("turn south", 3*math.Pi/2, 0.3)
+	look("back to east (all cached)", 0, 0.3)
+	look("stop and stare east", 0, 0.0) // full detail for the visible sector
+
+	// Compare one glance with the orientation-oblivious window a
+	// position-only client uses: a square covering the whole view circle.
+	fresh := retrieval.NewClient(retrieval.NewSession(server), nil)
+	window := geom.RectAround(apex, 2*viewRange)
+	resp, _ := fresh.Frame(window, 0.3)
+	glance := retrieval.NewClient(retrieval.NewSession(server), nil)
+	gResp, _ := glance.FrustumFrame(geom.NewFrustum(apex, 0, fov, viewRange), 0.3)
+	fmt.Printf("\none glance at walking speed: square window %.1f KB, view frustum %.1f KB (%.1fx less)\n",
+		float64(resp.Bytes)/1024, float64(gResp.Bytes)/1024,
+		float64(resp.Bytes)/float64(gResp.Bytes))
+}

@@ -1,0 +1,158 @@
+// Package buffer implements the motion-aware buffer management of paper
+// §V: the optimal two-way buffer split of equation (2), the recursive
+// partitioning that extends it to k directions, prefetching managers
+// (motion-aware and the naive equal-probability baseline), and the LRU
+// cache used by the non-multiresolution baseline system. The managers
+// track the two metrics of Figures 10–11: cache hit rate and data
+// utilization.
+package buffer
+
+import (
+	"fmt"
+	"math"
+)
+
+// OptimalSplit returns n_opt per equation (2) of the paper: with a − 1
+// blocks to distribute between a left region visited with probability pl
+// and a right region with probability pr, the average residence time is
+// maximized by placing n_opt − 1 blocks on the left:
+//
+//	n_opt = log( ((pl/pr)^a − 1) / (a·log(pl/pr)) ) / log(pl/pr)
+//
+// The pl = pr limit of the expression is a/2. Probabilities need not be
+// normalized; only their ratio matters.
+func OptimalSplit(pl, pr float64, a int) float64 {
+	if a < 1 {
+		panic("buffer: a must be ≥ 1")
+	}
+	switch {
+	case pl <= 0 && pr <= 0:
+		return float64(a) / 2
+	case pl <= 0:
+		return 1 // nothing on the left beyond the mandatory slot
+	case pr <= 0:
+		return float64(a) // everything on the left
+	}
+	r := pl / pr
+	lr := math.Log(r)
+	if math.Abs(lr) < 1e-9 {
+		return float64(a) / 2
+	}
+	af := float64(a)
+	// (r^a − 1)/(a·ln r) — compute in log space when r^a overflows.
+	num := math.Pow(r, af) - 1
+	var inner float64
+	if math.IsInf(num, 1) {
+		// log(r^a / (a ln r)) = a·ln r − ln(a·ln r)
+		inner = (af*lr - math.Log(af*lr)) / lr
+		return clampSplit(inner, af)
+	}
+	inner = math.Log(num/(af*lr)) / lr
+	return clampSplit(inner, af)
+}
+
+func clampSplit(n, a float64) float64 {
+	if n < 1 {
+		return 1
+	}
+	if n > a {
+		return a
+	}
+	return n
+}
+
+// SplitBlocks divides `total` buffer blocks between two directions with
+// probabilities pl and pr using equation (2), returning the left share.
+// The mapping follows the paper's usage: a − 1 = total, left gets
+// n_opt − 1 blocks (rounded), right the rest.
+func SplitBlocks(pl, pr float64, total int) (left, right int) {
+	if total <= 0 {
+		return 0, 0
+	}
+	n := OptimalSplit(pl, pr, total+1)
+	left = int(math.Round(n - 1))
+	if left < 0 {
+		left = 0
+	}
+	if left > total {
+		left = total
+	}
+	return left, total - left
+}
+
+// Allocate distributes `total` buffer blocks across k directions with the
+// given visit probabilities by recursive halving (paper §V-A): split the
+// directions into two groups, divide the blocks between the groups with
+// equation (2) using the groups' summed probabilities, and recurse until
+// every group is a single direction. The returned shares are non-negative
+// and sum to total.
+func Allocate(probs []float64, total int) []int {
+	if len(probs) == 0 {
+		panic("buffer: no directions")
+	}
+	out := make([]int, len(probs))
+	allocate(probs, total, out)
+	return out
+}
+
+func allocate(probs []float64, total int, out []int) {
+	if len(probs) == 1 {
+		out[0] = total
+		return
+	}
+	mid := len(probs) / 2
+	var pl, pr float64
+	for _, p := range probs[:mid] {
+		pl += p
+	}
+	for _, p := range probs[mid:] {
+		pr += p
+	}
+	left, right := SplitBlocks(pl, pr, total)
+	allocate(probs[:mid], left, out[:mid])
+	allocate(probs[mid:], right, out[mid:])
+}
+
+// ResidenceTime returns the expected number of steps a ±1 random walk with
+// step probabilities pl (left) and pr = 1 − pl (right) stays inside a
+// corridor with `left` free blocks to the left and `right` to the right.
+// It evaluates the quality of a split and backs the ablation that
+// different direction orderings "only slightly affect the average
+// residence time". Computed by solving the standard first-passage system
+// E(x) = 1 + pl·E(x−1) + pr·E(x+1) on the finite corridor.
+func ResidenceTime(pl float64, left, right int) float64 {
+	if pl < 0 || pl > 1 {
+		panic(fmt.Sprintf("buffer: pl = %v out of [0,1]", pl))
+	}
+	n := left + right + 1 // states: −left .. +right
+	if n == 1 {
+		return 1
+	}
+	pr := 1 - pl
+	// Tridiagonal solve by Thomas algorithm for E_i, absorbing outside.
+	a := make([]float64, n) // sub-diagonal (coeff of E_{i−1}): −pl
+	b := make([]float64, n) // diagonal: 1
+	c := make([]float64, n) // super-diagonal: −pr
+	d := make([]float64, n) // rhs: 1
+	for i := 0; i < n; i++ {
+		b[i] = 1
+		d[i] = 1
+		if i > 0 {
+			a[i] = -pl
+		}
+		if i < n-1 {
+			c[i] = -pr
+		}
+	}
+	for i := 1; i < n; i++ {
+		m := a[i] / b[i-1]
+		b[i] -= m * c[i-1]
+		d[i] -= m * d[i-1]
+	}
+	e := make([]float64, n)
+	e[n-1] = d[n-1] / b[n-1]
+	for i := n - 2; i >= 0; i-- {
+		e[i] = (d[i] - c[i]*e[i+1]) / b[i]
+	}
+	return e[left] // expected steps starting at the client's block
+}

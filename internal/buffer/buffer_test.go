@@ -1,0 +1,383 @@
+package buffer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/motion"
+)
+
+func TestOptimalSplitSymmetric(t *testing.T) {
+	// pl = pr must give a/2 (DESIGN.md invariant).
+	for _, a := range []int{2, 5, 10, 100} {
+		if n := OptimalSplit(0.5, 0.5, a); math.Abs(n-float64(a)/2) > 1e-9 {
+			t.Errorf("a=%d: n_opt = %v want %v", a, n, float64(a)/2)
+		}
+	}
+}
+
+func TestOptimalSplitSkew(t *testing.T) {
+	// Heavily left-biased motion allocates nearly everything left.
+	n := OptimalSplit(0.95, 0.05, 20)
+	if n < 15 {
+		t.Errorf("n_opt = %v for 95/5 split", n)
+	}
+	// And symmetric behavior when mirrored: n(pl,pr) + n(pr,pl) ≈ a
+	// does not hold exactly for eq (2), but ordering must flip.
+	n2 := OptimalSplit(0.05, 0.95, 20)
+	if n2 >= n {
+		t.Errorf("mirrored split %v not below %v", n2, n)
+	}
+}
+
+func TestOptimalSplitDegenerate(t *testing.T) {
+	if n := OptimalSplit(0, 0, 10); n != 5 {
+		t.Errorf("zero probs: %v", n)
+	}
+	if n := OptimalSplit(0, 1, 10); n != 1 {
+		t.Errorf("left-zero: %v", n)
+	}
+	if n := OptimalSplit(1, 0, 10); n != 10 {
+		t.Errorf("right-zero: %v", n)
+	}
+	// Extreme ratio exercising the overflow branch.
+	if n := OptimalSplit(1, 1e-300, 1000); n < 900 || n > 1000 {
+		t.Errorf("extreme ratio: %v", n)
+	}
+}
+
+func TestOptimalSplitMaximizesResidence(t *testing.T) {
+	// eq (2) should (approximately) maximize the corridor residence time
+	// computed independently by the first-passage solver.
+	for _, pl := range []float64{0.3, 0.5, 0.6, 0.8} {
+		total := 20
+		left, right := SplitBlocks(pl, 1-pl, total)
+		got := ResidenceTime(pl, left, right)
+		best := 0.0
+		for l := 0; l <= total; l++ {
+			if rt := ResidenceTime(pl, l, total-l); rt > best {
+				best = rt
+			}
+		}
+		if got < 0.9*best {
+			t.Errorf("pl=%v: residence %v below 90%% of best %v (split %d/%d)",
+				pl, got, best, left, right)
+		}
+	}
+}
+
+func TestResidenceTimeBasics(t *testing.T) {
+	// Zero corridor: absorbed after the first step.
+	if rt := ResidenceTime(0.5, 0, 0); rt != 1 {
+		t.Errorf("rt(0,0) = %v", rt)
+	}
+	// Larger corridor, longer residence.
+	if ResidenceTime(0.5, 5, 5) <= ResidenceTime(0.5, 2, 2) {
+		t.Error("residence not increasing in corridor size")
+	}
+	// A biased walker leaves a symmetric corridor sooner.
+	if ResidenceTime(0.9, 5, 5) >= ResidenceTime(0.5, 5, 5) {
+		t.Error("biased walker should leave sooner")
+	}
+}
+
+func TestAllocateSumsAndNonNegative(t *testing.T) {
+	f := func(p1, p2, p3, p4 float64, totalRaw uint8) bool {
+		abs := func(x float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 0.1
+			}
+			return math.Abs(math.Mod(x, 10))
+		}
+		probs := []float64{abs(p1), abs(p2), abs(p3), abs(p4)}
+		total := int(totalRaw)
+		shares := Allocate(probs, total)
+		sum := 0
+		for _, s := range shares {
+			if s < 0 {
+				return false
+			}
+			sum += s
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocateFavorsLikelyDirection(t *testing.T) {
+	shares := Allocate([]float64{0.7, 0.1, 0.1, 0.1}, 40)
+	for i := 1; i < 4; i++ {
+		if shares[0] <= shares[i] {
+			t.Errorf("dominant direction got %d vs direction %d's %d", shares[0], i, shares[i])
+		}
+	}
+}
+
+func TestAllocateSingleDirection(t *testing.T) {
+	if s := Allocate([]float64{1}, 17); s[0] != 17 {
+		t.Errorf("single direction share = %v", s)
+	}
+}
+
+func TestAllocateUniformRoughlyEqual(t *testing.T) {
+	shares := Allocate([]float64{0.25, 0.25, 0.25, 0.25}, 40)
+	for _, s := range shares {
+		if s < 8 || s > 12 {
+			t.Errorf("uniform shares = %v", shares)
+		}
+	}
+}
+
+// fixedFetcher returns a constant block size regardless of cell or
+// resolution.
+type fixedFetcher int64
+
+func (f fixedFetcher) BlockBytes(geom.Cell, float64) int64 { return int64(f) }
+
+// resFetcher scales block size with resolution: finer resolution (lower
+// wmin) costs more bytes, like real multiresolution blocks.
+type resFetcher struct{ base int64 }
+
+func (f resFetcher) BlockBytes(_ geom.Cell, wmin float64) int64 {
+	return int64(float64(f.base) * (0.2 + 0.8*(1-wmin)))
+}
+
+func testGrid() *geom.Grid { return geom.NewGrid(geom.R2(0, 0, 1000, 1000), 25, 25) }
+
+func TestManagerPanicsOnBadConfig(t *testing.T) {
+	for _, cfg := range []Config{
+		{Grid: nil, Capacity: 100},
+		{Grid: testGrid(), Capacity: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v should panic", cfg)
+				}
+			}()
+			NewManager(cfg, fixedFetcher(10))
+		}()
+	}
+}
+
+func TestManagerFirstFrameMisses(t *testing.T) {
+	m := NewManager(Config{Grid: testGrid(), Capacity: 64 << 10}, fixedFetcher(1000))
+	frame := geom.RectAround(geom.V2(500, 500), 100)
+	res := m.Step(geom.V2(500, 500), frame, 0.5)
+	if res.Demand <= 0 || !res.Missed() {
+		t.Fatal("first frame should miss")
+	}
+	met := m.Metrics()
+	if met.Hits != 0 || met.Misses == 0 {
+		t.Fatalf("metrics %+v", met)
+	}
+}
+
+func TestManagerStationaryClientAllHits(t *testing.T) {
+	m := NewManager(Config{Grid: testGrid(), Capacity: 256 << 10}, fixedFetcher(1000))
+	frame := geom.RectAround(geom.V2(500, 500), 100)
+	m.Step(geom.V2(500, 500), frame, 0.5)
+	for i := 0; i < 10; i++ {
+		if res := m.Step(geom.V2(500, 500), frame, 0.5); res.Demand != 0 {
+			t.Fatalf("stationary step %d fetched %d bytes", i, res.Demand)
+		}
+	}
+	met := m.Metrics()
+	if met.Hits == 0 {
+		t.Fatal("no hits recorded")
+	}
+}
+
+func TestManagerRefetchesFinerResolution(t *testing.T) {
+	m := NewManager(Config{Grid: testGrid(), Capacity: 256 << 10}, resFetcher{1000})
+	frame := geom.RectAround(geom.V2(500, 500), 100)
+	m.Step(geom.V2(500, 500), frame, 0.9) // coarse
+	// Slowing down demands finer data: blocks held at 0.9 don't satisfy 0.1.
+	if res := m.Step(geom.V2(500, 500), frame, 0.1); res.Demand == 0 {
+		t.Fatal("finer-resolution demand served from coarse blocks")
+	}
+	// Finer blocks do satisfy coarser queries.
+	if res := m.Step(geom.V2(500, 500), frame, 0.9); res.Demand != 0 {
+		t.Fatal("coarse demand not served from fine blocks")
+	}
+}
+
+func TestManagerCapacityRespected(t *testing.T) {
+	capacity := int64(32 << 10)
+	m := NewManager(Config{Grid: testGrid(), Capacity: capacity}, fixedFetcher(1500))
+	rng := rand.New(rand.NewSource(1))
+	pos := geom.V2(200, 200)
+	for i := 0; i < 100; i++ {
+		pos = pos.Add(geom.V2(rng.Float64()*20, rng.Float64()*20))
+		if pos.X > 900 || pos.Y > 900 {
+			pos = geom.V2(200, 200)
+		}
+		m.Step(pos, geom.RectAround(pos, 80), 0.5)
+		if _, bytes := m.Resident(); bytes > capacity+4*1500 {
+			// The frame's own blocks may exceed capacity, but not by more
+			// than a handful of blocks.
+			t.Fatalf("step %d: resident %d ≫ capacity %d", i, bytes, capacity)
+		}
+	}
+}
+
+// tourHitRate runs a manager over a synthetic tour and returns the final
+// metrics.
+func tourHitRate(t *testing.T, policy Policy, kind motion.TourKind, capacity int64, seed int64) Metrics {
+	t.Helper()
+	g := testGrid()
+	tour := motion.NewTour(kind, motion.TourSpec{
+		Space: g.Space, Steps: 300, Speed: 0.4,
+	}, rand.New(rand.NewSource(seed)))
+	m := NewManager(Config{Grid: g, Capacity: capacity, Policy: policy}, fixedFetcher(2000))
+	for _, pos := range tour.Pos {
+		m.Step(pos, geom.RectAround(pos, 100), 0.5)
+	}
+	return m.Metrics()
+}
+
+func TestMotionAwareBeatsNaiveHitRate(t *testing.T) {
+	// Figure 10(a)'s headline: the motion-aware buffer yields a higher hit
+	// rate than uniform prefetching, for both tour kinds.
+	for _, kind := range []motion.TourKind{motion.Tram, motion.Pedestrian} {
+		var ma, nv float64
+		for seed := int64(0); seed < 3; seed++ {
+			ma += tourHitRate(t, MotionAware, kind, 64<<10, seed).HitRate()
+			nv += tourHitRate(t, NaiveUniform, kind, 64<<10, seed).HitRate()
+		}
+		if ma <= nv {
+			t.Errorf("%v: motion-aware hit rate %v not above naive %v", kind, ma/3, nv/3)
+		}
+	}
+}
+
+func TestMotionAwareBeatsNaiveUtilization(t *testing.T) {
+	// Figure 10(b): motion-aware prefetching wastes less bandwidth.
+	var ma, nv float64
+	for seed := int64(0); seed < 3; seed++ {
+		ma += tourHitRate(t, MotionAware, motion.Tram, 64<<10, seed).Utilization()
+		nv += tourHitRate(t, NaiveUniform, motion.Tram, 64<<10, seed).Utilization()
+	}
+	if ma <= nv {
+		t.Errorf("motion-aware utilization %v not above naive %v", ma/3, nv/3)
+	}
+}
+
+func TestHitRateGrowsWithBuffer(t *testing.T) {
+	// Figure 10(a): larger buffers hold more data and hit more often.
+	small := tourHitRate(t, MotionAware, motion.Tram, 16<<10, 7).HitRate()
+	large := tourHitRate(t, MotionAware, motion.Tram, 128<<10, 7).HitRate()
+	if large <= small {
+		t.Errorf("hit rate did not grow with buffer: %v → %v", small, large)
+	}
+}
+
+func TestMetricsAccounting(t *testing.T) {
+	m := NewManager(Config{Grid: testGrid(), Capacity: 64 << 10}, fixedFetcher(1000))
+	for i := 0; i < 50; i++ {
+		pos := geom.V2(100+float64(i)*10, 500)
+		m.Step(pos, geom.RectAround(pos, 80), 0.5)
+	}
+	met := m.Metrics()
+	if met.UsedPrefetch > met.PrefetchBytes {
+		t.Errorf("used prefetch %d exceeds prefetched %d", met.UsedPrefetch, met.PrefetchBytes)
+	}
+	if met.TotalBytes() != met.DemandBytes+met.PrefetchBytes {
+		t.Error("TotalBytes mismatch")
+	}
+	if u := met.Utilization(); u < 0 || u > 1 {
+		t.Errorf("utilization %v out of range", u)
+	}
+	if hr := met.HitRate(); hr < 0 || hr > 1 {
+		t.Errorf("hit rate %v out of range", hr)
+	}
+	if met.Connections == 0 {
+		t.Error("no connections counted")
+	}
+}
+
+func TestEmptyMetrics(t *testing.T) {
+	var m Metrics
+	if m.HitRate() != 0 || m.Utilization() != 0 || m.TotalBytes() != 0 {
+		t.Error("zero metrics should report zeros")
+	}
+}
+
+func TestLRUBasics(t *testing.T) {
+	l := NewLRU(100)
+	if l.Get(1) {
+		t.Fatal("empty cache hit")
+	}
+	l.Put(1, 40)
+	l.Put(2, 40)
+	if !l.Get(1) || !l.Get(2) {
+		t.Fatal("lost entries")
+	}
+	if l.Len() != 2 || l.Bytes() != 80 {
+		t.Fatalf("len=%d bytes=%d", l.Len(), l.Bytes())
+	}
+	// Inserting a third 40-byte item evicts the LRU (which is 1 after the
+	// Get order above refreshed 2 last... Get(2) was last, so 1 is LRU).
+	l.Put(3, 40)
+	if l.Contains(1) {
+		t.Error("LRU entry not evicted")
+	}
+	if !l.Contains(2) || !l.Contains(3) {
+		t.Error("wrong eviction victim")
+	}
+}
+
+func TestLRURecencyOrder(t *testing.T) {
+	l := NewLRU(100)
+	l.Put(1, 40)
+	l.Put(2, 40)
+	l.Get(1) // refresh 1; 2 becomes LRU
+	l.Put(3, 40)
+	if l.Contains(2) {
+		t.Error("refreshed entry evicted instead of stale one")
+	}
+	if !l.Contains(1) {
+		t.Error("recently used entry evicted")
+	}
+}
+
+func TestLRUOversizeItem(t *testing.T) {
+	l := NewLRU(100)
+	l.Put(1, 200)
+	if l.Len() != 0 {
+		t.Error("oversize item cached")
+	}
+}
+
+func TestLRUResize(t *testing.T) {
+	l := NewLRU(100)
+	l.Put(1, 30)
+	l.Put(1, 60) // grow in place
+	if l.Bytes() != 60 || l.Len() != 1 {
+		t.Fatalf("bytes=%d len=%d", l.Bytes(), l.Len())
+	}
+}
+
+func TestLRUHitRate(t *testing.T) {
+	l := NewLRU(1000)
+	l.Put(1, 10)
+	l.Get(1)
+	l.Get(2)
+	if hr := l.HitRate(); math.Abs(hr-0.5) > 1e-12 {
+		t.Errorf("hit rate = %v", hr)
+	}
+}
+
+func TestLRUPanicsOnZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewLRU(0)
+}

@@ -1,0 +1,24 @@
+package buffer_test
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+)
+
+// A client heading east (probability 0.55) gets most of a 20-block buffer
+// allocated ahead of it by the recursive equation-(2) scheme.
+func ExampleAllocate() {
+	probs := []float64{0.55, 0.20, 0.05, 0.20} // east, north, west, south
+	fmt.Println(buffer.Allocate(probs, 20))
+	// Output:
+	// [14 3 0 3]
+}
+
+// With equal left/right probabilities the optimal split of equation (2)
+// is the midpoint.
+func ExampleOptimalSplit() {
+	fmt.Println(buffer.OptimalSplit(0.5, 0.5, 10))
+	// Output:
+	// 5
+}

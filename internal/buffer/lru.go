@@ -1,0 +1,95 @@
+package buffer
+
+import "container/list"
+
+// LRU is a byte-bounded least-recently-used cache over int64 keys. The
+// non-multiresolution baseline system of §VII-E uses it to cache whole
+// objects ("we also use a simple Least Recently Used (LRU) scheme for
+// caching"). The zero value is not usable; call NewLRU.
+type LRU struct {
+	capacity int64
+	bytes    int64
+	order    *list.List // front = most recent
+	items    map[int64]*list.Element
+
+	hits, misses int64
+}
+
+type lruEntry struct {
+	key   int64
+	bytes int64
+}
+
+// NewLRU creates a cache holding at most capacity bytes.
+func NewLRU(capacity int64) *LRU {
+	if capacity <= 0 {
+		panic("buffer: LRU capacity must be positive")
+	}
+	return &LRU{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[int64]*list.Element),
+	}
+}
+
+// Get reports whether key is cached, refreshing its recency and counting
+// the access as a hit or miss.
+func (l *LRU) Get(key int64) bool {
+	if el, ok := l.items[key]; ok {
+		l.order.MoveToFront(el)
+		l.hits++
+		return true
+	}
+	l.misses++
+	return false
+}
+
+// Contains reports whether key is cached without affecting recency or the
+// hit counters.
+func (l *LRU) Contains(key int64) bool {
+	_, ok := l.items[key]
+	return ok
+}
+
+// Put inserts (or refreshes) key with the given payload size, evicting
+// least-recently-used entries to fit. Items larger than the whole
+// capacity are not cached.
+func (l *LRU) Put(key, bytes int64) {
+	if el, ok := l.items[key]; ok {
+		l.bytes += bytes - el.Value.(*lruEntry).bytes
+		el.Value.(*lruEntry).bytes = bytes
+		l.order.MoveToFront(el)
+	} else {
+		if bytes > l.capacity {
+			return
+		}
+		l.items[key] = l.order.PushFront(&lruEntry{key: key, bytes: bytes})
+		l.bytes += bytes
+	}
+	for l.bytes > l.capacity {
+		back := l.order.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*lruEntry)
+		l.order.Remove(back)
+		delete(l.items, e.key)
+		l.bytes -= e.bytes
+	}
+}
+
+// Len returns the number of cached items.
+func (l *LRU) Len() int { return l.order.Len() }
+
+// Bytes returns the cached payload total.
+func (l *LRU) Bytes() int64 { return l.bytes }
+
+// HitRate returns hits / (hits + misses) over all Get calls; 0 before any
+// access.
+func (l *LRU) HitRate() float64 {
+	tot := l.hits + l.misses
+	if tot == 0 {
+		return 0
+	}
+	return float64(l.hits) / float64(tot)
+}

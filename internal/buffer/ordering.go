@@ -1,0 +1,108 @@
+package buffer
+
+import "math"
+
+// The paper notes that the recursive allocation of §V-A depends on the
+// ordering of the k directions, that all k! orderings could be searched
+// for the one maximizing average residence time, and that "this step can
+// be omitted as the ordering only slightly affects the average residence
+// time". This file implements that search so the claim is testable (and
+// benchable) rather than assumed.
+
+// EstimateResidence approximates the expected residence time of a client
+// inside a buffer allocated as `alloc` blocks per direction, with visit
+// probabilities `probs`. Opposite directions form a 1-D corridor whose
+// residence time the first-passage solver computes exactly; corridors are
+// independent competing exit routes, so the rates add:
+//
+//	1/T ≈ Σ_axes 1/T_axis
+//
+// For odd k the final unpaired direction forms a corridor against an
+// absorbing wall. Probabilities need not be normalized.
+func EstimateResidence(probs []float64, alloc []int) float64 {
+	if len(probs) != len(alloc) || len(probs) == 0 {
+		panic("buffer: probs and alloc must align")
+	}
+	k := len(probs)
+	var total float64
+	for _, p := range probs {
+		total += p
+	}
+	if total <= 0 {
+		return math.Inf(1)
+	}
+	var rate float64
+	for i := 0; i < k/2; i++ {
+		j := i + k/2 // opposite sector
+		pi, pj := probs[i]/total, probs[j]/total
+		axis := pi + pj
+		if axis <= 0 {
+			continue
+		}
+		// Within the axis the walker steps toward i with probability
+		// pi/axis; it only moves on this axis a fraction `axis` of the
+		// time, which stretches the residence time by 1/axis.
+		t := ResidenceTime(pi/axis, alloc[i], alloc[j]) / axis
+		rate += 1 / t
+	}
+	if k%2 == 1 {
+		p := probs[k-1] / total
+		if p > 0 {
+			t := ResidenceTime(1, alloc[k-1], 0) / p
+			rate += 1 / t
+		}
+	}
+	if rate == 0 {
+		return math.Inf(1)
+	}
+	return 1 / rate
+}
+
+// AllocateBestOrdering searches all k! direction orderings of the
+// recursive allocation and returns the assignment (in the original
+// direction order) with the highest estimated residence time, along with
+// that estimate. It panics for k > 8 (40320 orderings) — the search is an
+// ablation tool, not a production path.
+func AllocateBestOrdering(probs []float64, total int) ([]int, float64) {
+	k := len(probs)
+	if k == 0 {
+		panic("buffer: no directions")
+	}
+	if k > 8 {
+		panic("buffer: ordering search is factorial; k > 8 unsupported")
+	}
+	perm := make([]int, k)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := make([]int, k)
+	bestScore := math.Inf(-1)
+	permute(perm, 0, func(p []int) {
+		ordered := make([]float64, k)
+		for i, idx := range p {
+			ordered[i] = probs[idx]
+		}
+		shares := Allocate(ordered, total)
+		alloc := make([]int, k)
+		for i, idx := range p {
+			alloc[idx] = shares[i]
+		}
+		if score := EstimateResidence(probs, alloc); score > bestScore {
+			bestScore = score
+			copy(best, alloc)
+		}
+	})
+	return best, bestScore
+}
+
+func permute(p []int, i int, visit func([]int)) {
+	if i == len(p) {
+		visit(p)
+		return
+	}
+	for j := i; j < len(p); j++ {
+		p[i], p[j] = p[j], p[i]
+		permute(p, i+1, visit)
+		p[i], p[j] = p[j], p[i]
+	}
+}

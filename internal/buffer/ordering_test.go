@@ -1,0 +1,146 @@
+package buffer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestEstimateResidenceBasics(t *testing.T) {
+	// Symmetric probabilities, symmetric allocation: a bigger buffer keeps
+	// the client longer.
+	probs := []float64{0.25, 0.25, 0.25, 0.25}
+	small := EstimateResidence(probs, []int{2, 2, 2, 2})
+	large := EstimateResidence(probs, []int{8, 8, 8, 8})
+	if large <= small {
+		t.Errorf("residence did not grow with buffer: %v vs %v", small, large)
+	}
+	// Allocating along the dominant direction beats allocating against it.
+	skew := []float64{0.7, 0.1, 0.1, 0.1}
+	with := EstimateResidence(skew, []int{12, 2, 2, 2})
+	against := EstimateResidence(skew, []int{2, 12, 2, 2})
+	if with <= against {
+		t.Errorf("aligned allocation %v not above misaligned %v", with, against)
+	}
+}
+
+func TestEstimateResidenceDegenerate(t *testing.T) {
+	if v := EstimateResidence([]float64{0, 0}, []int{1, 1}); !math.IsInf(v, 1) {
+		t.Errorf("zero-probability residence = %v", v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on mismatched lengths")
+		}
+	}()
+	EstimateResidence([]float64{1}, []int{1, 2})
+}
+
+func TestEstimateResidenceOddK(t *testing.T) {
+	v := EstimateResidence([]float64{0.5, 0.3, 0.2}, []int{3, 2, 1})
+	if v <= 0 || math.IsInf(v, 1) {
+		t.Errorf("odd-k residence = %v", v)
+	}
+}
+
+func TestAllocateBestOrderingSumsToTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		probs := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		total := 5 + rng.Intn(40)
+		alloc, score := AllocateBestOrdering(probs, total)
+		sum := 0
+		for _, a := range alloc {
+			if a < 0 {
+				t.Fatalf("negative share in %v", alloc)
+			}
+			sum += a
+		}
+		if sum != total {
+			t.Fatalf("shares %v sum to %d, want %d", alloc, sum, total)
+		}
+		if score <= 0 {
+			t.Fatalf("score = %v", score)
+		}
+	}
+}
+
+// TestOrderingBarelyMatters verifies the paper's observation that the
+// ordering search "can be omitted as the ordering only slightly affects
+// the average residence time": the default ordering's residence estimate
+// stays within a modest factor of the best ordering's.
+func TestOrderingBarelyMatters(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var worst, sum float64 = 1, 0
+	const trials = 100
+	for trial := 0; trial < trials; trial++ {
+		probs := make([]float64, 4)
+		for i := range probs {
+			probs[i] = 0.05 + rng.Float64()
+		}
+		total := 8 + rng.Intn(40)
+		defaultAlloc := Allocate(probs, total)
+		defaultScore := EstimateResidence(probs, defaultAlloc)
+		_, bestScore := AllocateBestOrdering(probs, total)
+		if bestScore < defaultScore {
+			t.Fatalf("search returned worse score: %v < %v", bestScore, defaultScore)
+		}
+		ratio := bestScore / defaultScore
+		sum += ratio
+		if ratio > worst {
+			worst = ratio
+		}
+	}
+	// "Slightly" is a statement about typical motion: the average gain
+	// must be small even though adversarial probability vectors can gain
+	// more.
+	if avg := sum / trials; avg > 1.25 {
+		t.Errorf("ordering changed residence by %.2fx on average — paper expects a slight effect", avg)
+	}
+	if worst > 3 {
+		t.Errorf("ordering changed residence by %.2fx in the worst case", worst)
+	}
+}
+
+func TestAllocateBestOrderingPanics(t *testing.T) {
+	for _, probs := range [][]float64{nil, make([]float64, 9)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for %d directions", len(probs))
+				}
+			}()
+			AllocateBestOrdering(probs, 10)
+		}()
+	}
+}
+
+func BenchmarkAllocate4(b *testing.B) {
+	probs := []float64{0.4, 0.3, 0.2, 0.1}
+	for i := 0; i < b.N; i++ {
+		Allocate(probs, 32)
+	}
+}
+
+func BenchmarkAllocateBestOrdering4(b *testing.B) {
+	probs := []float64{0.4, 0.3, 0.2, 0.1}
+	for i := 0; i < b.N; i++ {
+		AllocateBestOrdering(probs, 32)
+	}
+}
+
+func BenchmarkManagerStep(b *testing.B) {
+	g := testGrid()
+	m := NewManager(Config{Grid: g, Capacity: 64 << 10}, fixedFetcher(2000))
+	pos := geom.V2(100, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pos.X += 5
+		if pos.X > 900 {
+			pos.X = 100
+		}
+		m.Step(pos, geom.RectAround(pos, 100), 0.5)
+	}
+}

@@ -1,0 +1,341 @@
+// Package core assembles the paper's complete systems: the motion-aware
+// system (multiresolution retrieval + motion-aware buffering + the
+// support-region index) and the naive baseline of §VII-E (always
+// full-resolution objects, a whole-object R*-tree, and an LRU cache).
+// Running a tour through a system yields the end-to-end measurements the
+// overall-performance experiments (Figures 14–15) report.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/geom"
+	"repro/internal/index"
+	"repro/internal/motion"
+	"repro/internal/netsim"
+	"repro/internal/retrieval"
+	"repro/internal/rtree"
+	"repro/internal/wavelet"
+	"repro/internal/workload"
+)
+
+// SystemKind selects which end-to-end system to run.
+type SystemKind int
+
+const (
+	// MotionAwareSystem is the paper's proposal: speed-mapped resolutions,
+	// incremental multiresolution blocks, motion-aware prefetching, and the
+	// support-region (x, y, w) R*-tree.
+	MotionAwareSystem SystemKind = iota
+	// NaiveSystem is the §VII-E baseline: full-resolution objects indexed
+	// by a plain 2D R*-tree and cached with LRU.
+	NaiveSystem
+)
+
+func (k SystemKind) String() string {
+	if k == MotionAwareSystem {
+		return "motion-aware"
+	}
+	return "naive"
+}
+
+// Config parameterizes a System.
+type Config struct {
+	Dataset   *workload.Dataset
+	Kind      SystemKind
+	Link      netsim.Link // zero value → netsim.DefaultLink()
+	QueryFrac float64     // query frame side as a fraction of the space; 0 → 0.10
+
+	// Motion-aware system knobs.
+	BufferBytes  int64                          // client buffer; 0 → 64 KB
+	GridCols     int                            // buffer grid; 0 → 40
+	BufferPolicy buffer.Policy                  // prefetching strategy
+	MapSpeed     retrieval.MapSpeedToResolution // nil → retrieval.Identity
+}
+
+func (c *Config) fill() {
+	if c.Dataset == nil {
+		panic("core: nil dataset")
+	}
+	if c.Link == (netsim.Link{}) {
+		c.Link = netsim.DefaultLink()
+	}
+	if err := c.Link.Validate(); err != nil {
+		panic(err)
+	}
+	if c.QueryFrac == 0 {
+		c.QueryFrac = 0.10
+	}
+	if c.BufferBytes == 0 {
+		c.BufferBytes = 64 << 10
+	}
+	if c.GridCols == 0 {
+		// Cells at 1/40 of the space keep block granularity well below the
+		// query frame (5–20% of the space), so caching a frame costs close
+		// to the frame's own data rather than a halo of partial blocks.
+		c.GridCols = 40
+	}
+	if c.MapSpeed == nil {
+		c.MapSpeed = retrieval.Identity
+	}
+}
+
+// System is a runnable client/server configuration. Index construction
+// happens once in NewSystem; RunTour creates fresh per-client state, so
+// one System serves many tours.
+type System struct {
+	cfg  Config
+	grid *geom.Grid
+
+	// Motion-aware path.
+	server *retrieval.Server
+
+	// Naive path.
+	objIndex *index.ObjectIndex
+	objBytes []int64
+}
+
+// NewSystem builds the system, including its index.
+func NewSystem(cfg Config) *System {
+	cfg.fill()
+	s := &System{cfg: cfg}
+	space := cfg.Dataset.Spec.Space
+	s.grid = geom.NewGrid(space, cfg.GridCols, cfg.GridCols)
+	store := cfg.Dataset.Store
+	switch cfg.Kind {
+	case MotionAwareSystem:
+		idx := index.NewMotionAware(store, index.XYW, rtree.Config{})
+		s.server = retrieval.NewServer(store, idx)
+	default:
+		s.objIndex = index.NewObjectIndex(store, rtree.Config{})
+		s.objBytes = make([]int64, store.NumObjects())
+		for i, d := range store.Objects {
+			s.objBytes[i] = int64(d.SizeBytes())
+		}
+	}
+	return s
+}
+
+// Config returns the (filled) configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Server exposes the motion-aware retrieval server (nil for the naive
+// system).
+func (s *System) Server() *retrieval.Server { return s.server }
+
+// TourStats aggregates a tour's end-to-end measurements.
+type TourStats struct {
+	Kind   SystemKind
+	Frames int
+
+	Bytes       int64   // all bytes moved over the link (demand + prefetch)
+	DemandBytes int64   // bytes fetched on frame misses
+	IndexIO     int64   // index node reads on the server
+	Connections int64   // server round-trips
+	Seconds     float64 // summed per-frame response times
+	HitRate     float64 // buffer/cache hit rate
+	Utilization float64 // used fraction of prefetched bytes (motion-aware)
+}
+
+// MeanResponseSeconds returns the average per-frame response time.
+func (t TourStats) MeanResponseSeconds() float64 {
+	if t.Frames == 0 {
+		return 0
+	}
+	return t.Seconds / float64(t.Frames)
+}
+
+func (t TourStats) String() string {
+	return fmt.Sprintf("%v: %d frames, %.2f MB, %d IO, %.1f s, hit %.1f%%, util %.1f%%",
+		t.Kind, t.Frames, float64(t.Bytes)/1e6, t.IndexIO, t.Seconds,
+		t.HitRate*100, t.Utilization*100)
+}
+
+// serverFetcher adapts the retrieval server to the buffer manager's
+// Fetcher interface, accumulating the index I/O spent on block fetches.
+type serverFetcher struct {
+	srv  *retrieval.Server
+	grid *geom.Grid
+	io   int64
+}
+
+func (f *serverFetcher) BlockBytes(cell geom.Cell, wmin float64) int64 {
+	// Blocks partition coefficients by vertex position so that caching a
+	// region costs its data once, not once per overlapped block.
+	bytes, io := f.srv.BlockBytes(f.grid.CellRect(cell), wmin)
+	f.io += io
+	return bytes
+}
+
+// RunTour drives one client along the tour and returns the end-to-end
+// statistics. Response-time accounting: a frame whose data is fully
+// buffered responds instantly; a miss pays one connection establishment
+// plus the demand transfer at the client's current speed. Prefetch bytes
+// ride along on the same connection in the background and count toward
+// bandwidth usage but not response time.
+func (s *System) RunTour(tour *motion.Tour) TourStats {
+	if s.cfg.Kind == MotionAwareSystem {
+		return s.runMotionAware(tour)
+	}
+	return s.runNaive(tour)
+}
+
+func (s *System) runMotionAware(tour *motion.Tour) TourStats {
+	side := s.cfg.Dataset.QuerySide(s.cfg.QueryFrac)
+	fetcher := &serverFetcher{srv: s.server, grid: s.grid}
+	mgr := buffer.NewManager(buffer.Config{
+		Grid:     s.grid,
+		Capacity: s.cfg.BufferBytes,
+		Policy:   s.cfg.BufferPolicy,
+	}, fetcher)
+
+	stats := TourStats{Kind: MotionAwareSystem}
+	for i, pos := range tour.Pos {
+		speed := tour.SpeedAt(i)
+		wmin := s.cfg.MapSpeed(speed)
+		frame := geom.RectAround(pos, side)
+		res := mgr.Step(pos, frame, wmin)
+		if res.Missed() {
+			stats.Seconds += s.cfg.Link.RequestSeconds(res.Demand, speed)
+		}
+		stats.Frames++
+	}
+	met := mgr.Metrics()
+	stats.Bytes = met.TotalBytes()
+	stats.DemandBytes = met.DemandBytes
+	stats.Connections = met.Connections
+	stats.HitRate = met.HitRate()
+	stats.Utilization = met.Utilization()
+	stats.IndexIO = fetcher.io
+	return stats
+}
+
+func (s *System) runNaive(tour *motion.Tour) TourStats {
+	side := s.cfg.Dataset.QuerySide(s.cfg.QueryFrac)
+	cache := buffer.NewLRU(s.cfg.BufferBytes)
+
+	stats := TourStats{Kind: NaiveSystem}
+	var hits, misses int64
+	for i, pos := range tour.Pos {
+		speed := tour.SpeedAt(i)
+		frame := geom.RectAround(pos, side)
+		objs, io := s.objIndex.SearchObjects(frame)
+		stats.IndexIO += io
+		var demand int64
+		for _, obj := range objs {
+			if cache.Get(int64(obj)) {
+				hits++
+				continue
+			}
+			misses++
+			demand += s.objBytes[obj]
+			cache.Put(int64(obj), s.objBytes[obj])
+		}
+		if demand > 0 {
+			stats.Seconds += s.cfg.Link.RequestSeconds(demand, speed)
+			stats.Connections++
+			stats.Bytes += demand
+			stats.DemandBytes += demand
+		}
+		stats.Frames++
+	}
+	if hits+misses > 0 {
+		stats.HitRate = float64(hits) / float64(hits+misses)
+	}
+	return stats
+}
+
+// RunIncremental drives a pure Algorithm-1 client (no buffering) along
+// the tour, returning per-tour retrieval totals. This isolates the
+// motion-aware continuous retrieval component for the Figure 8–9
+// experiments.
+func (s *System) RunIncremental(tour *motion.Tour) TourStats {
+	return s.runIncremental(tour, -1)
+}
+
+// RunIncrementalAtSpeed replays the tour's path while the client declares
+// the given normalized speed. This reproduces the paper's Figure 8 setup
+// of "clients traveling similar distances at varying speeds": the path
+// and frame positions stay fixed; the declared speed determines the
+// resolution cutoff and the link derating.
+func (s *System) RunIncrementalAtSpeed(tour *motion.Tour, speed float64) TourStats {
+	return s.runIncremental(tour, speed)
+}
+
+func (s *System) runIncremental(tour *motion.Tour, speedOverride float64) TourStats {
+	if s.server == nil {
+		panic("core: RunIncremental requires the motion-aware system")
+	}
+	side := s.cfg.Dataset.QuerySide(s.cfg.QueryFrac)
+	client := retrieval.NewClient(retrieval.NewSession(s.server), s.cfg.MapSpeed)
+	stats := TourStats{Kind: MotionAwareSystem}
+	for i, pos := range tour.Pos {
+		speed := speedOverride
+		if speed < 0 {
+			speed = tour.SpeedAt(i)
+		}
+		resp, _ := client.Frame(geom.RectAround(pos, side), speed)
+		stats.Bytes += resp.Bytes
+		stats.DemandBytes += resp.Bytes
+		stats.IndexIO += resp.IO
+		if resp.Bytes > 0 {
+			stats.Seconds += s.cfg.Link.RequestSeconds(resp.Bytes, speed)
+			stats.Connections++
+		}
+		stats.Frames++
+	}
+	return stats
+}
+
+// RunTours runs every tour through the system and returns the
+// element-wise mean of their statistics — the per-setting averaging the
+// paper applies over its 10 tourists.
+func (s *System) RunTours(tours []*motion.Tour) TourStats {
+	if len(tours) == 0 {
+		return TourStats{Kind: s.cfg.Kind}
+	}
+	var agg TourStats
+	agg.Kind = s.cfg.Kind
+	for _, tour := range tours {
+		st := s.RunTour(tour)
+		agg.Frames += st.Frames
+		agg.Bytes += st.Bytes
+		agg.DemandBytes += st.DemandBytes
+		agg.IndexIO += st.IndexIO
+		agg.Connections += st.Connections
+		agg.Seconds += st.Seconds
+		agg.HitRate += st.HitRate
+		agg.Utilization += st.Utilization
+	}
+	n := float64(len(tours))
+	agg.HitRate /= n
+	agg.Utilization /= n
+	return agg
+}
+
+// FullResBytesPerObject returns the serialized size of each object — the
+// payload the naive system moves per cache miss.
+func FullResBytesPerObject(d *workload.Dataset) []int64 {
+	out := make([]int64, d.Store.NumObjects())
+	for i, obj := range d.Store.Objects {
+		out[i] = int64(obj.SizeBytes())
+	}
+	return out
+}
+
+// CoefficientsAtSpeed counts the store-wide coefficients a client at the
+// given speed would retrieve for full coverage, a convenience for
+// examples and sanity checks.
+func CoefficientsAtSpeed(store *index.Store, speed float64) int {
+	w := retrieval.Identity(speed)
+	n := 0
+	for _, d := range store.Objects {
+		n += d.CountAtLeast(w)
+	}
+	return n
+}
+
+// WireBytes re-exports the per-coefficient payload size for callers
+// outside the wavelet package.
+const WireBytes = wavelet.WireBytes

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/motion"
+	"repro/internal/workload"
+)
+
+// testDataset is shared across tests (read-only after construction) to
+// keep the suite fast.
+var (
+	dsOnce sync.Once
+	ds     *workload.Dataset
+)
+
+func dataset(t testing.TB) *workload.Dataset {
+	t.Helper()
+	dsOnce.Do(func() {
+		ds = workload.Generate(workload.Spec{NumObjects: 60, Levels: 4, Seed: 99})
+	})
+	return ds
+}
+
+func testTour(t testing.TB, kind motion.TourKind, speed float64, seed int64) *motion.Tour {
+	t.Helper()
+	return motion.NewTour(kind, motion.TourSpec{
+		Space: dataset(t).Spec.Space,
+		Steps: 200,
+		Speed: speed,
+	}, rand.New(rand.NewSource(seed)))
+}
+
+func TestSystemKindsRun(t *testing.T) {
+	d := dataset(t)
+	tour := testTour(t, motion.Tram, 0.5, 1)
+	for _, kind := range []SystemKind{MotionAwareSystem, NaiveSystem} {
+		sys := NewSystem(Config{Dataset: d, Kind: kind})
+		stats := sys.RunTour(tour)
+		if stats.Frames != tour.Len() {
+			t.Fatalf("%v: frames = %d", kind, stats.Frames)
+		}
+		if stats.Bytes <= 0 {
+			t.Fatalf("%v: no bytes moved", kind)
+		}
+		if stats.Seconds <= 0 {
+			t.Fatalf("%v: zero total response time", kind)
+		}
+		if stats.String() == "" {
+			t.Errorf("%v: empty stats string", kind)
+		}
+	}
+}
+
+func TestMotionAwareBeatsNaiveResponseTime(t *testing.T) {
+	// The Figure 14 headline: the motion-aware system responds much faster,
+	// especially at high speed.
+	d := dataset(t)
+	ma := NewSystem(Config{Dataset: d, Kind: MotionAwareSystem, QueryFrac: 0.05})
+	nv := NewSystem(Config{Dataset: d, Kind: NaiveSystem, QueryFrac: 0.05})
+	for _, speed := range []float64{0.25, 1.0} {
+		tour := testTour(t, motion.Tram, speed, 2)
+		maStats := ma.RunTour(tour)
+		nvStats := nv.RunTour(tour)
+		if maStats.MeanResponseSeconds() >= nvStats.MeanResponseSeconds() {
+			t.Errorf("speed %v: motion-aware %.3fs not below naive %.3fs",
+				speed, maStats.MeanResponseSeconds(), nvStats.MeanResponseSeconds())
+		}
+	}
+}
+
+func TestNaiveDegradesWithSpeedFasterThanMotionAware(t *testing.T) {
+	// §VII-E: "the performance of the naive system degrades with the
+	// increase of speed ... the motion-aware approach can cope with the
+	// speed". Compare the slowdown ratio between speed 0.1 and 1.0.
+	d := dataset(t)
+	ma := NewSystem(Config{Dataset: d, Kind: MotionAwareSystem, QueryFrac: 0.05})
+	nv := NewSystem(Config{Dataset: d, Kind: NaiveSystem, QueryFrac: 0.05})
+	ratio := func(sys *System) float64 {
+		slow := sys.RunTour(testTour(t, motion.Tram, 0.1, 3)).Seconds
+		fast := sys.RunTour(testTour(t, motion.Tram, 1.0, 3)).Seconds
+		if slow == 0 {
+			return 0
+		}
+		return fast / slow
+	}
+	if rm, rn := ratio(ma), ratio(nv); rm >= rn {
+		t.Errorf("motion-aware slowdown %.2fx not below naive %.2fx", rm, rn)
+	}
+}
+
+func TestRunIncrementalSpeedMonotone(t *testing.T) {
+	// Figure 8: data retrieved over a tour shrinks as speed grows.
+	d := dataset(t)
+	sys := NewSystem(Config{Dataset: d, Kind: MotionAwareSystem})
+	// Same path replayed at different declared speeds — the paper's
+	// similar-distance setup — must retrieve monotonically less data.
+	path := testTour(t, motion.Tram, 0.5, 4)
+	var prev int64 = 1 << 62
+	for _, speed := range []float64{0.001, 0.5, 1.0} {
+		stats := sys.RunIncrementalAtSpeed(path, speed)
+		if stats.Bytes >= prev {
+			t.Fatalf("bytes at speed %v = %d, previous %d", speed, stats.Bytes, prev)
+		}
+		prev = stats.Bytes
+	}
+}
+
+func TestRunIncrementalRequiresMotionAware(t *testing.T) {
+	d := dataset(t)
+	sys := NewSystem(Config{Dataset: d, Kind: NaiveSystem})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	sys.RunIncremental(testTour(t, motion.Tram, 0.5, 5))
+}
+
+func TestConfigDefaults(t *testing.T) {
+	d := dataset(t)
+	sys := NewSystem(Config{Dataset: d})
+	cfg := sys.Config()
+	if cfg.QueryFrac != 0.10 || cfg.BufferBytes != 64<<10 || cfg.GridCols != 40 {
+		t.Errorf("defaults not filled: %+v", cfg)
+	}
+	if cfg.Link.BitsPerSecond != 256_000 {
+		t.Errorf("link default = %+v", cfg.Link)
+	}
+}
+
+func TestNilDatasetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewSystem(Config{})
+}
+
+func TestBufferPolicyAffectsMetrics(t *testing.T) {
+	d := dataset(t)
+	tour := testTour(t, motion.Tram, 0.4, 6)
+	ma := NewSystem(Config{Dataset: d, Kind: MotionAwareSystem, BufferPolicy: buffer.MotionAware}).RunTour(tour)
+	nv := NewSystem(Config{Dataset: d, Kind: MotionAwareSystem, BufferPolicy: buffer.NaiveUniform}).RunTour(tour)
+	if ma.Utilization <= nv.Utilization {
+		t.Errorf("motion-aware utilization %.3f not above naive buffering %.3f",
+			ma.Utilization, nv.Utilization)
+	}
+}
+
+func TestCoefficientsAtSpeed(t *testing.T) {
+	d := dataset(t)
+	all := CoefficientsAtSpeed(d.Store, 0)
+	if int64(all) != d.Store.NumCoeffs() {
+		t.Fatalf("speed 0 = %d of %d", all, d.Store.NumCoeffs())
+	}
+	coarse := CoefficientsAtSpeed(d.Store, 1)
+	if coarse >= all || coarse <= 0 {
+		t.Fatalf("speed 1 = %d", coarse)
+	}
+}
+
+func TestFullResBytesPerObject(t *testing.T) {
+	d := dataset(t)
+	bytes := FullResBytesPerObject(d)
+	var sum int64
+	for _, b := range bytes {
+		if b <= 0 {
+			t.Fatal("non-positive object size")
+		}
+		sum += b
+	}
+	if sum != d.SizeBytes() {
+		t.Fatalf("object sizes sum to %d, dataset %d", sum, d.SizeBytes())
+	}
+}
+
+func TestRunToursAggregates(t *testing.T) {
+	d := dataset(t)
+	sys := NewSystem(Config{Dataset: d, Kind: MotionAwareSystem})
+	tours := []*motion.Tour{
+		testTour(t, motion.Tram, 0.5, 21),
+		testTour(t, motion.Tram, 0.5, 22),
+	}
+	agg := sys.RunTours(tours)
+	if agg.Frames != tours[0].Len()+tours[1].Len() {
+		t.Fatalf("frames = %d", agg.Frames)
+	}
+	if agg.HitRate < 0 || agg.HitRate > 1 {
+		t.Fatalf("hit rate = %v", agg.HitRate)
+	}
+	a := sys.RunTour(tours[0])
+	b := sys.RunTour(tours[1])
+	if agg.Bytes != a.Bytes+b.Bytes {
+		t.Fatalf("bytes %d != %d + %d", agg.Bytes, a.Bytes, b.Bytes)
+	}
+	empty := sys.RunTours(nil)
+	if empty.Frames != 0 || empty.Kind != MotionAwareSystem {
+		t.Fatalf("empty aggregate = %+v", empty)
+	}
+}

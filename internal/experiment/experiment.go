@@ -1,0 +1,182 @@
+// Package experiment regenerates every figure of the paper's evaluation
+// (§VII): data-retrieval volume versus speed, query size, and dataset
+// size (Figs. 8–9); buffer-management hit rate and utilization (Figs.
+// 10–11); index I/O (Figs. 12–13); and end-to-end response time on
+// uniform and Zipfian data (Figs. 14–15). Each generator returns a Table
+// whose series mirror the lines of the corresponding figure.
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/motion"
+	"repro/internal/workload"
+)
+
+// Config scales the experiment suite. The zero value (filled by fill) is
+// the paper's setup; Quick shrinks everything for benchmarks and CI.
+type Config struct {
+	Seed      int64
+	Tours     int       // tours per setting (paper: 10 tourists)
+	Steps     int       // steps per tour
+	Objects   int       // default dataset size (paper default: 300 ≈ 60 MB)
+	Levels    int       // subdivision depth (5 ≈ 200 KB per object)
+	QueryFrac float64   // default query frame (paper default: 10%)
+	Speeds    []float64 // speed sweep
+	Buffers   []int64   // buffer-size sweep for Figs. 10–11
+	Quick     bool      // reduced scale: fewer/smaller objects and tours
+}
+
+func (c Config) fill() Config {
+	if c.Quick {
+		if c.Tours == 0 {
+			c.Tours = 2
+		}
+		if c.Steps == 0 {
+			c.Steps = 120
+		}
+		if c.Objects == 0 {
+			c.Objects = 80
+		}
+		if c.Levels == 0 {
+			c.Levels = 4
+		}
+		if len(c.Buffers) == 0 {
+			// The quick dataset is ~20× smaller than the paper's, so the
+			// buffer sweep shrinks with it to stay in the regime where
+			// capacity binds.
+			c.Buffers = []int64{2 << 10, 4 << 10, 8 << 10, 16 << 10}
+		}
+	}
+	if c.Tours == 0 {
+		c.Tours = 5
+	}
+	if c.Steps == 0 {
+		c.Steps = 250
+	}
+	if c.Objects == 0 {
+		c.Objects = 300
+	}
+	if c.Levels == 0 {
+		c.Levels = 5
+	}
+	if c.QueryFrac == 0 {
+		c.QueryFrac = 0.10
+	}
+	if len(c.Speeds) == 0 {
+		c.Speeds = []float64{0.001, 0.1, 0.25, 0.5, 0.75, 1.0}
+	}
+	if len(c.Buffers) == 0 {
+		c.Buffers = []int64{16 << 10, 32 << 10, 64 << 10, 128 << 10}
+	}
+	return c
+}
+
+// Series is one line of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Table is one regenerated figure.
+type Table struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Format renders the table as aligned text, one row per x value and one
+// column per series — the rows/series the paper plots.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	if len(t.Series) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-12s", t.XLabel)
+	for _, s := range t.Series {
+		fmt.Fprintf(&b, "%16s", s.Name)
+	}
+	fmt.Fprintf(&b, "    [%s]\n", t.YLabel)
+	for i := range t.Series[0].X {
+		fmt.Fprintf(&b, "%-12.4g", t.Series[0].X[i])
+		for _, s := range t.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, "%16.4g", s.Y[i])
+			} else {
+				fmt.Fprintf(&b, "%16s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// harness caches datasets and tours so that one Config amortizes
+// generation across figures.
+type harness struct {
+	cfg      Config
+	datasets map[string]*workload.Dataset
+	tours    map[string][]*motion.Tour
+}
+
+func newHarness(cfg Config) *harness {
+	return &harness{
+		cfg:      cfg.fill(),
+		datasets: make(map[string]*workload.Dataset),
+		tours:    make(map[string][]*motion.Tour),
+	}
+}
+
+func (h *harness) dataset(objects int, placement workload.Placement) *workload.Dataset {
+	key := fmt.Sprintf("%d-%v", objects, placement)
+	if d, ok := h.datasets[key]; ok {
+		return d
+	}
+	d := workload.Generate(workload.Spec{
+		NumObjects: objects,
+		Levels:     h.cfg.Levels,
+		Placement:  placement,
+		Seed:       h.cfg.Seed + int64(objects),
+	})
+	h.datasets[key] = d
+	return d
+}
+
+// tourSet returns the per-setting tours (the paper's tourists), generated
+// once per (kind, speed) pair.
+func (h *harness) tourSet(d *workload.Dataset, kind motion.TourKind, speed float64) []*motion.Tour {
+	key := fmt.Sprintf("%v-%.4f", kind, speed)
+	if t, ok := h.tours[key]; ok {
+		return t
+	}
+	t := motion.Tours(kind, motion.TourSpec{
+		Space: d.Spec.Space,
+		Steps: h.cfg.Steps,
+		Speed: speed,
+	}, h.cfg.Tours, h.cfg.Seed+int64(kind)*1000+int64(speed*10000))
+	h.tours[key] = t
+	return t
+}
+
+// pathTours returns fixed paths (at a reference speed) that speed sweeps
+// replay, implementing the similar-distance setup of Figures 8–9.
+func (h *harness) pathTours(d *workload.Dataset, kind motion.TourKind) []*motion.Tour {
+	return h.tourSet(d, kind, 0.5)
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,28 @@
+package geom_test
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// The new query frame minus the previous one decomposes into at most four
+// disjoint rectangles — the regions Algorithm 1 actually fetches.
+func ExampleRect2_Difference() {
+	prev := geom.R2(0, 0, 10, 10)
+	cur := geom.R2(4, 3, 14, 13)
+	for _, piece := range cur.Difference(prev) {
+		fmt.Println(piece)
+	}
+	// Output:
+	// [(10, 3) (14, 13)]
+	// [(4, 10) (10, 13)]
+}
+
+func ExampleGrid_CellsIn() {
+	g := geom.NewGrid(geom.R2(0, 0, 100, 100), 10, 10)
+	frame := geom.RectAround(geom.V2(25, 25), 18)
+	fmt.Println(g.CellsIn(frame))
+	// Output:
+	// [(1,1) (2,1) (3,1) (1,2) (2,2) (3,2) (1,3) (2,3) (3,3)]
+}

@@ -1,0 +1,100 @@
+package geom
+
+import "math"
+
+// Frustum is a directional view in the ground plane: the client stands at
+// Apex looking along Dir, sees HalfAngle radians to each side, out to
+// Range. The paper's clients retrieve "according to the current position
+// and viewing direction"; the axis-aligned query window is its
+// conservative approximation, and this type provides the exact region
+// for direction-aware retrieval.
+type Frustum struct {
+	Apex      Vec2
+	Dir       Vec2 // need not be normalized; zero means "facing +X"
+	HalfAngle float64
+	Range     float64
+}
+
+// NewFrustum builds a frustum from an apex, a facing angle (radians), a
+// full field-of-view, and a view range.
+func NewFrustum(apex Vec2, facing, fov, rng float64) Frustum {
+	return Frustum{
+		Apex:      apex,
+		Dir:       V2(math.Cos(facing), math.Sin(facing)),
+		HalfAngle: fov / 2,
+		Range:     rng,
+	}
+}
+
+// normDir returns the unit facing direction.
+func (f Frustum) normDir() Vec2 {
+	d := f.Dir.Normalize()
+	if d == (Vec2{}) {
+		return V2(1, 0)
+	}
+	return d
+}
+
+// Contains reports whether p lies inside the closed circular sector.
+func (f Frustum) Contains(p Vec2) bool {
+	v := p.Sub(f.Apex)
+	dist := v.Len()
+	if dist > f.Range {
+		return false
+	}
+	if dist == 0 {
+		return true
+	}
+	cos := v.Normalize().Dot(f.normDir())
+	// Clamp for acos domain safety.
+	if cos > 1 {
+		cos = 1
+	} else if cos < -1 {
+		cos = -1
+	}
+	return math.Acos(cos) <= f.HalfAngle+1e-12
+}
+
+// BoundingRect returns the tight axis-aligned bounding rectangle of the
+// sector: the apex, the two arc endpoints, and any axis-extreme arc
+// points whose direction falls inside the angular range.
+func (f Frustum) BoundingRect() Rect2 {
+	d := f.normDir()
+	facing := d.Angle()
+	pts := []Vec2{
+		f.Apex,
+		f.Apex.Add(rotate(d, +f.HalfAngle).Scale(f.Range)),
+		f.Apex.Add(rotate(d, -f.HalfAngle).Scale(f.Range)),
+	}
+	// Axis extremes of the arc (E, N, W, S) that lie within the sector.
+	for _, a := range []float64{0, math.Pi / 2, math.Pi, 3 * math.Pi / 2} {
+		if angleWithin(a, facing, f.HalfAngle) {
+			pts = append(pts, f.Apex.Add(V2(math.Cos(a), math.Sin(a)).Scale(f.Range)))
+		}
+	}
+	r := Rect2{Min: pts[0], Max: pts[0]}
+	for _, p := range pts[1:] {
+		r.Min = V2(math.Min(r.Min.X, p.X), math.Min(r.Min.Y, p.Y))
+		r.Max = V2(math.Max(r.Max.X, p.X), math.Max(r.Max.Y, p.Y))
+	}
+	return r
+}
+
+// rotate turns the unit vector v by the given angle.
+func rotate(v Vec2, angle float64) Vec2 {
+	s, c := math.Sin(angle), math.Cos(angle)
+	return V2(v.X*c-v.Y*s, v.X*s+v.Y*c)
+}
+
+// angleWithin reports whether angle a lies within ±half of center
+// (angles in radians, any representation).
+func angleWithin(a, center, half float64) bool {
+	diff := math.Mod(a-center, 2*math.Pi)
+	if diff > math.Pi {
+		diff -= 2 * math.Pi
+	}
+	if diff < -math.Pi {
+		diff += 2 * math.Pi
+	}
+	return math.Abs(diff) <= half+1e-12
+}

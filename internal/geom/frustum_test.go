@@ -1,0 +1,93 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFrustumContains(t *testing.T) {
+	// Facing east, 90° fov, range 10.
+	f := NewFrustum(V2(0, 0), 0, math.Pi/2, 10)
+	cases := []struct {
+		p    Vec2
+		want bool
+	}{
+		{V2(0, 0), true},    // apex
+		{V2(5, 0), true},    // straight ahead
+		{V2(10, 0), true},   // at max range
+		{V2(11, 0), false},  // beyond range
+		{V2(-1, 0), false},  // behind
+		{V2(3, 2.9), true},  // inside the 45° edge
+		{V2(3, 3.1), false}, // outside the edge
+		{V2(0, 5), false},   // perpendicular
+	}
+	for _, c := range cases {
+		if got := f.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestFrustumZeroDirDefaultsEast(t *testing.T) {
+	f := Frustum{Apex: V2(0, 0), HalfAngle: 0.1, Range: 5}
+	if !f.Contains(V2(3, 0)) {
+		t.Error("zero direction should face east")
+	}
+}
+
+func TestFrustumBoundingRectContainsSector(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		f := NewFrustum(
+			V2(rng.Float64()*100, rng.Float64()*100),
+			rng.Float64()*2*math.Pi,
+			rng.Float64()*math.Pi*1.8+0.1,
+			rng.Float64()*50+1,
+		)
+		bb := f.BoundingRect()
+		// Sampled sector points lie inside the bounding rect.
+		for s := 0; s < 100; s++ {
+			a := (rng.Float64()*2 - 1) * f.HalfAngle
+			r := rng.Float64() * f.Range
+			d := f.normDir()
+			p := f.Apex.Add(rotate(d, a).Scale(r))
+			if !bb.Expand(1e-9).Contains(p) {
+				t.Fatalf("trial %d: sector point %v outside bb %v", trial, p, bb)
+			}
+		}
+	}
+}
+
+func TestFrustumBoundingRectTight(t *testing.T) {
+	// Facing east with 90° fov: the bounding rect must not extend west of
+	// the apex, and must include the easternmost arc point.
+	f := NewFrustum(V2(10, 10), 0, math.Pi/2, 8)
+	bb := f.BoundingRect()
+	if bb.Min.X < 10-1e-9 {
+		t.Errorf("bb extends behind the apex: %v", bb)
+	}
+	if math.Abs(bb.Max.X-18) > 1e-9 {
+		t.Errorf("bb.Max.X = %v want 18", bb.Max.X)
+	}
+	// The edges reach ±45°: y spans 10±8·sin(45°).
+	want := 8 * math.Sin(math.Pi/4)
+	if math.Abs(bb.Max.Y-(10+want)) > 1e-9 || math.Abs(bb.Min.Y-(10-want)) > 1e-9 {
+		t.Errorf("bb y-span = [%v, %v]", bb.Min.Y, bb.Max.Y)
+	}
+	// A north-facing frustum includes the northern axis extreme.
+	n := NewFrustum(V2(0, 0), math.Pi/2, math.Pi/2, 8)
+	if nb := n.BoundingRect(); math.Abs(nb.Max.Y-8) > 1e-9 {
+		t.Errorf("north bb = %v", nb)
+	}
+}
+
+func TestAngleWithinWraparound(t *testing.T) {
+	// 350° is within ±30° of 10°.
+	if !angleWithin(350*math.Pi/180, 10*math.Pi/180, 30*math.Pi/180) {
+		t.Error("wraparound not handled")
+	}
+	if angleWithin(math.Pi, 0, math.Pi/4) {
+		t.Error("opposite direction accepted")
+	}
+}

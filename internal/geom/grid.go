@@ -1,0 +1,151 @@
+package geom
+
+import "fmt"
+
+// Grid divides a rectangular data space into Cols × Rows equally sized
+// blocks. The buffer manager's cost model (paper §V-A) assumes "the data
+// space is divided into grid-like blocks"; Grid provides the mapping
+// between continuous positions and those blocks.
+type Grid struct {
+	Space Rect2 // the full data space
+	Cols  int   // number of blocks along X
+	Rows  int   // number of blocks along Y
+}
+
+// Cell identifies one block of a Grid by column and row index.
+type Cell struct {
+	Col, Row int
+}
+
+func (c Cell) String() string { return fmt.Sprintf("(%d,%d)", c.Col, c.Row) }
+
+// NewGrid creates a grid over space with cols × rows blocks. It panics if
+// either count is non-positive or the space is empty, since every caller
+// constructs grids from validated experiment parameters.
+func NewGrid(space Rect2, cols, rows int) *Grid {
+	if cols <= 0 || rows <= 0 {
+		panic(fmt.Sprintf("geom: invalid grid dimensions %dx%d", cols, rows))
+	}
+	if space.Empty() {
+		panic("geom: grid over empty space")
+	}
+	return &Grid{Space: space, Cols: cols, Rows: rows}
+}
+
+// CellWidth returns the X extent of one block.
+func (g *Grid) CellWidth() float64 { return g.Space.Width() / float64(g.Cols) }
+
+// CellHeight returns the Y extent of one block.
+func (g *Grid) CellHeight() float64 { return g.Space.Height() / float64(g.Rows) }
+
+// NumCells returns the total number of blocks.
+func (g *Grid) NumCells() int { return g.Cols * g.Rows }
+
+// Valid reports whether c lies inside the grid.
+func (g *Grid) Valid(c Cell) bool {
+	return c.Col >= 0 && c.Col < g.Cols && c.Row >= 0 && c.Row < g.Rows
+}
+
+// CellAt returns the block containing p, clamped to the grid so that
+// positions on (or slightly beyond) the boundary map to a valid block.
+func (g *Grid) CellAt(p Vec2) Cell {
+	col := int((p.X - g.Space.Min.X) / g.CellWidth())
+	row := int((p.Y - g.Space.Min.Y) / g.CellHeight())
+	if col < 0 {
+		col = 0
+	}
+	if col >= g.Cols {
+		col = g.Cols - 1
+	}
+	if row < 0 {
+		row = 0
+	}
+	if row >= g.Rows {
+		row = g.Rows - 1
+	}
+	return Cell{Col: col, Row: row}
+}
+
+// CellRect returns the rectangle covered by block c.
+func (g *Grid) CellRect(c Cell) Rect2 {
+	w, h := g.CellWidth(), g.CellHeight()
+	x0 := g.Space.Min.X + float64(c.Col)*w
+	y0 := g.Space.Min.Y + float64(c.Row)*h
+	return Rect2{Min: Vec2{x0, y0}, Max: Vec2{x0 + w, y0 + h}}
+}
+
+// CellCenter returns the centroid of block c.
+func (g *Grid) CellCenter(c Cell) Vec2 { return g.CellRect(c).Center() }
+
+// CellsIn returns every block that intersects r, in row-major order.
+func (g *Grid) CellsIn(r Rect2) []Cell {
+	r = r.Intersect(g.Space)
+	if r.Empty() {
+		return nil
+	}
+	lo := g.CellAt(r.Min)
+	hi := g.CellAt(r.Max)
+	// CellAt clamps, but an r.Max exactly on a cell boundary belongs to the
+	// lower cell; shrink hi if the max coordinate sits on the boundary.
+	if hi.Col > lo.Col && r.Max.X <= g.CellRect(Cell{hi.Col, hi.Row}).Min.X {
+		hi.Col--
+	}
+	if hi.Row > lo.Row && r.Max.Y <= g.CellRect(Cell{hi.Col, hi.Row}).Min.Y {
+		hi.Row--
+	}
+	out := make([]Cell, 0, (hi.Col-lo.Col+1)*(hi.Row-lo.Row+1))
+	for row := lo.Row; row <= hi.Row; row++ {
+		for col := lo.Col; col <= hi.Col; col++ {
+			out = append(out, Cell{Col: col, Row: row})
+		}
+	}
+	return out
+}
+
+// Neighbors returns the up-to-8 blocks adjacent to c that lie inside the
+// grid.
+func (g *Grid) Neighbors(c Cell) []Cell {
+	out := make([]Cell, 0, 8)
+	for dr := -1; dr <= 1; dr++ {
+		for dc := -1; dc <= 1; dc++ {
+			if dr == 0 && dc == 0 {
+				continue
+			}
+			n := Cell{Col: c.Col + dc, Row: c.Row + dr}
+			if g.Valid(n) {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// Ring returns the blocks at Chebyshev distance exactly d from c that lie
+// inside the grid, ordered clockwise from the east. The naive buffer
+// manager prefetches rings of blocks around the current frame.
+func (g *Grid) Ring(c Cell, d int) []Cell {
+	if d <= 0 {
+		if g.Valid(c) {
+			return []Cell{c}
+		}
+		return nil
+	}
+	var out []Cell
+	push := func(col, row int) {
+		n := Cell{Col: col, Row: row}
+		if g.Valid(n) {
+			out = append(out, n)
+		}
+	}
+	// Top and bottom edges of the ring.
+	for col := c.Col - d; col <= c.Col+d; col++ {
+		push(col, c.Row+d)
+		push(col, c.Row-d)
+	}
+	// Left and right edges, excluding corners already pushed.
+	for row := c.Row - d + 1; row <= c.Row+d-1; row++ {
+		push(c.Col+d, row)
+		push(c.Col-d, row)
+	}
+	return out
+}

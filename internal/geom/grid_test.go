@@ -1,0 +1,163 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func testGrid() *Grid { return NewGrid(R2(0, 0, 100, 100), 10, 10) }
+
+func TestGridBasics(t *testing.T) {
+	g := testGrid()
+	if g.CellWidth() != 10 || g.CellHeight() != 10 {
+		t.Errorf("cell dims = %v x %v", g.CellWidth(), g.CellHeight())
+	}
+	if g.NumCells() != 100 {
+		t.Errorf("NumCells = %d", g.NumCells())
+	}
+}
+
+func TestGridPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero cols")
+		}
+	}()
+	NewGrid(R2(0, 0, 1, 1), 0, 5)
+}
+
+func TestCellAtClamping(t *testing.T) {
+	g := testGrid()
+	cases := []struct {
+		p    Vec2
+		want Cell
+	}{
+		{V2(0, 0), Cell{0, 0}},
+		{V2(5, 5), Cell{0, 0}},
+		{V2(15, 25), Cell{1, 2}},
+		{V2(99.9, 99.9), Cell{9, 9}},
+		{V2(100, 100), Cell{9, 9}},  // boundary clamps inward
+		{V2(-5, 50), Cell{0, 5}},    // outside clamps
+		{V2(500, -500), Cell{9, 0}}, // far outside clamps
+	}
+	for _, c := range cases {
+		if got := g.CellAt(c.p); got != c.want {
+			t.Errorf("CellAt(%v) = %v want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestCellRectRoundtrip(t *testing.T) {
+	g := testGrid()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		p := V2(rng.Float64()*100, rng.Float64()*100)
+		c := g.CellAt(p)
+		if !g.CellRect(c).Contains(p) {
+			t.Fatalf("cell %v rect %v does not contain %v", c, g.CellRect(c), p)
+		}
+	}
+}
+
+func TestCellsIn(t *testing.T) {
+	g := testGrid()
+	// A rect strictly inside one cell.
+	cells := g.CellsIn(R2(2, 2, 8, 8))
+	if len(cells) != 1 || cells[0] != (Cell{0, 0}) {
+		t.Errorf("single-cell query = %v", cells)
+	}
+	// Spanning a 2x2 block.
+	cells = g.CellsIn(R2(5, 5, 15, 15))
+	if len(cells) != 4 {
+		t.Errorf("2x2 query = %v", cells)
+	}
+	// Covering everything.
+	if n := len(g.CellsIn(R2(-10, -10, 110, 110))); n != 100 {
+		t.Errorf("full cover = %d cells", n)
+	}
+	// Fully outside.
+	if cells := g.CellsIn(R2(200, 200, 300, 300)); cells != nil {
+		t.Errorf("outside query = %v", cells)
+	}
+	// Rect ending exactly on a boundary should not spill into the next cell.
+	cells = g.CellsIn(R2(0, 0, 10, 10))
+	if len(cells) != 1 {
+		t.Errorf("boundary query = %v", cells)
+	}
+}
+
+func TestCellsInCoverProperty(t *testing.T) {
+	g := testGrid()
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 300; i++ {
+		r := R2(rng.Float64()*100, rng.Float64()*100, rng.Float64()*100, rng.Float64()*100)
+		cells := g.CellsIn(r)
+		var covered float64
+		for _, c := range cells {
+			inter := g.CellRect(c).Intersect(r)
+			if inter.Empty() {
+				t.Fatalf("cell %v does not intersect %v", c, r)
+			}
+			covered += inter.Area()
+		}
+		if want := r.Intersect(g.Space).Area(); !approx(covered, want) {
+			t.Fatalf("covered %v want %v for %v", covered, want, r)
+		}
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	g := testGrid()
+	if n := len(g.Neighbors(Cell{5, 5})); n != 8 {
+		t.Errorf("interior neighbors = %d", n)
+	}
+	if n := len(g.Neighbors(Cell{0, 0})); n != 3 {
+		t.Errorf("corner neighbors = %d", n)
+	}
+	if n := len(g.Neighbors(Cell{0, 5})); n != 5 {
+		t.Errorf("edge neighbors = %d", n)
+	}
+}
+
+func TestRing(t *testing.T) {
+	g := testGrid()
+	center := Cell{5, 5}
+	if r := g.Ring(center, 0); len(r) != 1 || r[0] != center {
+		t.Errorf("ring 0 = %v", r)
+	}
+	if r := g.Ring(center, 1); len(r) != 8 {
+		t.Errorf("ring 1 size = %d", len(r))
+	}
+	if r := g.Ring(center, 2); len(r) != 16 {
+		t.Errorf("ring 2 size = %d", len(r))
+	}
+	// Ring cells are at exact Chebyshev distance.
+	for _, c := range g.Ring(center, 2) {
+		dc, dr := c.Col-center.Col, c.Row-center.Row
+		if dc < 0 {
+			dc = -dc
+		}
+		if dr < 0 {
+			dr = -dr
+		}
+		d := dc
+		if dr > d {
+			d = dr
+		}
+		if d != 2 {
+			t.Errorf("cell %v at distance %d", c, d)
+		}
+	}
+	// Corner ring gets clipped.
+	if r := g.Ring(Cell{0, 0}, 1); len(r) != 3 {
+		t.Errorf("corner ring = %v", r)
+	}
+	// No duplicates in any ring.
+	seen := map[Cell]bool{}
+	for _, c := range g.Ring(center, 3) {
+		if seen[c] {
+			t.Errorf("duplicate cell %v", c)
+		}
+		seen[c] = true
+	}
+}

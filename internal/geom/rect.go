@@ -1,0 +1,275 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rect2 is a closed axis-aligned rectangle in the ground plane. Query
+// frames (the client's view window projected to the ground) and buffer
+// blocks are Rect2 values. An empty rectangle has Max < Min on some axis.
+type Rect2 struct {
+	Min, Max Vec2
+}
+
+// R2 constructs the rectangle spanning the two corner points, normalizing
+// coordinate order.
+func R2(x0, y0, x1, y1 float64) Rect2 {
+	if x1 < x0 {
+		x0, x1 = x1, x0
+	}
+	if y1 < y0 {
+		y0, y1 = y1, y0
+	}
+	return Rect2{Min: Vec2{x0, y0}, Max: Vec2{x1, y1}}
+}
+
+// RectAround returns the square of the given side length centered at c.
+// The client's query frame at position c is RectAround(c, side).
+func RectAround(c Vec2, side float64) Rect2 {
+	h := side / 2
+	return Rect2{Min: Vec2{c.X - h, c.Y - h}, Max: Vec2{c.X + h, c.Y + h}}
+}
+
+// Empty reports whether r contains no points.
+func (r Rect2) Empty() bool { return r.Max.X < r.Min.X || r.Max.Y < r.Min.Y }
+
+// Width returns the X extent of r (0 if empty).
+func (r Rect2) Width() float64 {
+	if r.Empty() {
+		return 0
+	}
+	return r.Max.X - r.Min.X
+}
+
+// Height returns the Y extent of r (0 if empty).
+func (r Rect2) Height() float64 {
+	if r.Empty() {
+		return 0
+	}
+	return r.Max.Y - r.Min.Y
+}
+
+// Area returns the area of r (0 if empty).
+func (r Rect2) Area() float64 { return r.Width() * r.Height() }
+
+// Center returns the centroid of r.
+func (r Rect2) Center() Vec2 {
+	return Vec2{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// Contains reports whether p lies inside the closed rectangle r.
+func (r Rect2) Contains(p Vec2) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// ContainsRect reports whether s lies entirely inside r. The empty
+// rectangle is contained in everything.
+func (r Rect2) ContainsRect(s Rect2) bool {
+	if s.Empty() {
+		return true
+	}
+	return s.Min.X >= r.Min.X && s.Max.X <= r.Max.X &&
+		s.Min.Y >= r.Min.Y && s.Max.Y <= r.Max.Y
+}
+
+// Intersects reports whether r and s share at least one point.
+func (r Rect2) Intersects(s Rect2) bool {
+	if r.Empty() || s.Empty() {
+		return false
+	}
+	return r.Min.X <= s.Max.X && s.Min.X <= r.Max.X &&
+		r.Min.Y <= s.Max.Y && s.Min.Y <= r.Max.Y
+}
+
+// Intersect returns r ∩ s, which may be empty.
+func (r Rect2) Intersect(s Rect2) Rect2 {
+	out := Rect2{
+		Min: Vec2{math.Max(r.Min.X, s.Min.X), math.Max(r.Min.Y, s.Min.Y)},
+		Max: Vec2{math.Min(r.Max.X, s.Max.X), math.Min(r.Max.Y, s.Max.Y)},
+	}
+	return out
+}
+
+// Union returns the smallest rectangle covering both r and s. Empty inputs
+// are ignored.
+func (r Rect2) Union(s Rect2) Rect2 {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	return Rect2{
+		Min: Vec2{math.Min(r.Min.X, s.Min.X), math.Min(r.Min.Y, s.Min.Y)},
+		Max: Vec2{math.Max(r.Max.X, s.Max.X), math.Max(r.Max.Y, s.Max.Y)},
+	}
+}
+
+// Expand grows r by d on every side (shrinks for negative d).
+func (r Rect2) Expand(d float64) Rect2 {
+	return Rect2{
+		Min: Vec2{r.Min.X - d, r.Min.Y - d},
+		Max: Vec2{r.Max.X + d, r.Max.Y + d},
+	}
+}
+
+// Translate shifts r by d.
+func (r Rect2) Translate(d Vec2) Rect2 {
+	return Rect2{Min: r.Min.Add(d), Max: r.Max.Add(d)}
+}
+
+func (r Rect2) String() string {
+	return fmt.Sprintf("[%v %v]", r.Min, r.Max)
+}
+
+// Difference decomposes r − s into at most four disjoint rectangles whose
+// union is exactly the part of r outside s. This is the region Nt of
+// Algorithm 1: the portion of the current query frame not covered by the
+// previous frame. Following the paper's Figure 3, the split is performed
+// along the x-axis first, producing left and right slabs at full height and
+// top/bottom slabs clipped to the overlap's x-range.
+func (r Rect2) Difference(s Rect2) []Rect2 {
+	if r.Empty() {
+		return nil
+	}
+	ov := r.Intersect(s)
+	if ov.Empty() {
+		return []Rect2{r}
+	}
+	if ov == r {
+		return nil
+	}
+	var out []Rect2
+	// Left slab: everything in r strictly left of the overlap.
+	if r.Min.X < ov.Min.X {
+		out = append(out, Rect2{Min: r.Min, Max: Vec2{ov.Min.X, r.Max.Y}})
+	}
+	// Right slab.
+	if ov.Max.X < r.Max.X {
+		out = append(out, Rect2{Min: Vec2{ov.Max.X, r.Min.Y}, Max: r.Max})
+	}
+	// Bottom slab, restricted to the overlap's x-range.
+	if r.Min.Y < ov.Min.Y {
+		out = append(out, Rect2{Min: Vec2{ov.Min.X, r.Min.Y}, Max: Vec2{ov.Max.X, ov.Min.Y}})
+	}
+	// Top slab, restricted to the overlap's x-range.
+	if ov.Max.Y < r.Max.Y {
+		out = append(out, Rect2{Min: Vec2{ov.Min.X, ov.Max.Y}, Max: Vec2{ov.Max.X, r.Max.Y}})
+	}
+	return out
+}
+
+// Rect3 is a closed axis-aligned box in 3D object space. Minimum bounding
+// boxes of wavelet support regions are Rect3 values.
+type Rect3 struct {
+	Min, Max Vec3
+}
+
+// R3 constructs the box spanning the two corner points, normalizing
+// coordinate order.
+func R3(x0, y0, z0, x1, y1, z1 float64) Rect3 {
+	if x1 < x0 {
+		x0, x1 = x1, x0
+	}
+	if y1 < y0 {
+		y0, y1 = y1, y0
+	}
+	if z1 < z0 {
+		z0, z1 = z1, z0
+	}
+	return Rect3{Min: Vec3{x0, y0, z0}, Max: Vec3{x1, y1, z1}}
+}
+
+// Rect3At returns the degenerate box containing only p.
+func Rect3At(p Vec3) Rect3 { return Rect3{Min: p, Max: p} }
+
+// Empty reports whether r contains no points.
+func (r Rect3) Empty() bool {
+	return r.Max.X < r.Min.X || r.Max.Y < r.Min.Y || r.Max.Z < r.Min.Z
+}
+
+// Volume returns the volume of r (0 if empty or degenerate).
+func (r Rect3) Volume() float64 {
+	if r.Empty() {
+		return 0
+	}
+	return (r.Max.X - r.Min.X) * (r.Max.Y - r.Min.Y) * (r.Max.Z - r.Min.Z)
+}
+
+// Center returns the centroid of r.
+func (r Rect3) Center() Vec3 {
+	return Vec3{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2, (r.Min.Z + r.Max.Z) / 2}
+}
+
+// Contains reports whether p lies inside the closed box r.
+func (r Rect3) Contains(p Vec3) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X &&
+		p.Y >= r.Min.Y && p.Y <= r.Max.Y &&
+		p.Z >= r.Min.Z && p.Z <= r.Max.Z
+}
+
+// ContainsRect reports whether s lies entirely inside r.
+func (r Rect3) ContainsRect(s Rect3) bool {
+	if s.Empty() {
+		return true
+	}
+	return s.Min.X >= r.Min.X && s.Max.X <= r.Max.X &&
+		s.Min.Y >= r.Min.Y && s.Max.Y <= r.Max.Y &&
+		s.Min.Z >= r.Min.Z && s.Max.Z <= r.Max.Z
+}
+
+// Intersects reports whether r and s share at least one point.
+func (r Rect3) Intersects(s Rect3) bool {
+	if r.Empty() || s.Empty() {
+		return false
+	}
+	return r.Min.X <= s.Max.X && s.Min.X <= r.Max.X &&
+		r.Min.Y <= s.Max.Y && s.Min.Y <= r.Max.Y &&
+		r.Min.Z <= s.Max.Z && s.Min.Z <= r.Max.Z
+}
+
+// Union returns the smallest box covering both r and s.
+func (r Rect3) Union(s Rect3) Rect3 {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	return Rect3{
+		Min: Vec3{math.Min(r.Min.X, s.Min.X), math.Min(r.Min.Y, s.Min.Y), math.Min(r.Min.Z, s.Min.Z)},
+		Max: Vec3{math.Max(r.Max.X, s.Max.X), math.Max(r.Max.Y, s.Max.Y), math.Max(r.Max.Z, s.Max.Z)},
+	}
+}
+
+// AddPoint returns the smallest box covering r and p.
+func (r Rect3) AddPoint(p Vec3) Rect3 { return r.Union(Rect3At(p)) }
+
+// Expand grows r by d on every side.
+func (r Rect3) Expand(d float64) Rect3 {
+	return Rect3{
+		Min: Vec3{r.Min.X - d, r.Min.Y - d, r.Min.Z - d},
+		Max: Vec3{r.Max.X + d, r.Max.Y + d, r.Max.Z + d},
+	}
+}
+
+// Translate shifts r by d.
+func (r Rect3) Translate(d Vec3) Rect3 {
+	return Rect3{Min: r.Min.Add(d), Max: r.Max.Add(d)}
+}
+
+// XY projects r onto the ground plane.
+func (r Rect3) XY() Rect2 {
+	return Rect2{Min: r.Min.XY(), Max: r.Max.XY()}
+}
+
+// Prism lifts a ground-plane rectangle into a 3D box spanning [z0, z1].
+// Query frames become prisms when matched against 3D support regions.
+func Prism(r Rect2, z0, z1 float64) Rect3 {
+	return Rect3{Min: Vec3{r.Min.X, r.Min.Y, z0}, Max: Vec3{r.Max.X, r.Max.Y, z1}}
+}
+
+func (r Rect3) String() string {
+	return fmt.Sprintf("[%v %v]", r.Min, r.Max)
+}

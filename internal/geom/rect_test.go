@@ -1,0 +1,270 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRect2Basics(t *testing.T) {
+	r := R2(0, 0, 10, 5)
+	if r.Empty() {
+		t.Fatal("rect unexpectedly empty")
+	}
+	if r.Width() != 10 || r.Height() != 5 || r.Area() != 50 {
+		t.Errorf("dims = %v x %v area %v", r.Width(), r.Height(), r.Area())
+	}
+	if c := r.Center(); c != V2(5, 2.5) {
+		t.Errorf("center = %v", c)
+	}
+	// R2 normalizes corner order.
+	if got := R2(10, 5, 0, 0); got != r {
+		t.Errorf("R2 did not normalize: %v", got)
+	}
+}
+
+func TestRect2EmptySemantics(t *testing.T) {
+	empty := Rect2{Min: V2(1, 1), Max: V2(0, 0)}
+	if !empty.Empty() {
+		t.Fatal("expected empty")
+	}
+	if empty.Area() != 0 || empty.Width() != 0 || empty.Height() != 0 {
+		t.Error("empty rect should have zero measures")
+	}
+	r := R2(0, 0, 1, 1)
+	if empty.Intersects(r) || r.Intersects(empty) {
+		t.Error("empty rect should intersect nothing")
+	}
+	if got := r.Union(empty); got != r {
+		t.Errorf("union with empty = %v", got)
+	}
+	if got := empty.Union(r); got != r {
+		t.Errorf("empty union = %v", got)
+	}
+	if !r.ContainsRect(empty) {
+		t.Error("everything contains the empty rect")
+	}
+}
+
+func TestRect2ContainsIntersect(t *testing.T) {
+	r := R2(0, 0, 10, 10)
+	if !r.Contains(V2(0, 0)) || !r.Contains(V2(10, 10)) || !r.Contains(V2(5, 5)) {
+		t.Error("closed-rect containment failed")
+	}
+	if r.Contains(V2(10.001, 5)) {
+		t.Error("contains point outside")
+	}
+	s := R2(5, 5, 15, 15)
+	if !r.Intersects(s) {
+		t.Error("overlapping rects should intersect")
+	}
+	if got := r.Intersect(s); got != R2(5, 5, 10, 10) {
+		t.Errorf("intersect = %v", got)
+	}
+	// Touching edges intersect (closed rectangles).
+	u := R2(10, 0, 20, 10)
+	if !r.Intersects(u) {
+		t.Error("edge-touching rects should intersect")
+	}
+	if a := r.Intersect(u).Area(); a != 0 {
+		t.Errorf("touching intersection area = %v", a)
+	}
+	far := R2(20, 20, 30, 30)
+	if r.Intersects(far) {
+		t.Error("disjoint rects should not intersect")
+	}
+	if !r.ContainsRect(R2(1, 1, 9, 9)) {
+		t.Error("should contain inner rect")
+	}
+	if r.ContainsRect(s) {
+		t.Error("should not contain partially overlapping rect")
+	}
+}
+
+func TestRect2ExpandTranslate(t *testing.T) {
+	r := R2(0, 0, 10, 10)
+	if got := r.Expand(2); got != R2(-2, -2, 12, 12) {
+		t.Errorf("expand = %v", got)
+	}
+	if got := r.Translate(V2(5, -5)); got != R2(5, -5, 15, 5) {
+		t.Errorf("translate = %v", got)
+	}
+}
+
+func TestRectAround(t *testing.T) {
+	r := RectAround(V2(5, 5), 4)
+	if r != R2(3, 3, 7, 7) {
+		t.Errorf("RectAround = %v", r)
+	}
+	if c := r.Center(); c != V2(5, 5) {
+		t.Errorf("center = %v", c)
+	}
+}
+
+func TestDifferenceDisjointCases(t *testing.T) {
+	a := R2(0, 0, 10, 10)
+	// No overlap: whole rect returned.
+	got := a.Difference(R2(20, 20, 30, 30))
+	if len(got) != 1 || got[0] != a {
+		t.Errorf("disjoint difference = %v", got)
+	}
+	// Full cover: nothing left.
+	if got := a.Difference(R2(-1, -1, 11, 11)); len(got) != 0 {
+		t.Errorf("covered difference = %v", got)
+	}
+	// Self-difference is empty.
+	if got := a.Difference(a); len(got) != 0 {
+		t.Errorf("self difference = %v", got)
+	}
+}
+
+func TestDifferenceDiagonalMove(t *testing.T) {
+	// The paper's Fig. 3 scenario: the frame moves up-right; the new region
+	// is an L-shape decomposed into two rectangles split along x.
+	prev := R2(0, 0, 10, 10)
+	cur := R2(3, 4, 13, 14)
+	parts := cur.Difference(prev)
+	if len(parts) != 2 {
+		t.Fatalf("expected 2 parts, got %d: %v", len(parts), parts)
+	}
+	var area float64
+	for _, p := range parts {
+		area += p.Area()
+	}
+	want := cur.Area() - cur.Intersect(prev).Area()
+	if !approx(area, want) {
+		t.Errorf("difference area = %v want %v", area, want)
+	}
+}
+
+func TestDifferenceHoleProducesFourParts(t *testing.T) {
+	outer := R2(0, 0, 10, 10)
+	inner := R2(4, 4, 6, 6)
+	parts := outer.Difference(inner)
+	if len(parts) != 4 {
+		t.Fatalf("expected 4 parts, got %d", len(parts))
+	}
+	var area float64
+	for _, p := range parts {
+		area += p.Area()
+	}
+	if !approx(area, 100-4) {
+		t.Errorf("area = %v", area)
+	}
+}
+
+func randRect(r *rand.Rand) Rect2 {
+	return R2(r.Float64()*100, r.Float64()*100, r.Float64()*100, r.Float64()*100)
+}
+
+// TestDifferencePartitionProperty verifies the core invariant of the region
+// algebra that Algorithm 1 depends on: the pieces of A − B are pairwise
+// disjoint (zero-area pairwise intersections), contained in A, disjoint
+// from the interior of B, and their areas sum to area(A) − area(A∩B).
+func TestDifferencePartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		a, b := randRect(rng), randRect(rng)
+		parts := a.Difference(b)
+		var area float64
+		for pi, p := range parts {
+			if p.Empty() {
+				t.Fatalf("empty piece from %v - %v", a, b)
+			}
+			if !a.ContainsRect(p) {
+				t.Fatalf("piece %v outside A %v", p, a)
+			}
+			if p.Intersect(b).Area() > eps {
+				t.Fatalf("piece %v overlaps B %v", p, b)
+			}
+			for qi, q := range parts {
+				if pi != qi && p.Intersect(q).Area() > eps {
+					t.Fatalf("pieces %v and %v overlap", p, q)
+				}
+			}
+			area += p.Area()
+		}
+		want := a.Area() - a.Intersect(b).Area()
+		if math.Abs(area-want) > 1e-6*(1+want) {
+			t.Fatalf("area %v want %v for %v - %v", area, want, a, b)
+		}
+	}
+}
+
+func TestRect2UnionCommutativeQuick(t *testing.T) {
+	f := func(x0, y0, x1, y1, u0, v0, u1, v1 float64) bool {
+		a := R2(norm(x0), norm(y0), norm(x1), norm(y1))
+		b := R2(norm(u0), norm(v0), norm(u1), norm(v1))
+		ab, ba := a.Union(b), b.Union(a)
+		return ab == ba && ab.ContainsRect(a) && ab.ContainsRect(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// norm squashes an arbitrary float into a finite coordinate so quick-checks
+// exercise geometry rather than IEEE corner cases.
+func norm(f float64) float64 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0
+	}
+	return math.Mod(f, 1000)
+}
+
+func TestRect3Basics(t *testing.T) {
+	r := R3(0, 0, 0, 2, 3, 4)
+	if r.Volume() != 24 {
+		t.Errorf("volume = %v", r.Volume())
+	}
+	if c := r.Center(); c != V3(1, 1.5, 2) {
+		t.Errorf("center = %v", c)
+	}
+	if !r.Contains(V3(2, 3, 4)) || r.Contains(V3(2, 3, 4.1)) {
+		t.Error("containment boundary failed")
+	}
+	if got := R3(2, 3, 4, 0, 0, 0); got != r {
+		t.Errorf("R3 did not normalize: %v", got)
+	}
+	p := Rect3At(V3(1, 1, 1))
+	if p.Volume() != 0 || !p.Contains(V3(1, 1, 1)) {
+		t.Error("point box wrong")
+	}
+}
+
+func TestRect3SetOps(t *testing.T) {
+	a := R3(0, 0, 0, 10, 10, 10)
+	b := R3(5, 5, 5, 15, 15, 15)
+	if !a.Intersects(b) {
+		t.Error("should intersect")
+	}
+	u := a.Union(b)
+	if u != R3(0, 0, 0, 15, 15, 15) {
+		t.Errorf("union = %v", u)
+	}
+	if !u.ContainsRect(a) || !u.ContainsRect(b) {
+		t.Error("union should contain operands")
+	}
+	if a.Intersects(R3(11, 0, 0, 12, 1, 1)) {
+		t.Error("disjoint boxes intersect")
+	}
+	grown := a.AddPoint(V3(-1, 0, 20))
+	if !grown.Contains(V3(-1, 0, 20)) || !grown.ContainsRect(a) {
+		t.Error("AddPoint failed")
+	}
+}
+
+func TestPrismProjection(t *testing.T) {
+	q := R2(1, 2, 3, 4)
+	p := Prism(q, 0, 50)
+	if p.XY() != q {
+		t.Errorf("roundtrip = %v", p.XY())
+	}
+	if !p.Contains(V3(2, 3, 25)) {
+		t.Error("prism should contain interior point")
+	}
+	if p.Contains(V3(2, 3, 51)) {
+		t.Error("prism height bound violated")
+	}
+}

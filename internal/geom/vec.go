@@ -1,0 +1,122 @@
+// Package geom provides the low-level vector and axis-aligned rectangle
+// algebra used throughout the motion-aware retrieval system: 2D client
+// positions and query frames, 3D object geometry, and the rectangle set
+// operations (intersection, difference decomposition, grid mapping) that
+// Algorithm 1 of the paper relies on.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec2 is a point or displacement in the 2D ground plane the client
+// navigates. Query frames and buffer blocks live in this plane.
+type Vec2 struct {
+	X, Y float64
+}
+
+// V2 is shorthand for constructing a Vec2.
+func V2(x, y float64) Vec2 { return Vec2{X: x, Y: y} }
+
+// Add returns v + u.
+func (v Vec2) Add(u Vec2) Vec2 { return Vec2{v.X + u.X, v.Y + u.Y} }
+
+// Sub returns v − u.
+func (v Vec2) Sub(u Vec2) Vec2 { return Vec2{v.X - u.X, v.Y - u.Y} }
+
+// Scale returns v scaled by s.
+func (v Vec2) Scale(s float64) Vec2 { return Vec2{v.X * s, v.Y * s} }
+
+// Dot returns the dot product v·u.
+func (v Vec2) Dot(u Vec2) float64 { return v.X*u.X + v.Y*u.Y }
+
+// Len returns the Euclidean norm of v.
+func (v Vec2) Len() float64 { return math.Hypot(v.X, v.Y) }
+
+// Dist returns the Euclidean distance between v and u.
+func (v Vec2) Dist(u Vec2) float64 { return v.Sub(u).Len() }
+
+// Normalize returns v scaled to unit length. The zero vector is returned
+// unchanged.
+func (v Vec2) Normalize() Vec2 {
+	l := v.Len()
+	if l == 0 {
+		return v
+	}
+	return v.Scale(1 / l)
+}
+
+// Angle returns the polar angle of v in [0, 2π).
+func (v Vec2) Angle() float64 {
+	a := math.Atan2(v.Y, v.X)
+	if a < 0 {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// Lerp linearly interpolates between v (t=0) and u (t=1).
+func (v Vec2) Lerp(u Vec2, t float64) Vec2 {
+	return Vec2{v.X + (u.X-v.X)*t, v.Y + (u.Y-v.Y)*t}
+}
+
+func (v Vec2) String() string { return fmt.Sprintf("(%.4g, %.4g)", v.X, v.Y) }
+
+// Vec3 is a point or displacement in 3D object space. Mesh vertices and
+// wavelet coefficient displacements are Vec3 values.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V3 is shorthand for constructing a Vec3.
+func V3(x, y, z float64) Vec3 { return Vec3{X: x, Y: y, Z: z} }
+
+// Add returns v + u.
+func (v Vec3) Add(u Vec3) Vec3 { return Vec3{v.X + u.X, v.Y + u.Y, v.Z + u.Z} }
+
+// Sub returns v − u.
+func (v Vec3) Sub(u Vec3) Vec3 { return Vec3{v.X - u.X, v.Y - u.Y, v.Z - u.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns the dot product v·u.
+func (v Vec3) Dot(u Vec3) float64 { return v.X*u.X + v.Y*u.Y + v.Z*u.Z }
+
+// Cross returns the cross product v×u.
+func (v Vec3) Cross(u Vec3) Vec3 {
+	return Vec3{
+		v.Y*u.Z - v.Z*u.Y,
+		v.Z*u.X - v.X*u.Z,
+		v.X*u.Y - v.Y*u.X,
+	}
+}
+
+// Len returns the Euclidean norm of v.
+func (v Vec3) Len() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Dist returns the Euclidean distance between v and u.
+func (v Vec3) Dist(u Vec3) float64 { return v.Sub(u).Len() }
+
+// Normalize returns v scaled to unit length. The zero vector is returned
+// unchanged.
+func (v Vec3) Normalize() Vec3 {
+	l := v.Len()
+	if l == 0 {
+		return v
+	}
+	return v.Scale(1 / l)
+}
+
+// Mid returns the midpoint of v and u. Subdivision inserts new vertices at
+// edge midpoints; the wavelet coefficient of such a vertex is its
+// displacement from this midpoint.
+func (v Vec3) Mid(u Vec3) Vec3 {
+	return Vec3{(v.X + u.X) / 2, (v.Y + u.Y) / 2, (v.Z + u.Z) / 2}
+}
+
+// XY projects v onto the ground plane.
+func (v Vec3) XY() Vec2 { return Vec2{v.X, v.Y} }
+
+func (v Vec3) String() string { return fmt.Sprintf("(%.4g, %.4g, %.4g)", v.X, v.Y, v.Z) }

@@ -1,0 +1,150 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func approx(a, b float64) bool { return math.Abs(a-b) <= eps*(1+math.Abs(a)+math.Abs(b)) }
+
+func TestVec2Arithmetic(t *testing.T) {
+	a := V2(1, 2)
+	b := V2(3, -4)
+	if got := a.Add(b); got != V2(4, -2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V2(-2, 6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V2(2, 4) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 3-8 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := b.Len(); got != 5 {
+		t.Errorf("Len = %v", got)
+	}
+	if got := a.Dist(a); got != 0 {
+		t.Errorf("Dist(self) = %v", got)
+	}
+}
+
+func TestVec2Normalize(t *testing.T) {
+	v := V2(3, 4).Normalize()
+	if !approx(v.Len(), 1) {
+		t.Errorf("normalized length = %v", v.Len())
+	}
+	if z := V2(0, 0).Normalize(); z != V2(0, 0) {
+		t.Errorf("zero normalize = %v", z)
+	}
+}
+
+func TestVec2Angle(t *testing.T) {
+	cases := []struct {
+		v    Vec2
+		want float64
+	}{
+		{V2(1, 0), 0},
+		{V2(0, 1), math.Pi / 2},
+		{V2(-1, 0), math.Pi},
+		{V2(0, -1), 3 * math.Pi / 2},
+	}
+	for _, c := range cases {
+		if got := c.v.Angle(); !approx(got, c.want) {
+			t.Errorf("Angle(%v) = %v want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestVec2Lerp(t *testing.T) {
+	a, b := V2(0, 0), V2(10, 20)
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp 0 = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp 1 = %v", got)
+	}
+	if got := a.Lerp(b, 0.5); got != V2(5, 10) {
+		t.Errorf("Lerp 0.5 = %v", got)
+	}
+}
+
+func TestVec3Arithmetic(t *testing.T) {
+	a := V3(1, 2, 3)
+	b := V3(-1, 0, 2)
+	if got := a.Add(b); got != V3(0, 2, 5) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V3(2, 2, 1) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Dot(b); got != -1+0+6 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Mid(b); got != V3(0, 1, 2.5) {
+		t.Errorf("Mid = %v", got)
+	}
+	if got := a.XY(); got != V2(1, 2) {
+		t.Errorf("XY = %v", got)
+	}
+}
+
+func TestVec3Cross(t *testing.T) {
+	x, y, z := V3(1, 0, 0), V3(0, 1, 0), V3(0, 0, 1)
+	if got := x.Cross(y); got != z {
+		t.Errorf("x×y = %v", got)
+	}
+	if got := y.Cross(z); got != x {
+		t.Errorf("y×z = %v", got)
+	}
+	if got := z.Cross(x); got != y {
+		t.Errorf("z×x = %v", got)
+	}
+}
+
+func TestVec3CrossOrthogonal(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := V3(norm(ax), norm(ay), norm(az))
+		b := V3(norm(bx), norm(by), norm(bz))
+		c := a.Cross(b)
+		// c ⟂ a and c ⟂ b, within floating tolerance scaled by magnitudes.
+		tol := 1e-6 * (1 + a.Len()*b.Len()*(a.Len()+b.Len()))
+		return math.Abs(c.Dot(a)) <= tol && math.Abs(c.Dot(b)) <= tol
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVec3NormalizeProperty(t *testing.T) {
+	f := func(x, y, z float64) bool {
+		v := V3(x, y, z)
+		if !isFinite3(v) || v.Len() == 0 || v.Len() > 1e150 {
+			return true
+		}
+		n := v.Normalize()
+		return math.Abs(n.Len()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func isFinite3(v Vec3) bool {
+	ok := func(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+	return ok(v.X) && ok(v.Y) && ok(v.Z)
+}
+
+func TestVecStrings(t *testing.T) {
+	if s := V2(1, 2).String(); s == "" {
+		t.Error("empty Vec2 string")
+	}
+	if s := V3(1, 2, 3).String(); s == "" {
+		t.Error("empty Vec3 string")
+	}
+}

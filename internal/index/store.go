@@ -1,0 +1,206 @@
+// Package index implements the access methods of paper §VI over
+// wavelet-decomposed 3D objects: the motion-aware index (an R*-tree over
+// support-region MBBs extended with the coefficient-value dimension), the
+// naive point index it is compared against (which must re-execute enlarged
+// queries to pull in neighboring vertices), and the whole-object index the
+// non-multiresolution baseline system of §VII-E uses. All three report
+// node I/O per query.
+package index
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/wavelet"
+)
+
+// Store is the server-side collection of decomposed objects. It assigns
+// every coefficient a dense global id: the object's offset plus the
+// coefficient's vertex id. (Decompose assigns vertex ids sequentially, so
+// Coeffs[i].Vertex == i; Store relies on that.)
+type Store struct {
+	Objects   []*wavelet.Decomposition
+	offsets   []int64
+	total     int64
+	neighbors [][][]int32 // final-mesh adjacency per object; built on demand
+}
+
+// NewStore builds a store over the given decompositions. Object ids must
+// equal their slice positions; Decompose output is verified to satisfy the
+// dense-vertex-id assumption.
+func NewStore(objects []*wavelet.Decomposition) *Store {
+	s := &Store{Objects: objects, offsets: make([]int64, len(objects))}
+	for i, d := range objects {
+		if d.Object != int32(i) {
+			panic(fmt.Sprintf("index: object %d stored at position %d", d.Object, i))
+		}
+		for j := range d.Coeffs {
+			if d.Coeffs[j].Vertex != int32(j) {
+				panic(fmt.Sprintf("index: object %d coefficient %d has vertex %d",
+					i, j, d.Coeffs[j].Vertex))
+			}
+		}
+		s.offsets[i] = s.total
+		s.total += int64(len(d.Coeffs))
+	}
+	s.neighbors = make([][][]int32, len(objects))
+	return s
+}
+
+// NumObjects returns the number of stored objects.
+func (s *Store) NumObjects() int { return len(s.Objects) }
+
+// NumCoeffs returns the total coefficient count across all objects.
+func (s *Store) NumCoeffs() int64 { return s.total }
+
+// SizeBytes returns the total serialized payload of the store — the
+// "data set size" of the paper's experiments (20–80 MB).
+func (s *Store) SizeBytes() int64 { return s.total * wavelet.WireBytes }
+
+// ID returns the global id of a coefficient.
+func (s *Store) ID(object, vertex int32) int64 {
+	return s.offsets[object] + int64(vertex)
+}
+
+// Coeff resolves a global id.
+func (s *Store) Coeff(id int64) *wavelet.Coefficient {
+	obj := s.objectOf(id)
+	return &s.Objects[obj].Coeffs[id-s.offsets[obj]]
+}
+
+// objectOf finds the object owning a global id by binary search over the
+// offsets.
+func (s *Store) objectOf(id int64) int {
+	lo, hi := 0, len(s.offsets)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if s.offsets[mid] <= id {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// EnsureNeighbors computes and caches the final-mesh vertex adjacency for
+// every object. The naive index needs it; it must run before DropFinal.
+func (s *Store) EnsureNeighbors() {
+	for i, d := range s.Objects {
+		if s.neighbors[i] != nil {
+			continue
+		}
+		if d.Final == nil {
+			panic(fmt.Sprintf("index: object %d final mesh dropped before EnsureNeighbors", i))
+		}
+		s.neighbors[i] = d.Final.VertexNeighbors()
+	}
+}
+
+// Neighbors returns the final-mesh neighbor vertex ids of one coefficient.
+// EnsureNeighbors must have run.
+func (s *Store) Neighbors(object, vertex int32) []int32 {
+	nb := s.neighbors[object]
+	if nb == nil {
+		panic("index: EnsureNeighbors not called")
+	}
+	return nb[vertex]
+}
+
+// DropFinals releases every object's refined mesh (after neighbor lists
+// have been built if the naive index is in use).
+func (s *Store) DropFinals() {
+	for _, d := range s.Objects {
+		d.DropFinal()
+	}
+}
+
+// Bounds returns the bounding box of all objects.
+func (s *Store) Bounds() geom.Rect3 {
+	var b geom.Rect3
+	empty := true
+	for _, d := range s.Objects {
+		if empty {
+			b = d.Bounds()
+			empty = false
+		} else {
+			b = b.Union(d.Bounds())
+		}
+	}
+	return b
+}
+
+// Layout selects which dimensions the index rectangles use. The paper
+// designs a 4D (x, y, z, w) index in §VI-B but evaluates a 3D (x, y, w)
+// R*-tree in §VII-D; both are supported.
+type Layout int
+
+const (
+	// XYW indexes ground-plane extent plus coefficient value (3D).
+	XYW Layout = iota
+	// XYZW indexes full 3D extent plus coefficient value (4D).
+	XYZW
+)
+
+func (l Layout) String() string {
+	if l == XYW {
+		return "xyw"
+	}
+	return "xyzw"
+}
+
+// Dims returns the R-tree dimensionality of the layout.
+func (l Layout) Dims() int {
+	if l == XYW {
+		return 3
+	}
+	return 4
+}
+
+// supportRect converts a coefficient's support-region MBB and value into
+// an index rectangle.
+func (l Layout) supportRect(c *wavelet.Coefficient) rtree.Rect {
+	if l == XYW {
+		return rtree.FromXYW(c.Support.XY(), c.Value, c.Value)
+	}
+	return rtree.From3D(c.Support, c.Value, c.Value)
+}
+
+// pointRect converts a coefficient's vertex position and value into a
+// degenerate index rectangle (the naive storage format).
+func (l Layout) pointRect(c *wavelet.Coefficient) rtree.Rect {
+	if l == XYW {
+		return rtree.Point(c.Pos.X, c.Pos.Y, c.Value)
+	}
+	return rtree.Point(c.Pos.X, c.Pos.Y, c.Pos.Z, c.Value)
+}
+
+// Query is the continuous window query of the paper: a region of interest
+// and the value band [WMin, WMax] of the coefficients needed for the
+// target resolution. WMin = 0, WMax = 1 retrieves the finest resolution;
+// WMin = WMax = 1 the coarsest (§VI-B).
+type Query struct {
+	Region geom.Rect2 // ground-plane window
+	ZMin   float64    // height band, used by the XYZW layout
+	ZMax   float64
+	WMin   float64
+	WMax   float64
+}
+
+// rect converts the query into an index rectangle.
+func (l Layout) queryRect(q Query) rtree.Rect {
+	if l == XYW {
+		return rtree.FromXYW(q.Region, q.WMin, q.WMax)
+	}
+	return rtree.From3D(geom.Prism(q.Region, q.ZMin, q.ZMax), q.WMin, q.WMax)
+}
+
+// Index is a queryable access method over a Store. Search returns the
+// global coefficient ids satisfying the query and the number of index
+// nodes (pages) read.
+type Index interface {
+	Name() string
+	Search(q Query) (ids []int64, io int64)
+	Len() int
+}

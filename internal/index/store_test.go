@@ -1,0 +1,72 @@
+package index
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+func TestObjectOfBinarySearch(t *testing.T) {
+	s := testStore(t, 7, 20)
+	// Every boundary id must resolve to the right object: first and last
+	// coefficient of each object.
+	var offset int64
+	for obj := 0; obj < 7; obj++ {
+		n := int64(len(s.Objects[obj].Coeffs))
+		first := s.Coeff(offset)
+		last := s.Coeff(offset + n - 1)
+		if first.Object != int32(obj) || first.Vertex != 0 {
+			t.Fatalf("object %d first: %v", obj, first)
+		}
+		if last.Object != int32(obj) || last.Vertex != int32(n-1) {
+			t.Fatalf("object %d last: %v", obj, last)
+		}
+		offset += n
+	}
+}
+
+func TestNewStoreRejectsMisnumberedObjects(t *testing.T) {
+	s := testStore(t, 2, 21)
+	objs := s.Objects
+	objs[0], objs[1] = objs[1], objs[0] // ids no longer match positions
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for misnumbered objects")
+		}
+	}()
+	NewStore(objs)
+}
+
+func TestXYZWZBandFiltering(t *testing.T) {
+	s := testStore(t, 6, 22)
+	idx := NewMotionAware(s, XYZW, rtree.Config{})
+	region := geom.R2(0, 0, 1000, 1000)
+	// The full z band sees everything the ground layout sees.
+	all, _ := idx.Search(Query{Region: region, ZMin: -1e9, ZMax: 1e9, WMin: 0, WMax: 1})
+	if int64(len(all)) != s.NumCoeffs() {
+		t.Fatalf("full z band returned %d of %d", len(all), s.NumCoeffs())
+	}
+	// A ground-level slice excludes coefficients whose support lies
+	// entirely above it.
+	low, _ := idx.Search(Query{Region: region, ZMin: 0, ZMax: 2, WMin: 0, WMax: 1})
+	if len(low) == 0 || len(low) >= len(all) {
+		t.Fatalf("low slice returned %d of %d", len(low), len(all))
+	}
+	for _, id := range low {
+		if s.Coeff(id).Support.Min.Z > 2 {
+			t.Fatalf("coefficient above the z band returned")
+		}
+	}
+	// An empty band above all buildings returns nothing.
+	sky, _ := idx.Search(Query{Region: region, ZMin: 1e6, ZMax: 2e6, WMin: 0, WMax: 1})
+	if len(sky) != 0 {
+		t.Fatalf("sky band returned %d", len(sky))
+	}
+}
+
+func TestLayoutStrings(t *testing.T) {
+	if XYW.String() != "xyw" || XYZW.String() != "xyzw" {
+		t.Error("layout names")
+	}
+}

@@ -1,0 +1,60 @@
+package mesh
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadOBJ checks the OBJ parser's totality: any input must produce
+// either an error or a mesh that passes Validate (ReadOBJ promises
+// validated output). Run with `go test -fuzz=FuzzReadOBJ ./internal/mesh`
+// to explore; the seed corpus runs in the normal suite.
+func FuzzReadOBJ(f *testing.F) {
+	var octa bytes.Buffer
+	WriteOBJ(&octa, Octahedron())
+	f.Add(octa.String())
+	f.Add("v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1 2 3\n")
+	f.Add("v 0 0 0\nv 1 0 0\nv 0 1 0\nv 1 1 0\nf 1 2 3 4\n")
+	f.Add("f 1 2 3\n")
+	f.Add("# comment only\n")
+	f.Add("v 1e400 0 0\nv 1 0 0\nv 0 1 0\nf -1 -2 -3\n")
+	f.Add("v a b c\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ReadOBJ(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if verr := m.Validate(); verr != nil {
+			t.Fatalf("ReadOBJ returned an invalid mesh: %v", verr)
+		}
+	})
+}
+
+// FuzzWavefrontRoundtrip: any mesh the parser accepts must survive a
+// write/read cycle with identical topology.
+func FuzzWavefrontRoundtrip(f *testing.F) {
+	var box bytes.Buffer
+	WriteOBJ(&box, Box())
+	f.Add(box.String())
+
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ReadOBJ(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteOBJ(&buf, m); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		got, err := ReadOBJ(&buf)
+		if err != nil {
+			t.Fatalf("reread: %v", err)
+		}
+		if got.NumVerts() != m.NumVerts() || got.NumFaces() != m.NumFaces() {
+			t.Fatalf("roundtrip %d/%d vs %d/%d",
+				got.NumVerts(), got.NumFaces(), m.NumVerts(), m.NumFaces())
+		}
+	})
+}

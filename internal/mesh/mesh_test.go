@@ -1,0 +1,158 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestPrimitivesValid(t *testing.T) {
+	for name, m := range map[string]*Mesh{
+		"tetrahedron": Tetrahedron(),
+		"octahedron":  Octahedron(),
+		"icosahedron": Icosahedron(),
+		"box":         Box(),
+	} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if chi := m.EulerCharacteristic(); chi != 2 {
+			t.Errorf("%s: Euler characteristic = %d, want 2", name, chi)
+		}
+	}
+}
+
+func TestPrimitiveCounts(t *testing.T) {
+	cases := []struct {
+		name    string
+		m       *Mesh
+		v, e, f int
+	}{
+		{"tetrahedron", Tetrahedron(), 4, 6, 4},
+		{"octahedron", Octahedron(), 6, 12, 8},
+		{"icosahedron", Icosahedron(), 12, 30, 20},
+		{"box", Box(), 8, 18, 12},
+	}
+	for _, c := range cases {
+		if c.m.NumVerts() != c.v || c.m.NumEdges() != c.e || c.m.NumFaces() != c.f {
+			t.Errorf("%s: V/E/F = %d/%d/%d want %d/%d/%d",
+				c.name, c.m.NumVerts(), c.m.NumEdges(), c.m.NumFaces(), c.v, c.e, c.f)
+		}
+	}
+}
+
+func TestUnitSphereInscribed(t *testing.T) {
+	for name, m := range map[string]*Mesh{
+		"tetrahedron": Tetrahedron(),
+		"octahedron":  Octahedron(),
+		"icosahedron": Icosahedron(),
+	} {
+		for i, v := range m.Verts {
+			if math.Abs(v.Len()-1) > 1e-12 {
+				t.Errorf("%s vertex %d has norm %v", name, i, v.Len())
+			}
+		}
+	}
+}
+
+func TestMakeEdgeCanonical(t *testing.T) {
+	if MakeEdge(3, 1) != MakeEdge(1, 3) {
+		t.Error("edge not canonicalized")
+	}
+	e := MakeEdge(5, 2)
+	if e.A != 2 || e.B != 5 {
+		t.Errorf("edge = %+v", e)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := Octahedron()
+	c := m.Clone()
+	c.Verts[0] = geom.V3(99, 99, 99)
+	c.Faces[0] = [3]int32{1, 2, 3}
+	if m.Verts[0] == c.Verts[0] || m.Faces[0] == c.Faces[0] {
+		t.Error("clone shares storage with original")
+	}
+}
+
+func TestVertexNeighborsOctahedron(t *testing.T) {
+	nb := Octahedron().VertexNeighbors()
+	// Every octahedron vertex has 4 neighbors; the two poles (4, 5) connect
+	// to all equatorial vertices.
+	for i, l := range nb {
+		if len(l) != 4 {
+			t.Errorf("vertex %d has %d neighbors", i, len(l))
+		}
+	}
+	// Antipodal vertices are not adjacent.
+	for _, v := range nb[0] {
+		if v == 1 {
+			t.Error("vertices 0 and 1 are antipodal yet adjacent")
+		}
+	}
+}
+
+func TestFacesAround(t *testing.T) {
+	fa := Octahedron().FacesAround()
+	total := 0
+	for _, l := range fa {
+		total += len(l)
+	}
+	// Each of 8 faces contributes 3 incidences.
+	if total != 24 {
+		t.Errorf("total incidences = %d", total)
+	}
+	for i, l := range fa {
+		if len(l) != 4 {
+			t.Errorf("vertex %d on %d faces", i, len(l))
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	b := Box().Bounds()
+	want := geom.R3(-0.5, -0.5, -0.5, 0.5, 0.5, 0.5)
+	if b != want {
+		t.Errorf("bounds = %v", b)
+	}
+	empty := (&Mesh{}).Bounds()
+	if !empty.Empty() {
+		t.Error("empty mesh should have empty bounds")
+	}
+}
+
+func TestTranslateScale(t *testing.T) {
+	m := Box().Translate(geom.V3(10, 0, 0))
+	if c := m.Bounds().Center(); c.Dist(geom.V3(10, 0, 0)) > 1e-12 {
+		t.Errorf("translated center = %v", c)
+	}
+	m = Box().Scale(2)
+	if v := m.Bounds().Volume(); math.Abs(v-8) > 1e-12 {
+		t.Errorf("scaled volume = %v", v)
+	}
+}
+
+func TestValidateCatchesBadFaces(t *testing.T) {
+	m := &Mesh{
+		Verts: []geom.Vec3{{}, {}, {}},
+		Faces: [][3]int32{{0, 1, 5}},
+	}
+	if m.Validate() == nil {
+		t.Error("out-of-range face not caught")
+	}
+	m.Faces = [][3]int32{{0, 1, 1}}
+	if m.Validate() == nil {
+		t.Error("degenerate face not caught")
+	}
+	m.Faces = [][3]int32{{0, 1, 2}}
+	if err := m.Validate(); err != nil {
+		t.Errorf("valid mesh rejected: %v", err)
+	}
+}
+
+func TestSurfaceAreaBox(t *testing.T) {
+	if a := Box().SurfaceArea(); math.Abs(a-6) > 1e-12 {
+		t.Errorf("box surface area = %v", a)
+	}
+}

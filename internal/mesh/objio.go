@@ -1,0 +1,98 @@
+package mesh
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// WriteOBJ serializes m in Wavefront OBJ format (vertices then triangular
+// faces, 1-based indices). Only geometry is emitted; normals and texture
+// coordinates are not part of this pipeline.
+func WriteOBJ(w io.Writer, m *Mesh) error {
+	bw := bufio.NewWriter(w)
+	for _, v := range m.Verts {
+		if _, err := fmt.Fprintf(bw, "v %g %g %g\n", v.X, v.Y, v.Z); err != nil {
+			return err
+		}
+	}
+	for _, f := range m.Faces {
+		if _, err := fmt.Fprintf(bw, "f %d %d %d\n", f[0]+1, f[1]+1, f[2]+1); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadOBJ parses a Wavefront OBJ stream into a Mesh. Supported elements:
+// `v x y z` vertices and `f a b c [d…]` faces — polygons are fan-
+// triangulated; `vt`/`vn`/`g`/`o`/`s`/`mtllib`/`usemtl` lines and
+// comments are skipped; `a/b/c`-style face corners use the vertex index
+// before the first slash. Negative (relative) indices follow the OBJ
+// spec. The mesh is validated before returning.
+func ReadOBJ(r io.Reader) (*Mesh, error) {
+	m := &Mesh{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "v":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("mesh: obj line %d: vertex needs 3 coordinates", lineNo)
+			}
+			var c [3]float64
+			for i := 0; i < 3; i++ {
+				f, err := strconv.ParseFloat(fields[i+1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("mesh: obj line %d: %v", lineNo, err)
+				}
+				c[i] = f
+			}
+			m.Verts = append(m.Verts, geom.V3(c[0], c[1], c[2]))
+		case "f":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("mesh: obj line %d: face needs ≥ 3 corners", lineNo)
+			}
+			idx := make([]int32, 0, len(fields)-1)
+			for _, tok := range fields[1:] {
+				if i := strings.IndexByte(tok, '/'); i >= 0 {
+					tok = tok[:i]
+				}
+				n, err := strconv.Atoi(tok)
+				if err != nil {
+					return nil, fmt.Errorf("mesh: obj line %d: %v", lineNo, err)
+				}
+				if n < 0 {
+					n = len(m.Verts) + n + 1 // relative indexing
+				}
+				if n < 1 || n > len(m.Verts) {
+					return nil, fmt.Errorf("mesh: obj line %d: vertex index %d out of range", lineNo, n)
+				}
+				idx = append(idx, int32(n-1))
+			}
+			for i := 1; i+1 < len(idx); i++ {
+				m.Faces = append(m.Faces, [3]int32{idx[0], idx[i], idx[i+1]})
+			}
+		default:
+			// vt, vn, g, o, s, usemtl, mtllib, …: irrelevant here.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,129 @@
+package mesh
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestOBJRoundtrip(t *testing.T) {
+	for name, m := range map[string]*Mesh{
+		"octahedron":  Octahedron(),
+		"icosahedron": Icosahedron(),
+		"box":         Box(),
+	} {
+		var buf bytes.Buffer
+		if err := WriteOBJ(&buf, m); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		got, err := ReadOBJ(&buf)
+		if err != nil {
+			t.Fatalf("%s: read: %v", name, err)
+		}
+		if got.NumVerts() != m.NumVerts() || got.NumFaces() != m.NumFaces() {
+			t.Fatalf("%s: %d/%d vs %d/%d", name,
+				got.NumVerts(), got.NumFaces(), m.NumVerts(), m.NumFaces())
+		}
+		for i := range m.Verts {
+			if got.Verts[i].Dist(m.Verts[i]) > 1e-12 {
+				t.Fatalf("%s: vertex %d moved", name, i)
+			}
+		}
+		for i := range m.Faces {
+			if got.Faces[i] != m.Faces[i] {
+				t.Fatalf("%s: face %d differs", name, i)
+			}
+		}
+	}
+}
+
+func TestReadOBJQuadTriangulation(t *testing.T) {
+	src := `
+# a unit quad
+v 0 0 0
+v 1 0 0
+v 1 1 0
+v 0 1 0
+f 1 2 3 4
+`
+	m, err := ReadOBJ(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumFaces() != 2 {
+		t.Fatalf("quad produced %d triangles", m.NumFaces())
+	}
+}
+
+func TestReadOBJSlashCornersAndComments(t *testing.T) {
+	src := `
+mtllib foo.mtl
+o thing
+v 0 0 0
+v 1 0 0
+v 0 1 0
+vt 0 0
+vn 0 0 1
+usemtl green
+f 1/1/1 2/1/1 3/1/1
+`
+	m, err := ReadOBJ(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumVerts() != 3 || m.NumFaces() != 1 {
+		t.Fatalf("got %d/%d", m.NumVerts(), m.NumFaces())
+	}
+}
+
+func TestReadOBJNegativeIndices(t *testing.T) {
+	src := `
+v 0 0 0
+v 1 0 0
+v 0 1 0
+f -3 -2 -1
+`
+	m, err := ReadOBJ(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Faces[0] != [3]int32{0, 1, 2} {
+		t.Fatalf("face = %v", m.Faces[0])
+	}
+}
+
+func TestReadOBJErrors(t *testing.T) {
+	cases := map[string]string{
+		"short vertex": "v 1 2\n",
+		"bad float":    "v a b c\n",
+		"short face":   "v 0 0 0\nv 1 0 0\nf 1 2\n",
+		"bad index":    "v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1 2 9\n",
+		"bad int":      "v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1 2 x\n",
+		"degenerate":   "v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1 1 2\n",
+		"zero index":   "v 0 0 0\nv 1 0 0\nv 0 1 0\nf 0 1 2\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadOBJ(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestOBJRoundtripSubdivided(t *testing.T) {
+	s := Sphere{Radius: 3}
+	m, _ := Refine(Octahedron(), s, 3)
+	var buf bytes.Buffer
+	if err := WriteOBJ(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadOBJ(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.EulerCharacteristic() != 2 {
+		t.Errorf("chi = %d", got.EulerCharacteristic())
+	}
+	if got.NumFaces() != m.NumFaces() {
+		t.Errorf("faces %d vs %d", got.NumFaces(), m.NumFaces())
+	}
+}

@@ -1,0 +1,97 @@
+package mesh
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Tetrahedron returns a regular tetrahedron inscribed in the unit sphere.
+// With 4 vertices it is the smallest closed base mesh and is handy in
+// tests.
+func Tetrahedron() *Mesh {
+	s := 1.0 / math.Sqrt(3)
+	return &Mesh{
+		Verts: []geom.Vec3{
+			geom.V3(s, s, s),
+			geom.V3(s, -s, -s),
+			geom.V3(-s, s, -s),
+			geom.V3(-s, -s, s),
+		},
+		Faces: [][3]int32{
+			{0, 1, 2},
+			{0, 3, 1},
+			{0, 2, 3},
+			{1, 3, 2},
+		},
+	}
+}
+
+// Octahedron returns a regular octahedron inscribed in the unit sphere.
+// It is the default base mesh for generated objects: its 8 faces reach
+// 8·4^6 = 32768 faces at level 6, giving the ~200 KB per-object payload
+// the paper's dataset sizing implies.
+func Octahedron() *Mesh {
+	return &Mesh{
+		Verts: []geom.Vec3{
+			geom.V3(1, 0, 0),
+			geom.V3(-1, 0, 0),
+			geom.V3(0, 1, 0),
+			geom.V3(0, -1, 0),
+			geom.V3(0, 0, 1),
+			geom.V3(0, 0, -1),
+		},
+		Faces: [][3]int32{
+			{0, 2, 4}, {2, 1, 4}, {1, 3, 4}, {3, 0, 4},
+			{2, 0, 5}, {1, 2, 5}, {3, 1, 5}, {0, 3, 5},
+		},
+	}
+}
+
+// Icosahedron returns a regular icosahedron inscribed in the unit sphere.
+// Its 20 faces give the smoothest sphere approximations per level.
+func Icosahedron() *Mesh {
+	phi := (1 + math.Sqrt(5)) / 2
+	n := math.Sqrt(1 + phi*phi)
+	a, b := 1/n, phi/n
+	return &Mesh{
+		Verts: []geom.Vec3{
+			geom.V3(-a, b, 0), geom.V3(a, b, 0), geom.V3(-a, -b, 0), geom.V3(a, -b, 0),
+			geom.V3(0, -a, b), geom.V3(0, a, b), geom.V3(0, -a, -b), geom.V3(0, a, -b),
+			geom.V3(b, 0, -a), geom.V3(b, 0, a), geom.V3(-b, 0, -a), geom.V3(-b, 0, a),
+		},
+		Faces: [][3]int32{
+			{0, 11, 5}, {0, 5, 1}, {0, 1, 7}, {0, 7, 10}, {0, 10, 11},
+			{1, 5, 9}, {5, 11, 4}, {11, 10, 2}, {10, 7, 6}, {7, 1, 8},
+			{3, 9, 4}, {3, 4, 2}, {3, 2, 6}, {3, 6, 8}, {3, 8, 9},
+			{4, 9, 5}, {2, 4, 11}, {6, 2, 10}, {8, 6, 7}, {9, 8, 1},
+		},
+	}
+}
+
+// Box returns a unit cube centered at the origin, each square face split
+// into two triangles. Buildings use boxes stretched along z as their base
+// mesh.
+func Box() *Mesh {
+	v := []geom.Vec3{
+		geom.V3(-0.5, -0.5, -0.5), // 0
+		geom.V3(0.5, -0.5, -0.5),  // 1
+		geom.V3(0.5, 0.5, -0.5),   // 2
+		geom.V3(-0.5, 0.5, -0.5),  // 3
+		geom.V3(-0.5, -0.5, 0.5),  // 4
+		geom.V3(0.5, -0.5, 0.5),   // 5
+		geom.V3(0.5, 0.5, 0.5),    // 6
+		geom.V3(-0.5, 0.5, 0.5),   // 7
+	}
+	return &Mesh{
+		Verts: v,
+		Faces: [][3]int32{
+			{0, 2, 1}, {0, 3, 2}, // bottom (z = −0.5)
+			{4, 5, 6}, {4, 6, 7}, // top
+			{0, 1, 5}, {0, 5, 4}, // front (y = −0.5)
+			{2, 3, 7}, {2, 7, 6}, // back
+			{1, 2, 6}, {1, 6, 5}, // right (x = +0.5)
+			{3, 0, 4}, {3, 4, 7}, // left
+		},
+	}
+}

@@ -1,0 +1,85 @@
+package mesh
+
+import "repro/internal/geom"
+
+// Split records one vertex introduced by a subdivision step: the new
+// vertex's index in the finer mesh and the parent edge whose midpoint it
+// occupies. The wavelet decomposition turns each Split into one
+// coefficient (the displacement of the new vertex from the edge midpoint).
+type Split struct {
+	Vertex int32 // index of the new vertex in the subdivided mesh
+	Parent Edge  // edge of the coarser mesh it bisects
+}
+
+// Subdivide performs one regular 1→4 subdivision step (paper Fig. 1b):
+// every edge gains a midpoint vertex and every triangle (a, b, c) is
+// replaced by four triangles
+//
+//	(a, mab, mca) (b, mbc, mab) (c, mca, mbc) (mab, mbc, mca)
+//
+// where mxy is the midpoint of edge (x, y). Original vertices keep their
+// indices; new vertices are appended. The returned Splits list one entry
+// per new vertex in edge order, which the wavelet package converts into
+// coefficients.
+func Subdivide(m *Mesh) (*Mesh, []Split) {
+	fine := &Mesh{
+		Verts: make([]geom.Vec3, len(m.Verts), len(m.Verts)+m.NumFaces()*3/2),
+		Faces: make([][3]int32, 0, len(m.Faces)*4),
+	}
+	copy(fine.Verts, m.Verts)
+
+	mid := make(map[Edge]int32, len(m.Faces)*3/2)
+	var splits []Split
+	midpoint := func(a, b int32) int32 {
+		e := MakeEdge(a, b)
+		if idx, ok := mid[e]; ok {
+			return idx
+		}
+		idx := int32(len(fine.Verts))
+		fine.Verts = append(fine.Verts, m.Verts[e.A].Mid(m.Verts[e.B]))
+		mid[e] = idx
+		splits = append(splits, Split{Vertex: idx, Parent: e})
+		return idx
+	}
+
+	for _, f := range m.Faces {
+		a, b, c := f[0], f[1], f[2]
+		mab := midpoint(a, b)
+		mbc := midpoint(b, c)
+		mca := midpoint(c, a)
+		fine.Faces = append(fine.Faces,
+			[3]int32{a, mab, mca},
+			[3]int32{b, mbc, mab},
+			[3]int32{c, mca, mbc},
+			[3]int32{mab, mbc, mca},
+		)
+	}
+	return fine, splits
+}
+
+// SubdivideFit performs one subdivision step and then snaps every new
+// midpoint vertex onto the target surface (paper Fig. 1c: vertex 4' is
+// shifted to vertex 4 on the circle). The displacement applied to each new
+// vertex — fitted position minus edge midpoint — is exactly the wavelet
+// coefficient of that vertex.
+func SubdivideFit(m *Mesh, s Surface) (*Mesh, []Split) {
+	fine, splits := Subdivide(m)
+	for _, sp := range splits {
+		fine.Verts[sp.Vertex] = s.Project(fine.Verts[sp.Vertex])
+	}
+	return fine, splits
+}
+
+// Refine applies n SubdivideFit steps, returning the final mesh and the
+// per-level split lists (level j entry describes the step from M^j to
+// M^{j+1}).
+func Refine(base *Mesh, s Surface, n int) (*Mesh, [][]Split) {
+	m := base.Clone()
+	levels := make([][]Split, 0, n)
+	for j := 0; j < n; j++ {
+		var sp []Split
+		m, sp = SubdivideFit(m, s)
+		levels = append(levels, sp)
+	}
+	return m, levels
+}

@@ -1,0 +1,219 @@
+package mesh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestSubdivideCounts(t *testing.T) {
+	m := Octahedron()
+	for level := 1; level <= 4; level++ {
+		fine, splits := Subdivide(m)
+		if got, want := fine.NumFaces(), m.NumFaces()*4; got != want {
+			t.Fatalf("level %d: faces = %d want %d", level, got, want)
+		}
+		if got, want := len(splits), m.NumEdges(); got != want {
+			t.Fatalf("level %d: splits = %d want edges %d", level, got, want)
+		}
+		if got, want := fine.NumVerts(), m.NumVerts()+m.NumEdges(); got != want {
+			t.Fatalf("level %d: verts = %d want %d", level, got, want)
+		}
+		if err := fine.Validate(); err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		m = fine
+	}
+}
+
+func TestSubdividePreservesEuler(t *testing.T) {
+	for name, base := range map[string]*Mesh{
+		"tetrahedron": Tetrahedron(),
+		"octahedron":  Octahedron(),
+		"icosahedron": Icosahedron(),
+		"box":         Box(),
+	} {
+		m := base
+		for level := 0; level < 3; level++ {
+			if chi := m.EulerCharacteristic(); chi != 2 {
+				t.Errorf("%s level %d: chi = %d", name, level, chi)
+			}
+			m, _ = Subdivide(m)
+		}
+	}
+}
+
+func TestSubdivideMidpoints(t *testing.T) {
+	m := Octahedron()
+	fine, splits := Subdivide(m)
+	for _, sp := range splits {
+		want := m.Verts[sp.Parent.A].Mid(m.Verts[sp.Parent.B])
+		if got := fine.Verts[sp.Vertex]; got.Dist(want) > 1e-12 {
+			t.Errorf("split vertex %d at %v want midpoint %v", sp.Vertex, got, want)
+		}
+	}
+}
+
+func TestSubdivideKeepsOriginalVertices(t *testing.T) {
+	m := Icosahedron()
+	fine, _ := Subdivide(m)
+	for i, v := range m.Verts {
+		if fine.Verts[i] != v {
+			t.Fatalf("vertex %d moved during subdivision", i)
+		}
+	}
+}
+
+func TestSubdivideSharedEdgesProduceOneVertex(t *testing.T) {
+	m := Octahedron()
+	_, splits := Subdivide(m)
+	seen := map[Edge]bool{}
+	for _, sp := range splits {
+		if seen[sp.Parent] {
+			t.Fatalf("edge %v split twice", sp.Parent)
+		}
+		seen[sp.Parent] = true
+	}
+}
+
+func TestSubdivideFitConvergesToSphere(t *testing.T) {
+	s := Sphere{Center: geom.V3(0, 0, 0), Radius: 1}
+	m := Octahedron()
+	prevErr := math.Inf(1)
+	for level := 0; level < 5; level++ {
+		// Max distance of face centroids from the sphere measures the
+		// approximation error of M^level.
+		var worst float64
+		for _, f := range m.Faces {
+			c := m.Verts[f[0]].Add(m.Verts[f[1]]).Add(m.Verts[f[2]]).Scale(1.0 / 3)
+			if d := math.Abs(c.Len() - 1); d > worst {
+				worst = d
+			}
+		}
+		if worst >= prevErr {
+			t.Fatalf("level %d error %v did not shrink from %v", level, worst, prevErr)
+		}
+		prevErr = worst
+		m, _ = SubdivideFit(m, s)
+	}
+	if prevErr > 0.01 {
+		t.Errorf("level-4 sphere error still %v", prevErr)
+	}
+}
+
+func TestRefineLevels(t *testing.T) {
+	s := Sphere{Radius: 2}
+	final, levels := Refine(Octahedron(), s, 3)
+	if len(levels) != 3 {
+		t.Fatalf("levels = %d", len(levels))
+	}
+	// Level j of an octahedron has 8·4^j faces and (3/2)·8·4^j edges, so the
+	// split counts should be 12, 48, 192.
+	want := []int{12, 48, 192}
+	for j, sp := range levels {
+		if len(sp) != want[j] {
+			t.Errorf("level %d splits = %d want %d", j, len(sp), want[j])
+		}
+	}
+	if final.NumFaces() != 8*64 {
+		t.Errorf("final faces = %d", final.NumFaces())
+	}
+	// All fitted vertices lie on the sphere.
+	for _, sp := range levels[2] {
+		v := final.Verts[sp.Vertex]
+		if math.Abs(v.Len()-2) > 1e-12 {
+			t.Errorf("vertex %d off sphere: %v", sp.Vertex, v.Len())
+		}
+	}
+}
+
+func TestSphereProject(t *testing.T) {
+	s := Sphere{Center: geom.V3(1, 2, 3), Radius: 5}
+	p := s.Project(geom.V3(10, 2, 3))
+	if p.Dist(geom.V3(6, 2, 3)) > 1e-12 {
+		t.Errorf("projection = %v", p)
+	}
+	// Center projects somewhere on the sphere rather than panicking.
+	c := s.Project(s.Center)
+	if math.Abs(c.Dist(s.Center)-5) > 1e-12 {
+		t.Errorf("center projection at distance %v", c.Dist(s.Center))
+	}
+}
+
+func TestStarSurfaceStaysStarShaped(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	spec := DefaultBuildingSpec()
+	for i := 0; i < 10; i++ {
+		s := RandomBuilding(rng, geom.V2(0, 0), spec)
+		for j := 0; j < 100; j++ {
+			d := geom.V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+			if d.Len() == 0 {
+				continue
+			}
+			p := s.Project(s.Center.Add(d))
+			// Projecting a surface point is idempotent.
+			if q := s.Project(p); q.Dist(p) > 1e-9 {
+				t.Fatalf("projection not idempotent: %v vs %v", p, q)
+			}
+			if p.Sub(s.Center).Len() == 0 {
+				t.Fatal("projected point collapsed to center")
+			}
+		}
+	}
+}
+
+func TestRandomBuildingReproducible(t *testing.T) {
+	a := RandomBuilding(rand.New(rand.NewSource(7)), geom.V2(3, 4), DefaultBuildingSpec())
+	b := RandomBuilding(rand.New(rand.NewSource(7)), geom.V2(3, 4), DefaultBuildingSpec())
+	if a.Scale != b.Scale || len(a.Harmonics) != len(b.Harmonics) {
+		t.Fatal("same seed produced different buildings")
+	}
+	for i := range a.Harmonics {
+		if a.Harmonics[i] != b.Harmonics[i] {
+			t.Fatalf("harmonic %d differs", i)
+		}
+	}
+}
+
+func TestBuildingCoefficientDecay(t *testing.T) {
+	// The displacement magnitudes introduced by SubdivideFit must shrink
+	// across levels (on average): this is what makes coefficient value a
+	// proxy for resolution level.
+	rng := rand.New(rand.NewSource(11))
+	s := RandomBuilding(rng, geom.V2(0, 0), DefaultBuildingSpec())
+	m := BaseMeshFor(s)
+	var prev float64 = math.Inf(1)
+	for level := 0; level < 4; level++ {
+		fine, splits := Subdivide(m)
+		var sum float64
+		for _, sp := range splits {
+			midp := fine.Verts[sp.Vertex]
+			sum += s.Project(midp).Dist(midp)
+		}
+		avg := sum / float64(len(splits))
+		if avg >= prev {
+			t.Fatalf("level %d average displacement %v did not shrink from %v", level, avg, prev)
+		}
+		prev = avg
+		m, _ = SubdivideFit(m, s)
+	}
+}
+
+func TestBaseMeshForLiesOnSurface(t *testing.T) {
+	s := RandomBuilding(rand.New(rand.NewSource(3)), geom.V2(100, 50), DefaultBuildingSpec())
+	m := BaseMeshFor(s)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range m.Verts {
+		if p := s.Project(v); p.Dist(v) > 1e-9 {
+			t.Errorf("base vertex %d off surface by %v", i, p.Dist(v))
+		}
+	}
+	// The building stands at its ground position.
+	if c := m.Bounds().Center().XY(); c.Dist(geom.V2(100, 50)) > 5 {
+		t.Errorf("building center at %v", c)
+	}
+}

@@ -1,0 +1,158 @@
+package mesh
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Surface is an analytic target surface. Project maps an arbitrary point
+// (in practice: an edge midpoint produced by subdivision) to the nearest
+// natural point on the surface, playing the role of the "deform new
+// vertices to fit the surface" step of paper §III. Decomposing a mesh
+// fitted to a Surface recovers the projection displacements as wavelet
+// coefficients, so the Surface fully determines an object's
+// multiresolution representation.
+type Surface interface {
+	Project(p geom.Vec3) geom.Vec3
+}
+
+// Sphere is the surface of a ball. It is the paper's running example (a
+// circle approximated by triangles, Figs. 1–2) lifted to 3D.
+type Sphere struct {
+	Center geom.Vec3
+	Radius float64
+}
+
+// Project maps p radially onto the sphere. The center itself projects to
+// the +X pole to stay total.
+func (s Sphere) Project(p geom.Vec3) geom.Vec3 {
+	d := p.Sub(s.Center)
+	if d.Len() == 0 {
+		d = geom.V3(1, 0, 0)
+	}
+	return s.Center.Add(d.Normalize().Scale(s.Radius))
+}
+
+// Harmonic is one band of the star-shaped surface's radial function: a
+// smooth directional oscillation with amplitude Amp and integer
+// frequencies Fx, Fy, Fz. Higher bands have higher frequencies and
+// geometrically smaller amplitudes, which is what makes finer-level
+// wavelet coefficients smaller — the property the speed→resolution mapping
+// exploits.
+type Harmonic struct {
+	Amp        float64
+	Fx, Fy, Fz float64
+	Phase      float64
+}
+
+// StarSurface is a star-shaped closed surface: for each direction d from
+// the center, the surface point lies at distance Base·(1 + Σ harmonics(d)).
+// An anisotropic Scale stretches the shape into prisms ("buildings": small
+// footprint, large height). Star shapes are closed and orientable, project
+// well from any inscribed base mesh, and their smooth band-limited radial
+// functions give the geometric decay of coefficient magnitudes across
+// subdivision levels.
+type StarSurface struct {
+	Center    geom.Vec3
+	Base      float64
+	Scale     geom.Vec3 // per-axis stretch about Center (1,1,1 = none)
+	Harmonics []Harmonic
+}
+
+// radial evaluates the relative radius (≈1) in unit direction d.
+func (s *StarSurface) radial(d geom.Vec3) float64 {
+	r := 1.0
+	for _, h := range s.Harmonics {
+		r += h.Amp * math.Sin(h.Fx*d.X*math.Pi+h.Phase) *
+			math.Sin(h.Fy*d.Y*math.Pi+2*h.Phase) *
+			math.Sin(h.Fz*d.Z*math.Pi+3*h.Phase)
+	}
+	// Keep the surface star-shaped even with adversarial harmonics.
+	if r < 0.1 {
+		r = 0.1
+	}
+	return r
+}
+
+// Project maps p onto the surface along the ray from the (scaled) center.
+func (s *StarSurface) Project(p geom.Vec3) geom.Vec3 {
+	// Undo the anisotropic scale, project onto the unit star shape, redo it.
+	q := p.Sub(s.Center)
+	q = geom.V3(q.X/s.Scale.X, q.Y/s.Scale.Y, q.Z/s.Scale.Z)
+	if q.Len() == 0 {
+		q = geom.V3(1, 0, 0)
+	}
+	d := q.Normalize()
+	r := s.Base * s.radial(d)
+	out := d.Scale(r)
+	out = geom.V3(out.X*s.Scale.X, out.Y*s.Scale.Y, out.Z*s.Scale.Z)
+	return s.Center.Add(out)
+}
+
+// BuildingSpec controls RandomBuilding.
+type BuildingSpec struct {
+	Footprint float64 // nominal half-width of the building in ground units
+	Height    float64 // nominal half-height
+	Roughness float64 // amplitude of the coarsest harmonic (façade detail)
+	Bands     int     // number of harmonic bands (≥1)
+	Decay     float64 // per-band amplitude decay in (0,1)
+}
+
+// DefaultBuildingSpec matches the dataset sizing of paper §VII-A: objects
+// whose level-6 decomposition serializes to roughly 200 KB.
+func DefaultBuildingSpec() BuildingSpec {
+	return BuildingSpec{
+		Footprint: 10,
+		Height:    25,
+		Roughness: 0.18,
+		Bands:     5,
+		Decay:     0.55,
+	}
+}
+
+// RandomBuilding generates a reproducible building-like star surface
+// centered at the given ground position. This is the substitution for the
+// paper's (unpublished) 3D models of old city buildings: a vertically
+// stretched star shape with band-limited façade detail whose amplitude
+// decays across frequency bands.
+func RandomBuilding(rng *rand.Rand, ground geom.Vec2, spec BuildingSpec) *StarSurface {
+	if spec.Bands < 1 {
+		spec.Bands = 1
+	}
+	s := &StarSurface{
+		Center: geom.V3(ground.X, ground.Y, spec.Height),
+		Base:   1,
+		Scale: geom.V3(
+			spec.Footprint*(0.8+0.4*rng.Float64()),
+			spec.Footprint*(0.8+0.4*rng.Float64()),
+			spec.Height*(0.7+0.6*rng.Float64()),
+		),
+	}
+	amp := spec.Roughness
+	for b := 0; b < spec.Bands; b++ {
+		s.Harmonics = append(s.Harmonics, Harmonic{
+			Amp:   amp * (0.7 + 0.6*rng.Float64()),
+			Fx:    float64(1 + b + rng.Intn(2)),
+			Fy:    float64(1 + b + rng.Intn(2)),
+			Fz:    float64(1 + b + rng.Intn(2)),
+			Phase: rng.Float64() * 2 * math.Pi,
+		})
+		amp *= spec.Decay
+	}
+	return s
+}
+
+// BaseMeshFor returns the base mesh M0 for a star surface: an octahedron
+// scaled and translated into the surface's frame, with every vertex
+// projected onto the surface so that M0 is itself a (coarse) approximation
+// of the object.
+func BaseMeshFor(s *StarSurface) *Mesh {
+	m := Octahedron()
+	for i, v := range m.Verts {
+		p := geom.V3(v.X*s.Scale.X, v.Y*s.Scale.Y, v.Z*s.Scale.Z).Add(s.Center)
+		m.Verts[i] = s.Project(p)
+	}
+	return m
+}

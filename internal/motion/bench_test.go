@@ -1,0 +1,55 @@
+package motion
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func BenchmarkTramTour(b *testing.B) {
+	spec := TourSpec{Space: geom.R2(0, 0, 1000, 1000), Steps: 300, Speed: 0.5}
+	for i := 0; i < b.N; i++ {
+		NewTour(Tram, spec, rand.New(rand.NewSource(int64(i))))
+	}
+}
+
+func BenchmarkPredictorObserve(b *testing.B) {
+	p := NewPredictor(3)
+	rng := rand.New(rand.NewSource(1))
+	pos := geom.V2(500, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pos = pos.Add(geom.V2(rng.NormFloat64(), rng.NormFloat64()))
+		p.Observe(pos)
+	}
+}
+
+func BenchmarkPredict5Steps(b *testing.B) {
+	p := NewPredictor(3)
+	rng := rand.New(rand.NewSource(1))
+	pos := geom.V2(500, 500)
+	for i := 0; i < 100; i++ {
+		pos = pos.Add(geom.V2(2+rng.NormFloat64(), 1+rng.NormFloat64()))
+		p.Observe(pos)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Predict(5)
+	}
+}
+
+func BenchmarkFrameVisitProbabilities(b *testing.B) {
+	g := geom.NewGrid(geom.R2(0, 0, 1000, 1000), 25, 25)
+	p := NewPredictor(3)
+	rng := rand.New(rand.NewSource(1))
+	pos := geom.V2(300, 300)
+	for i := 0; i < 100; i++ {
+		pos = pos.Add(geom.V2(3+rng.NormFloat64(), 2+rng.NormFloat64()))
+		p.Observe(pos)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FrameVisitProbabilities(p, g, 6, 100)
+	}
+}

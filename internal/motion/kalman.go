@@ -1,0 +1,170 @@
+package motion
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// KalmanPredictor is a classical linear Kalman filter (Welch & Bishop,
+// the paper's reference [21]) with a constant-velocity process model:
+// state (x, y, vx, vy), transition x' = x + vx, measurement of position
+// only. It complements the RLS Predictor — the paper sketches its
+// prediction machinery as "Kalman filter"-based with an estimated
+// transition matrix; the RLS predictor estimates the dynamics, while
+// this filter assumes them and optimally weighs noisy observations.
+type KalmanPredictor struct {
+	// state: position and velocity.
+	x, y, vx, vy float64
+	// p is the 4×4 state covariance.
+	p [4][4]float64
+	// q scales process noise (acceleration variance); r is measurement
+	// noise variance.
+	q, r float64
+
+	seen int
+}
+
+// NewKalmanPredictor creates a constant-velocity Kalman filter.
+// processNoise is the assumed acceleration variance per step (how much
+// the velocity can change); measurementNoise the position observation
+// variance. Zeroes get sensible defaults (1, 0.25).
+func NewKalmanPredictor(processNoise, measurementNoise float64) *KalmanPredictor {
+	if processNoise <= 0 {
+		processNoise = 1
+	}
+	if measurementNoise <= 0 {
+		measurementNoise = 0.25
+	}
+	k := &KalmanPredictor{q: processNoise, r: measurementNoise}
+	for i := 0; i < 4; i++ {
+		k.p[i][i] = 1e6 // uninformed prior
+	}
+	return k
+}
+
+var _ Estimator = (*KalmanPredictor)(nil)
+
+// Ready reports whether at least two observations have arrived (velocity
+// is meaningless before that).
+func (k *KalmanPredictor) Ready() bool { return k.seen >= 2 }
+
+// Current returns the filtered position estimate.
+func (k *KalmanPredictor) Current() geom.Vec2 { return geom.V2(k.x, k.y) }
+
+// Observe runs one predict/update cycle with the measured position.
+func (k *KalmanPredictor) Observe(pos geom.Vec2) {
+	if k.seen == 0 {
+		k.x, k.y = pos.X, pos.Y
+		k.seen++
+		return
+	}
+	k.timeUpdate()
+
+	// Measurement update for H = [I2 0]: gain K = P Hᵀ (H P Hᵀ + R)⁻¹.
+	// With the position block S = P[0..1][0..1] + R·I, invert the 2×2.
+	s00 := k.p[0][0] + k.r
+	s01 := k.p[0][1]
+	s10 := k.p[1][0]
+	s11 := k.p[1][1] + k.r
+	det := s00*s11 - s01*s10
+	if det == 0 {
+		det = 1e-12
+	}
+	i00, i01, i10, i11 := s11/det, -s01/det, -s10/det, s00/det
+
+	// K (4×2) = P[:, 0..1] · S⁻¹
+	var kg [4][2]float64
+	for i := 0; i < 4; i++ {
+		kg[i][0] = k.p[i][0]*i00 + k.p[i][1]*i10
+		kg[i][1] = k.p[i][0]*i01 + k.p[i][1]*i11
+	}
+	// Innovation.
+	rx := pos.X - k.x
+	ry := pos.Y - k.y
+	k.x += kg[0][0]*rx + kg[0][1]*ry
+	k.y += kg[1][0]*rx + kg[1][1]*ry
+	k.vx += kg[2][0]*rx + kg[2][1]*ry
+	k.vy += kg[3][0]*rx + kg[3][1]*ry
+	// P ← (I − K H) P ; KH affects only the first two columns of the
+	// identity.
+	var np [4][4]float64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			ikh0 := -kg[i][0]
+			ikh1 := -kg[i][1]
+			if i == 0 {
+				ikh0 += 1
+			}
+			if i == 1 {
+				ikh1 += 1
+			}
+			v := ikh0*k.p[0][j] + ikh1*k.p[1][j]
+			if i >= 2 {
+				v += k.p[i][j]
+			} else if i == 0 {
+				// row 0 of (I−KH) is [1−k00, −k01, 0, 0]
+				v = (1-kg[0][0])*k.p[0][j] - kg[0][1]*k.p[1][j]
+			} else {
+				v = -kg[1][0]*k.p[0][j] + (1-kg[1][1])*k.p[1][j]
+			}
+			np[i][j] = v
+		}
+	}
+	// Rows 2,3: I rows minus KH rows: [−k20, −k21, 1, 0] and
+	// [−k30, −k31, 0, 1].
+	for j := 0; j < 4; j++ {
+		np[2][j] = -kg[2][0]*k.p[0][j] - kg[2][1]*k.p[1][j] + k.p[2][j]
+		np[3][j] = -kg[3][0]*k.p[0][j] - kg[3][1]*k.p[1][j] + k.p[3][j]
+	}
+	k.p = np
+	k.seen++
+}
+
+// timeUpdate advances state and covariance one step: x ← Fx,
+// P ← F P Fᵀ + Q with F the constant-velocity transition.
+func (k *KalmanPredictor) timeUpdate() {
+	k.x += k.vx
+	k.y += k.vy
+	// P ← F P Fᵀ with F = [[1,0,1,0],[0,1,0,1],[0,0,1,0],[0,0,0,1]].
+	var fp [4][4]float64
+	for j := 0; j < 4; j++ {
+		fp[0][j] = k.p[0][j] + k.p[2][j]
+		fp[1][j] = k.p[1][j] + k.p[3][j]
+		fp[2][j] = k.p[2][j]
+		fp[3][j] = k.p[3][j]
+	}
+	var fpf [4][4]float64
+	for i := 0; i < 4; i++ {
+		fpf[i][0] = fp[i][0] + fp[i][2]
+		fpf[i][1] = fp[i][1] + fp[i][3]
+		fpf[i][2] = fp[i][2]
+		fpf[i][3] = fp[i][3]
+	}
+	// Discrete white-noise acceleration Q (per axis): [[q/4, q/2],[q/2, q]]
+	// on (pos, vel) blocks.
+	fpf[0][0] += k.q / 4
+	fpf[0][2] += k.q / 2
+	fpf[2][0] += k.q / 2
+	fpf[2][2] += k.q
+	fpf[1][1] += k.q / 4
+	fpf[1][3] += k.q / 2
+	fpf[3][1] += k.q / 2
+	fpf[3][3] += k.q
+	k.p = fpf
+}
+
+// Predict extrapolates `steps` ahead without consuming observations,
+// returning the predicted position and its variance from the propagated
+// covariance.
+func (k *KalmanPredictor) Predict(steps int) Prediction {
+	if !k.Ready() {
+		return Prediction{Mean: k.Current(), VarX: math.Inf(1), VarY: math.Inf(1)}
+	}
+	// Work on copies.
+	c := *k
+	for i := 0; i < steps; i++ {
+		c.timeUpdate()
+	}
+	return Prediction{Mean: geom.V2(c.x, c.y), VarX: c.p[0][0], VarY: c.p[1][1]}
+}

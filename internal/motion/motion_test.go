@@ -1,0 +1,325 @@
+package motion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func testSpace() geom.Rect2 { return geom.R2(0, 0, 1000, 1000) }
+
+func TestTourGeneration(t *testing.T) {
+	spec := TourSpec{Space: testSpace(), Steps: 500, Speed: 0.5}
+	for _, kind := range []TourKind{Tram, Pedestrian} {
+		tour := NewTour(kind, spec, rand.New(rand.NewSource(1)))
+		if tour.Len() != 500 {
+			t.Fatalf("%v: %d steps", kind, tour.Len())
+		}
+		for i, p := range tour.Pos {
+			if !testSpace().Expand(1).Contains(p) {
+				t.Fatalf("%v: position %d at %v escapes the space", kind, i, p)
+			}
+		}
+		if tour.Distance() <= 0 {
+			t.Errorf("%v: zero distance", kind)
+		}
+		// Instantaneous speed stays within [0, 1] normalized.
+		for i := 1; i < tour.Len(); i++ {
+			if s := tour.SpeedAt(i); s < 0 || s > 1 {
+				t.Fatalf("%v: speed %v at step %d", kind, s, i)
+			}
+		}
+	}
+}
+
+func TestTourReproducible(t *testing.T) {
+	spec := TourSpec{Space: testSpace(), Steps: 100, Speed: 0.7}
+	a := NewTour(Tram, spec, rand.New(rand.NewSource(5)))
+	b := NewTour(Tram, spec, rand.New(rand.NewSource(5)))
+	for i := range a.Pos {
+		if a.Pos[i] != b.Pos[i] {
+			t.Fatalf("positions diverge at %d", i)
+		}
+	}
+}
+
+func TestToursDistinctSeeds(t *testing.T) {
+	tours := Tours(Pedestrian, TourSpec{Space: testSpace(), Steps: 50, Speed: 0.5}, 10, 42)
+	if len(tours) != 10 {
+		t.Fatalf("got %d tours", len(tours))
+	}
+	same := 0
+	for i := 1; i < len(tours); i++ {
+		if tours[i].Pos[10] == tours[0].Pos[10] {
+			same++
+		}
+	}
+	if same == 9 {
+		t.Error("all tours identical")
+	}
+}
+
+func TestTourSpeedScalesDistance(t *testing.T) {
+	spec := TourSpec{Space: testSpace(), Steps: 300}
+	spec.Speed = 0.2
+	slow := NewTour(Tram, spec, rand.New(rand.NewSource(9)))
+	spec.Speed = 1.0
+	fast := NewTour(Tram, spec, rand.New(rand.NewSource(9)))
+	if fast.Distance() < 3*slow.Distance() {
+		t.Errorf("fast distance %v vs slow %v", fast.Distance(), slow.Distance())
+	}
+}
+
+func TestRLSLearnsLinearModel(t *testing.T) {
+	// y = 2·x1 − 1·x2 must be recovered from noiseless samples.
+	r := NewRLS(2, 1.0)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		r.Update(x, 2*x[0]-x[1])
+	}
+	th := r.Theta()
+	if math.Abs(th[0]-2) > 1e-6 || math.Abs(th[1]+1) > 1e-6 {
+		t.Fatalf("theta = %v", th)
+	}
+	if y := r.Predict([]float64{1, 1}); math.Abs(y-1) > 1e-6 {
+		t.Fatalf("predict = %v", y)
+	}
+}
+
+func TestRLSPanicsOnBadArgs(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewRLS(0, 1) },
+		func() { NewRLS(2, 0) },
+		func() { NewRLS(2, 1.5) },
+		func() { NewPredictor(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPredictorExactOnLinearMotion(t *testing.T) {
+	// Constant-velocity motion is exactly representable by an AR(2) model
+	// (p_{t+1} = 2p_t − p_{t−1}); after convergence, multi-step predictions
+	// must be essentially exact. This is the "RLS on exact linear motion
+	// converges to zero error" invariant from DESIGN.md.
+	p := NewPredictor(3)
+	v := geom.V2(3, -2)
+	pos := geom.V2(100, 500)
+	for i := 0; i < 120; i++ {
+		p.Observe(pos)
+		pos = pos.Add(v)
+	}
+	for _, steps := range []int{1, 3, 10} {
+		pr := p.Predict(steps)
+		// The true position `steps` ahead of the last observation.
+		want := pos.Add(v.Scale(float64(steps - 1)))
+		if pr.Mean.Dist(want) > 0.5 {
+			t.Fatalf("predict(%d) = %v want %v", steps, pr.Mean, want)
+		}
+	}
+}
+
+func TestPredictorNotReadyInitially(t *testing.T) {
+	p := NewPredictor(3)
+	if p.Ready() {
+		t.Fatal("ready before observations")
+	}
+	pr := p.Predict(1)
+	if !math.IsInf(pr.VarX, 1) {
+		t.Error("unready predictor should report infinite variance")
+	}
+	// h = 3 displacements need 4 positions.
+	p.Observe(geom.V2(1, 1))
+	p.Observe(geom.V2(2, 2))
+	p.Observe(geom.V2(3, 3))
+	if p.Ready() {
+		t.Fatal("ready after 3 of 4 observations")
+	}
+	p.Observe(geom.V2(4, 4))
+	if !p.Ready() {
+		t.Fatal("not ready after 4 observations")
+	}
+}
+
+func TestPredictorVarianceGrowsWithHorizon(t *testing.T) {
+	p := NewPredictor(3)
+	rng := rand.New(rand.NewSource(8))
+	pos := geom.V2(500, 500)
+	for i := 0; i < 200; i++ {
+		pos = pos.Add(geom.V2(2+rng.NormFloat64(), 1+rng.NormFloat64()))
+		p.Observe(pos)
+	}
+	var prev float64 = -1
+	for _, steps := range []int{1, 2, 4, 8} {
+		pr := p.Predict(steps)
+		if pr.VarX <= 0 {
+			t.Fatalf("var at %d steps = %v", steps, pr.VarX)
+		}
+		if pr.VarX < prev {
+			t.Fatalf("variance shrank at horizon %d: %v < %v", steps, pr.VarX, prev)
+		}
+		prev = pr.VarX
+	}
+}
+
+func TestPredictorTramMorePredictableThanWalk(t *testing.T) {
+	// The load-bearing experimental premise: tram tours yield smaller
+	// prediction error than pedestrian tours (it explains the hit-rate gap
+	// in Figures 10–11). Average 5-step-ahead error over several seeds.
+	avgErr := func(kind TourKind) float64 {
+		var sum float64
+		var n int
+		for seed := int64(0); seed < 5; seed++ {
+			tour := NewTour(kind, TourSpec{Space: testSpace(), Steps: 400, Speed: 0.5},
+				rand.New(rand.NewSource(seed)))
+			p := NewPredictor(3)
+			for i := 0; i < tour.Len(); i++ {
+				if p.Ready() && i+5 < tour.Len() {
+					pr := p.Predict(5)
+					sum += pr.Mean.Dist(tour.Pos[i+5])
+					n++
+				}
+				p.Observe(tour.Pos[i])
+			}
+		}
+		return sum / float64(n)
+	}
+	tram, walk := avgErr(Tram), avgErr(Pedestrian)
+	if tram >= walk {
+		t.Errorf("tram error %v not below walk error %v", tram, walk)
+	}
+}
+
+func TestVelocityAndCurrent(t *testing.T) {
+	p := NewPredictor(2)
+	if p.Velocity() != (geom.Vec2{}) || p.Current() != (geom.Vec2{}) {
+		t.Error("empty predictor state not zero")
+	}
+	p.Observe(geom.V2(1, 1))
+	p.Observe(geom.V2(4, 5))
+	if v := p.Velocity(); v != geom.V2(3, 4) {
+		t.Errorf("velocity = %v", v)
+	}
+	if c := p.Current(); c != geom.V2(4, 5) {
+		t.Errorf("current = %v", c)
+	}
+}
+
+// trainedPredictor feeds 100 steps of constant-velocity motion starting
+// near the center of the test space, staying well inside it.
+func trainedPredictor(vx, vy float64) *Predictor {
+	p := NewPredictor(3)
+	pos := geom.V2(500-50*vx, 500-50*vy)
+	for i := 0; i < 100; i++ {
+		p.Observe(pos)
+		pos = pos.Add(geom.V2(vx, vy))
+	}
+	return p
+}
+
+func TestVisitProbabilitiesConcentrateAhead(t *testing.T) {
+	g := geom.NewGrid(testSpace(), 20, 20)
+	p := trainedPredictor(8, 0) // moving east at 8 units/step
+	probs := VisitProbabilities(p, g, 5)
+	if len(probs) == 0 {
+		t.Fatal("no probabilities")
+	}
+	var sum float64
+	var eastMass, westMass float64
+	cur := p.Current()
+	for c, pv := range probs {
+		if pv < 0 {
+			t.Fatalf("negative probability at %v", c)
+		}
+		sum += pv
+		if g.CellCenter(c).X > cur.X {
+			eastMass += pv
+		} else if g.CellCenter(c).X < cur.X {
+			westMass += pv
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+	if eastMass < 2*westMass {
+		t.Errorf("east mass %v not dominant over west %v", eastMass, westMass)
+	}
+}
+
+func TestVisitProbabilitiesEmptyWhenNotReady(t *testing.T) {
+	g := geom.NewGrid(testSpace(), 10, 10)
+	p := NewPredictor(3)
+	if probs := VisitProbabilities(p, g, 5); len(probs) != 0 {
+		t.Errorf("unready predictor produced %d cells", len(probs))
+	}
+}
+
+func TestSectorProbabilitiesEastwardMotion(t *testing.T) {
+	g := geom.NewGrid(testSpace(), 20, 20)
+	p := trainedPredictor(8, 0)
+	probs := VisitProbabilities(p, g, 5)
+	sectors := SectorProbabilities(p.Current(), probs, g, 4)
+	var sum float64
+	for _, s := range sectors {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("sectors sum to %v", sum)
+	}
+	// Sector 0 is centered on east; it must dominate.
+	for i := 1; i < 4; i++ {
+		if sectors[0] <= sectors[i] {
+			t.Errorf("east sector %v not above sector %d = %v", sectors[0], i, sectors[i])
+		}
+	}
+}
+
+func TestSectorProbabilitiesUniformFallback(t *testing.T) {
+	g := geom.NewGrid(testSpace(), 10, 10)
+	sectors := SectorProbabilities(geom.V2(500, 500), nil, g, 4)
+	for _, s := range sectors {
+		if math.Abs(s-0.25) > 1e-12 {
+			t.Fatalf("fallback sectors = %v", sectors)
+		}
+	}
+}
+
+func TestSectorProbabilitiesK8(t *testing.T) {
+	g := geom.NewGrid(testSpace(), 20, 20)
+	p := trainedPredictor(7, 7) // moving northeast
+	probs := VisitProbabilities(p, g, 5)
+	sectors := SectorProbabilities(p.Current(), probs, g, 8)
+	if len(sectors) != 8 {
+		t.Fatalf("got %d sectors", len(sectors))
+	}
+	// Northeast is sector 1 when sector 0 is centered east (π/4 per
+	// sector).
+	best := 0
+	for i, s := range sectors {
+		if s > sectors[best] {
+			best = i
+		}
+	}
+	if best != 1 {
+		t.Errorf("dominant sector = %d, want 1 (northeast); sectors = %v", best, sectors)
+	}
+}
+
+func TestSectorProbabilitiesPanicOnZeroK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	SectorProbabilities(geom.V2(0, 0), nil, geom.NewGrid(testSpace(), 5, 5), 0)
+}

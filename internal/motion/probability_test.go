@@ -1,0 +1,92 @@
+package motion
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestFrameVisitProbabilitiesNormalized(t *testing.T) {
+	g := geom.NewGrid(testSpace(), 20, 20)
+	p := trainedPredictor(5, 3)
+	probs := FrameVisitProbabilities(p, g, 5, 120)
+	if len(probs) == 0 {
+		t.Fatal("no probabilities")
+	}
+	var sum float64
+	for c, pv := range probs {
+		if pv < 0 {
+			t.Fatalf("negative probability at %v", c)
+		}
+		if !g.Valid(c) {
+			t.Fatalf("invalid cell %v", c)
+		}
+		sum += pv
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("sum = %v", sum)
+	}
+}
+
+func TestFrameVisitProbabilitiesCoverWiderThanPoint(t *testing.T) {
+	// The frame variant must spread mass over at least as many blocks as
+	// the point variant: a 3-cell-wide frame needs its flanking rows too.
+	g := geom.NewGrid(testSpace(), 25, 25)
+	p := trainedPredictor(6, 0)
+	point := VisitProbabilities(p, g, 5)
+	frame := FrameVisitProbabilities(p, g, 5, 120) // 3 cells wide
+	if len(frame) <= len(point) {
+		t.Errorf("frame covers %d cells, point %d", len(frame), len(point))
+	}
+	// Cells directly above/below the path (off the centerline by one cell)
+	// must carry real mass in the frame variant.
+	cur := p.Current()
+	ahead := g.CellAt(geom.V2(cur.X+60, cur.Y))
+	side := geom.Cell{Col: ahead.Col, Row: ahead.Row + 1}
+	if frame[side] <= 0 {
+		t.Errorf("flanking cell %v has no mass", side)
+	}
+}
+
+func TestFrameVisitProbabilitiesEmptyWhenNotReady(t *testing.T) {
+	g := geom.NewGrid(testSpace(), 10, 10)
+	if probs := FrameVisitProbabilities(NewPredictor(3), g, 5, 100); len(probs) != 0 {
+		t.Errorf("unready predictor produced %d cells", len(probs))
+	}
+	p := trainedPredictor(2, 2)
+	if probs := FrameVisitProbabilities(p, g, 0, 100); len(probs) != 0 {
+		t.Errorf("zero horizon produced %d cells", len(probs))
+	}
+}
+
+func TestAxisDist(t *testing.T) {
+	cases := []struct{ x, lo, hi, want float64 }{
+		{5, 0, 10, 0},
+		{0, 0, 10, 0},
+		{-3, 0, 10, 3},
+		{14, 0, 10, 4},
+	}
+	for _, c := range cases {
+		if got := axisDist(c.x, c.lo, c.hi); got != c.want {
+			t.Errorf("axisDist(%v,[%v,%v]) = %v want %v", c.x, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestVisitProbabilitiesHorizonWidensSpread(t *testing.T) {
+	g := geom.NewGrid(testSpace(), 25, 25)
+	p := NewPredictor(3)
+	// Noisy motion so the covariance is non-trivial.
+	pos := geom.V2(300, 500)
+	rngStep := []geom.Vec2{{X: 4, Y: 1}, {X: 5, Y: -1}, {X: 4, Y: 2}, {X: 6, Y: 0}}
+	for i := 0; i < 80; i++ {
+		pos = pos.Add(rngStep[i%len(rngStep)])
+		p.Observe(pos)
+	}
+	short := VisitProbabilities(p, g, 2)
+	long := VisitProbabilities(p, g, 10)
+	if len(long) < len(short) {
+		t.Errorf("longer horizon covers fewer cells: %d < %d", len(long), len(short))
+	}
+}

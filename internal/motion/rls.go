@@ -1,0 +1,90 @@
+package motion
+
+import "fmt"
+
+// RLS is a recursive least-squares estimator for a linear autoregressive
+// model y = θ·x. The paper estimates the state transition matrix A "by
+// using the recursive least-squares estimation method" [Yi et al.]; with
+// the state holding the h most recent positions, A is a companion matrix
+// whose free parameters are exactly the AR coefficients θ estimated here.
+type RLS struct {
+	order  int
+	theta  []float64
+	p      [][]float64 // inverse input covariance estimate
+	lambda float64     // forgetting factor in (0, 1]
+}
+
+// NewRLS creates an estimator for an order-n model with forgetting factor
+// lambda (1.0 = infinite memory; values slightly below 1 track drifting
+// motion). The inverse covariance starts large so early samples dominate.
+func NewRLS(order int, lambda float64) *RLS {
+	if order < 1 {
+		panic("motion: RLS order must be ≥ 1")
+	}
+	if lambda <= 0 || lambda > 1 {
+		panic(fmt.Sprintf("motion: forgetting factor %v out of (0,1]", lambda))
+	}
+	r := &RLS{order: order, theta: make([]float64, order), lambda: lambda}
+	r.p = make([][]float64, order)
+	for i := range r.p {
+		r.p[i] = make([]float64, order)
+		r.p[i][i] = 1e6
+	}
+	// Sensible prior: persistence (next = current).
+	r.theta[0] = 1
+	return r
+}
+
+// Order returns the model order.
+func (r *RLS) Order() int { return r.order }
+
+// Theta returns the current coefficient estimates (most-recent-first).
+func (r *RLS) Theta() []float64 {
+	out := make([]float64, r.order)
+	copy(out, r.theta)
+	return out
+}
+
+// Predict returns θ·x for the regressor x (most recent value first).
+func (r *RLS) Predict(x []float64) float64 {
+	var y float64
+	for i := 0; i < r.order; i++ {
+		y += r.theta[i] * x[i]
+	}
+	return y
+}
+
+// Update folds in one observation pair (x, y) using the standard RLS
+// recursion with forgetting:
+//
+//	k = P x / (λ + xᵀ P x)
+//	θ ← θ + k (y − θᵀx)
+//	P ← (P − k xᵀ P) / λ
+func (r *RLS) Update(x []float64, y float64) {
+	n := r.order
+	// px = P x
+	px := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < n; j++ {
+			s += r.p[i][j] * x[j]
+		}
+		px[i] = s
+	}
+	// denom = λ + xᵀ P x
+	denom := r.lambda
+	for i := 0; i < n; i++ {
+		denom += x[i] * px[i]
+	}
+	err := y - r.Predict(x)
+	// θ ← θ + (P x / denom) err
+	for i := 0; i < n; i++ {
+		r.theta[i] += px[i] / denom * err
+	}
+	// P ← (P − (P x)(xᵀ P)/denom) / λ. P is symmetric so xᵀP = (Px)ᵀ.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			r.p[i][j] = (r.p[i][j] - px[i]*px[j]/denom) / r.lambda
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package netsim_test
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+)
+
+// A 200 KB full-resolution object takes seconds over the paper's link —
+// and half again as long at full speed — which is why the motion-aware
+// system ships coarse data to fast clients.
+func ExampleLink_RequestSeconds() {
+	link := netsim.DefaultLink()
+	fmt.Printf("stationary: %.1fs\n", link.RequestSeconds(200_000, 0))
+	fmt.Printf("full speed: %.1fs\n", link.RequestSeconds(200_000, 1))
+	// Output:
+	// stationary: 6.5s
+	// full speed: 12.7s
+}

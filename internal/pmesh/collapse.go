@@ -1,0 +1,276 @@
+package pmesh
+
+import (
+	"container/heap"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+)
+
+// quadric is a symmetric 4×4 error quadric (Garland–Heckbert) stored as
+// its 10 unique coefficients. Evaluating a point against it gives the
+// summed squared distance to the planes accumulated into the quadric.
+type quadric struct {
+	a, b, c, d, e, f, g, h, i, j float64
+	// matrix layout:
+	//   [a b c d]
+	//   [b e f g]
+	//   [c f h i]
+	//   [d g i j]
+}
+
+func (q *quadric) add(o *quadric) {
+	q.a += o.a
+	q.b += o.b
+	q.c += o.c
+	q.d += o.d
+	q.e += o.e
+	q.f += o.f
+	q.g += o.g
+	q.h += o.h
+	q.i += o.i
+	q.j += o.j
+}
+
+// eval returns vᵀQv for v = (x, y, z, 1).
+func (q *quadric) eval(p geom.Vec3) float64 {
+	return q.a*p.X*p.X + 2*q.b*p.X*p.Y + 2*q.c*p.X*p.Z + 2*q.d*p.X +
+		q.e*p.Y*p.Y + 2*q.f*p.Y*p.Z + 2*q.g*p.Y +
+		q.h*p.Z*p.Z + 2*q.i*p.Z +
+		q.j
+}
+
+// planeQuadric builds the fundamental quadric of the plane through a
+// triangle, weighted by the triangle's area so big faces matter more.
+func planeQuadric(p0, p1, p2 geom.Vec3) quadric {
+	n := p1.Sub(p0).Cross(p2.Sub(p0))
+	area := n.Len() / 2
+	if area == 0 {
+		return quadric{}
+	}
+	n = n.Normalize()
+	d := -n.Dot(p0)
+	w := area
+	return quadric{
+		a: w * n.X * n.X, b: w * n.X * n.Y, c: w * n.X * n.Z, d: w * n.X * d,
+		e: w * n.Y * n.Y, f: w * n.Y * n.Z, g: w * n.Y * d,
+		h: w * n.Z * n.Z, i: w * n.Z * d,
+		j: w * d * d,
+	}
+}
+
+// candidate is one potential half-edge collapse v→u in the priority
+// queue. Entries go stale when either endpoint changes; version numbers
+// invalidate them lazily.
+type candidate struct {
+	cost     float64
+	u, v     int32
+	versions [2]int
+	index    int
+}
+
+type candidateHeap []*candidate
+
+func (h candidateHeap) Len() int           { return len(h) }
+func (h candidateHeap) Less(i, j int) bool { return h[i].cost < h[j].cost }
+func (h candidateHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *candidateHeap) Push(x interface{}) {
+	c := x.(*candidate)
+	c.index = len(*h)
+	*h = append(*h, c)
+}
+func (h *candidateHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return c
+}
+
+// Decompose simplifies m with quadric-error half-edge collapses until at
+// most targetFaces faces remain (or no valid collapse is left), recording
+// the vertex-split sequence. The input mesh is not modified.
+func Decompose(m *mesh.Mesh, targetFaces int) *Progressive {
+	if targetFaces < 4 {
+		targetFaces = 4
+	}
+	p := &Progressive{
+		verts:  append([]geom.Vec3(nil), m.Verts...),
+		vAlive: make([]bool, len(m.Verts)),
+		faces:  append([][3]int32(nil), m.Faces...),
+		fAlive: make([]bool, len(m.Faces)),
+	}
+	for i := range p.vAlive {
+		p.vAlive[i] = true
+	}
+	for i := range p.fAlive {
+		p.fAlive[i] = true
+	}
+
+	// Adjacency: vertex → alive incident face ids.
+	vFaces := make([][]int32, len(p.verts))
+	for fi, f := range p.faces {
+		for _, v := range f {
+			vFaces[v] = append(vFaces[v], int32(fi))
+		}
+	}
+
+	// Per-vertex quadrics.
+	quadrics := make([]quadric, len(p.verts))
+	for _, f := range p.faces {
+		q := planeQuadric(p.verts[f[0]], p.verts[f[1]], p.verts[f[2]])
+		quadrics[f[0]].add(&q)
+		quadrics[f[1]].add(&q)
+		quadrics[f[2]].add(&q)
+	}
+
+	version := make([]int, len(p.verts))
+	h := &candidateHeap{}
+	heap.Init(h)
+	pushEdge := func(u, v int32) {
+		// Half-edge collapse v→u: cost of placing the merged vertex at u.
+		q := quadrics[u]
+		q.add(&quadrics[v])
+		heap.Push(h, &candidate{
+			cost: q.eval(p.verts[u]),
+			u:    u, v: v,
+			versions: [2]int{version[u], version[v]},
+		})
+	}
+	for _, e := range m.Edges() {
+		pushEdge(e.A, e.B) // collapse B→A
+		pushEdge(e.B, e.A) // collapse A→B
+	}
+
+	aliveFaces := len(p.faces)
+	for aliveFaces > targetFaces && h.Len() > 0 {
+		c := heap.Pop(h).(*candidate)
+		if c.versions[0] != version[c.u] || c.versions[1] != version[c.v] {
+			continue // stale
+		}
+		if !p.vAlive[c.u] || !p.vAlive[c.v] {
+			continue
+		}
+		if !validCollapse(p, vFaces, c.u, c.v) {
+			continue
+		}
+
+		// Perform the collapse v→u.
+		sp := VSplit{U: c.u, V: c.v, VPos: p.verts[c.v]}
+		for _, fi := range vFaces[c.v] {
+			if !p.fAlive[fi] {
+				continue
+			}
+			f := p.faces[fi]
+			if hasVertex(f, c.u) {
+				// Degenerate after merge: remove.
+				sp.dead = append(sp.dead, fi)
+				p.fAlive[fi] = false
+				aliveFaces--
+				continue
+			}
+			sp.retarget = append(sp.retarget, fi)
+			for k := 0; k < 3; k++ {
+				if f[k] == c.v {
+					p.faces[fi][k] = c.u
+				}
+			}
+			vFaces[c.u] = append(vFaces[c.u], fi)
+		}
+		p.vAlive[c.v] = false
+		quadrics[c.u].add(&quadrics[c.v])
+		version[c.u]++
+		version[c.v]++
+		p.splits = append(p.splits, sp)
+
+		// Refresh candidates around u.
+		vFaces[c.u] = compactAlive(p, vFaces[c.u])
+		for _, nb := range neighborsOf(p, vFaces, c.u) {
+			pushEdge(c.u, nb)
+			pushEdge(nb, c.u)
+		}
+	}
+
+	p.baseVerts = countTrue(p.vAlive)
+	p.baseFaces = aliveFaces
+	return p
+}
+
+// validCollapse checks the link condition for a manifold half-edge
+// collapse: u and v must share exactly two common neighbors (the apexes
+// of the two faces on edge (u, v)); otherwise the collapse would pinch
+// the surface. It also requires the edge to actually exist with two
+// incident faces.
+func validCollapse(p *Progressive, vFaces [][]int32, u, v int32) bool {
+	shared := 0
+	common := 0
+	nu := neighborSet(p, vFaces, u)
+	for _, fi := range vFaces[v] {
+		if !p.fAlive[fi] {
+			continue
+		}
+		if hasVertex(p.faces[fi], u) {
+			shared++
+		}
+	}
+	if shared != 2 {
+		return false
+	}
+	for _, nb := range neighborsOf(p, vFaces, v) {
+		if nu[nb] {
+			common++
+		}
+	}
+	return common == 2
+}
+
+func hasVertex(f [3]int32, v int32) bool {
+	return f[0] == v || f[1] == v || f[2] == v
+}
+
+func compactAlive(p *Progressive, fs []int32) []int32 {
+	out := fs[:0]
+	seen := make(map[int32]bool, len(fs))
+	for _, fi := range fs {
+		if p.fAlive[fi] && !seen[fi] {
+			out = append(out, fi)
+			seen[fi] = true
+		}
+	}
+	return out
+}
+
+func neighborsOf(p *Progressive, vFaces [][]int32, v int32) []int32 {
+	set := neighborSet(p, vFaces, v)
+	out := make([]int32, 0, len(set))
+	for nb := range set {
+		out = append(out, nb)
+	}
+	return out
+}
+
+func neighborSet(p *Progressive, vFaces [][]int32, v int32) map[int32]bool {
+	set := make(map[int32]bool)
+	for _, fi := range vFaces[v] {
+		if !p.fAlive[fi] {
+			continue
+		}
+		for _, w := range p.faces[fi] {
+			if w != v {
+				set[w] = true
+			}
+		}
+	}
+	return set
+}
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,166 @@
+package pmesh
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+)
+
+// ChamferError measures the approximation error between two meshes as
+// the symmetric mean nearest-vertex distance: for each vertex of a, the
+// distance to the closest vertex of b, and vice versa, averaged. It is
+// correspondence-free, so it works between meshes of different
+// connectivity — exactly what comparing wavelet and progressive-mesh
+// approximations requires. A uniform grid over b's vertices keeps it
+// near-linear.
+func ChamferError(a, b *mesh.Mesh) float64 {
+	if a.NumVerts() == 0 || b.NumVerts() == 0 {
+		return math.Inf(1)
+	}
+	return (meanNearest(a, b) + meanNearest(b, a)) / 2
+}
+
+// meanNearest returns the mean distance from a's vertices to their
+// nearest vertex in b.
+func meanNearest(a, b *mesh.Mesh) float64 {
+	idx := newPointGrid(b.Verts)
+	var sum float64
+	for _, v := range a.Verts {
+		sum += idx.nearest(v)
+	}
+	return sum / float64(len(a.Verts))
+}
+
+// pointGrid is a uniform hash grid over points for nearest-point queries.
+type pointGrid struct {
+	cell   float64
+	cells  map[[3]int32][]geom.Vec3
+	min    geom.Vec3
+	bounds geom.Rect3
+}
+
+func newPointGrid(pts []geom.Vec3) *pointGrid {
+	bounds := geom.Rect3At(pts[0])
+	for _, p := range pts[1:] {
+		bounds = bounds.AddPoint(p)
+	}
+	// Aim for a handful of points per cell.
+	ext := bounds.Max.Sub(bounds.Min)
+	maxExt := math.Max(ext.X, math.Max(ext.Y, ext.Z))
+	cell := maxExt / 32
+	if cell <= 0 {
+		cell = 1
+	}
+	g := &pointGrid{
+		cell:   cell,
+		cells:  make(map[[3]int32][]geom.Vec3),
+		min:    bounds.Min,
+		bounds: bounds,
+	}
+	for _, p := range pts {
+		k := g.key(p)
+		g.cells[k] = append(g.cells[k], p)
+	}
+	return g
+}
+
+func (g *pointGrid) key(p geom.Vec3) [3]int32 {
+	return [3]int32{
+		int32(math.Floor((p.X - g.min.X) / g.cell)),
+		int32(math.Floor((p.Y - g.min.Y) / g.cell)),
+		int32(math.Floor((p.Z - g.min.Z) / g.cell)),
+	}
+}
+
+// nearest returns the distance from p to the closest stored point,
+// searching rings of cells outward until a hit cannot be beaten. The
+// start radius skips empty space for query points far outside the stored
+// cloud, and the search is bounded by the grid's own extent so it always
+// terminates with the exact answer.
+func (g *pointGrid) nearest(p geom.Vec3) float64 {
+	center := g.key(p)
+	// Distance from p to the cloud's bounding box tells us the first ring
+	// that can possibly contain a point.
+	boxDist := distToBox(p, g.bounds)
+	start := int32(boxDist/g.cell) - 1
+	if start < 0 {
+		start = 0
+	}
+	// No stored point can be farther from center than the box's far
+	// corner.
+	far := p.Dist(farCorner(p, g.bounds))
+	maxRadius := int32(far/g.cell) + 2
+
+	best := math.Inf(1)
+	for radius := start; radius <= maxRadius; radius++ {
+		if !math.IsInf(best, 1) && float64(radius-1)*g.cell > best {
+			return best
+		}
+		for dx := -radius; dx <= radius; dx++ {
+			for dy := -radius; dy <= radius; dy++ {
+				for dz := -radius; dz <= radius; dz++ {
+					if maxAbs3(dx, dy, dz) != radius {
+						continue // only the shell of this ring
+					}
+					k := [3]int32{center[0] + dx, center[1] + dy, center[2] + dz}
+					for _, q := range g.cells[k] {
+						if d := p.Dist(q); d < best {
+							best = d
+						}
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// distToBox returns the distance from p to the closed box (0 inside).
+func distToBox(p geom.Vec3, b geom.Rect3) float64 {
+	dx := axisGap(p.X, b.Min.X, b.Max.X)
+	dy := axisGap(p.Y, b.Min.Y, b.Max.Y)
+	dz := axisGap(p.Z, b.Min.Z, b.Max.Z)
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+func axisGap(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo - x
+	}
+	if x > hi {
+		return x - hi
+	}
+	return 0
+}
+
+// farCorner returns the box corner farthest from p.
+func farCorner(p geom.Vec3, b geom.Rect3) geom.Vec3 {
+	pick := func(x, lo, hi float64) float64 {
+		if x-lo > hi-x {
+			return lo
+		}
+		return hi
+	}
+	return geom.V3(pick(p.X, b.Min.X, b.Max.X), pick(p.Y, b.Min.Y, b.Max.Y), pick(p.Z, b.Min.Z, b.Max.Z))
+}
+
+func maxAbs3(a, b, c int32) int32 {
+	m := a
+	if m < 0 {
+		m = -m
+	}
+	if b < 0 {
+		b = -b
+	}
+	if c < 0 {
+		c = -c
+	}
+	if b > m {
+		m = b
+	}
+	if c > m {
+		m = c
+	}
+	return m
+}

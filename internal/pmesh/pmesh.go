@@ -1,0 +1,129 @@
+// Package pmesh implements progressive meshes (Hoppe, SIGGRAPH 1996) as
+// the multiresolution baseline the paper contrasts wavelets against in
+// §II: a fine mesh is simplified by quadric-error half-edge collapses to
+// a small base mesh, recording one vertex-split per collapse; replaying
+// splits base→fine reconstructs the original mesh exactly. The package
+// exists for the compactness ablation — bytes of progressive
+// transmission needed to reach a given approximation error, wavelets vs
+// progressive meshes.
+package pmesh
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+)
+
+// VSplitWireBytes is the canonical serialized size of one vertex split in
+// Hoppe's encoding: the split vertex id (4), the two cut-neighbor ids
+// that delimit the reattached face wedge (2 × 4), and the new vertex
+// position (3 × float32 = 12). Our in-memory records store explicit face
+// lists for exact inversion; the wire model uses the canonical size.
+const VSplitWireBytes = 4 + 8 + 12
+
+// BaseVertexWireBytes is the per-vertex cost of shipping the base mesh
+// (position as 3 × float32).
+const BaseVertexWireBytes = 12
+
+// VSplit is one recorded collapse, stored with enough information to
+// invert it exactly.
+type VSplit struct {
+	U    int32     // surviving vertex of the collapse
+	V    int32     // vertex the split re-creates
+	VPos geom.Vec3 // position of V
+
+	// retarget lists faces (by stable face id) whose V was rewritten to U
+	// during the collapse; the split rewrites them back.
+	retarget []int32
+	// dead lists faces removed by the collapse; the split revives them.
+	dead []int32
+}
+
+// Progressive is a simplified mesh plus the vertex-split sequence back to
+// the original. Vertex and face ids are stable (tombstoned, never
+// reused), so splits can be replayed in reverse collapse order.
+type Progressive struct {
+	verts  []geom.Vec3
+	vAlive []bool
+	faces  [][3]int32
+	fAlive []bool
+	splits []VSplit // collapse order; reconstruction applies them backwards
+
+	baseVerts int // alive vertices at the base
+	baseFaces int
+}
+
+// NumSplits returns the number of recorded vertex splits.
+func (p *Progressive) NumSplits() int { return len(p.splits) }
+
+// BaseWireBytes returns the transmission size of the base mesh (vertex
+// positions; connectivity of the small base is negligible and identical
+// for every encoding compared).
+func (p *Progressive) BaseWireBytes() int { return p.baseVerts * BaseVertexWireBytes }
+
+// WireBytesAt returns the bytes of a progressive transmission of the
+// base mesh plus the first k splits (base→fine order).
+func (p *Progressive) WireBytesAt(k int) int {
+	if k < 0 {
+		k = 0
+	}
+	if k > len(p.splits) {
+		k = len(p.splits)
+	}
+	return p.BaseWireBytes() + k*VSplitWireBytes
+}
+
+// MeshAt reconstructs the mesh after the base plus k splits (0 ≤ k ≤
+// NumSplits). k = NumSplits reproduces the original mesh exactly (up to
+// vertex/face reordering).
+func (p *Progressive) MeshAt(k int) *mesh.Mesh {
+	if k < 0 || k > len(p.splits) {
+		panic(fmt.Sprintf("pmesh: k = %d out of [0,%d]", k, len(p.splits)))
+	}
+	vAlive := append([]bool(nil), p.vAlive...)
+	fAlive := append([]bool(nil), p.fAlive...)
+	faces := make([][3]int32, len(p.faces))
+	copy(faces, p.faces)
+
+	// Replay the last k collapses in reverse.
+	for i := 0; i < k; i++ {
+		sp := &p.splits[len(p.splits)-1-i]
+		vAlive[sp.V] = true
+		for _, fi := range sp.retarget {
+			for c := 0; c < 3; c++ {
+				if faces[fi][c] == sp.U {
+					faces[fi][c] = sp.V
+				}
+			}
+		}
+		for _, fi := range sp.dead {
+			fAlive[fi] = true
+		}
+	}
+
+	// Compact.
+	remap := make([]int32, len(p.verts))
+	out := &mesh.Mesh{}
+	for i, alive := range vAlive {
+		if alive {
+			remap[i] = int32(len(out.Verts))
+			out.Verts = append(out.Verts, p.verts[i])
+		} else {
+			remap[i] = -1
+		}
+	}
+	for i, alive := range fAlive {
+		if alive {
+			f := faces[i]
+			out.Faces = append(out.Faces, [3]int32{remap[f[0]], remap[f[1]], remap[f[2]]})
+		}
+	}
+	return out
+}
+
+// BaseMesh returns the simplified base mesh (MeshAt(0)).
+func (p *Progressive) BaseMesh() *mesh.Mesh { return p.MeshAt(0) }
+
+// FullMesh returns the exact original mesh (MeshAt(NumSplits)).
+func (p *Progressive) FullMesh() *mesh.Mesh { return p.MeshAt(p.NumSplits()) }

@@ -1,0 +1,221 @@
+package pmesh
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+	"repro/internal/wavelet"
+)
+
+// fineMesh returns a level-3 subdivision of a building surface (578
+// vertices, 512 faces... octahedron: 8·4³ = 512 faces).
+func fineMesh(t testing.TB, seed int64, levels int) *mesh.Mesh {
+	t.Helper()
+	s := mesh.RandomBuilding(rand.New(rand.NewSource(seed)), geom.V2(0, 0),
+		mesh.DefaultBuildingSpec())
+	m, _ := mesh.Refine(mesh.BaseMeshFor(s), s, levels)
+	return m
+}
+
+func TestDecomposeReachesTarget(t *testing.T) {
+	m := fineMesh(t, 1, 3)
+	p := Decompose(m, 32)
+	base := p.BaseMesh()
+	if base.NumFaces() > 32 {
+		t.Fatalf("base has %d faces, target 32", base.NumFaces())
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if chi := base.EulerCharacteristic(); chi != 2 {
+		t.Errorf("base Euler characteristic = %d", chi)
+	}
+	if p.NumSplits() == 0 {
+		t.Fatal("no splits recorded")
+	}
+}
+
+// TestFullReconstructionExact is the core invariant: replaying every
+// vertex split reproduces the original mesh exactly (as a set of
+// positioned triangles).
+func TestFullReconstructionExact(t *testing.T) {
+	m := fineMesh(t, 2, 3)
+	p := Decompose(m, 32)
+	got := p.FullMesh()
+	if got.NumVerts() != m.NumVerts() || got.NumFaces() != m.NumFaces() {
+		t.Fatalf("reconstruction %d/%d vs original %d/%d",
+			got.NumVerts(), got.NumFaces(), m.NumVerts(), m.NumFaces())
+	}
+	if canonicalFaces(got) != canonicalFaces(m) {
+		t.Fatal("reconstructed face set differs from the original")
+	}
+}
+
+// canonicalFaces renders a mesh as a sorted multiset of positioned
+// triangles, invariant to vertex/face reordering.
+func canonicalFaces(m *mesh.Mesh) string {
+	tris := make([]string, 0, m.NumFaces())
+	for _, f := range m.Faces {
+		// Canonical corner order within the face by coordinates.
+		ps := []geom.Vec3{m.Verts[f[0]], m.Verts[f[1]], m.Verts[f[2]]}
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].X != ps[j].X {
+				return ps[i].X < ps[j].X
+			}
+			if ps[i].Y != ps[j].Y {
+				return ps[i].Y < ps[j].Y
+			}
+			return ps[i].Z < ps[j].Z
+		})
+		tris = append(tris, ps[0].String()+ps[1].String()+ps[2].String())
+	}
+	sort.Strings(tris)
+	out := ""
+	for _, s := range tris {
+		out += s + "\n"
+	}
+	return out
+}
+
+func TestIntermediateMeshesValid(t *testing.T) {
+	m := fineMesh(t, 3, 3)
+	p := Decompose(m, 32)
+	for _, k := range []int{0, p.NumSplits() / 4, p.NumSplits() / 2, p.NumSplits()} {
+		mk := p.MeshAt(k)
+		if err := mk.Validate(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if chi := mk.EulerCharacteristic(); chi != 2 {
+			t.Errorf("k=%d: Euler characteristic = %d", k, chi)
+		}
+	}
+}
+
+func TestProgressiveErrorDecreases(t *testing.T) {
+	m := fineMesh(t, 4, 3)
+	p := Decompose(m, 32)
+	prev := ChamferError(p.BaseMesh(), m)
+	if prev <= 0 {
+		t.Fatalf("base error = %v", prev)
+	}
+	for frac := 1; frac <= 4; frac++ {
+		k := p.NumSplits() * frac / 4
+		e := ChamferError(p.MeshAt(k), m)
+		if e > prev*1.05 {
+			t.Fatalf("error rose from %v to %v at k=%d", prev, e, k)
+		}
+		prev = e
+	}
+	if prev > 1e-9 {
+		t.Fatalf("full reconstruction error = %v", prev)
+	}
+}
+
+func TestWireBytes(t *testing.T) {
+	m := fineMesh(t, 5, 2)
+	p := Decompose(m, 16)
+	if p.WireBytesAt(0) != p.BaseWireBytes() {
+		t.Error("base bytes mismatch")
+	}
+	if got := p.WireBytesAt(10) - p.WireBytesAt(0); got != 10*VSplitWireBytes {
+		t.Errorf("10 splits cost %d bytes", got)
+	}
+	// Clamping.
+	if p.WireBytesAt(-5) != p.WireBytesAt(0) {
+		t.Error("negative k not clamped")
+	}
+	if p.WireBytesAt(1<<20) != p.WireBytesAt(p.NumSplits()) {
+		t.Error("huge k not clamped")
+	}
+}
+
+func TestMeshAtPanicsOutOfRange(t *testing.T) {
+	m := fineMesh(t, 6, 2)
+	p := Decompose(m, 16)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	p.MeshAt(p.NumSplits() + 1)
+}
+
+func TestChamferErrorBasics(t *testing.T) {
+	a := mesh.Octahedron()
+	if e := ChamferError(a, a); e != 0 {
+		t.Errorf("self error = %v", e)
+	}
+	b := a.Clone().Translate(geom.V3(10, 0, 0))
+	e := ChamferError(a, b)
+	if e <= 0 {
+		t.Errorf("translated error = %v", e)
+	}
+	// Roughly the translation distance for far-apart copies.
+	if e < 8 || e > 12 {
+		t.Errorf("translated error = %v, want ≈ 10", e)
+	}
+}
+
+// TestWaveletsMoreCompactThanPM verifies the §II claim that motivates the
+// whole design: "wavelet-based approaches offer a more compact coding for
+// progressive transmission". For a subdivision-sampled surface, reaching
+// a mid-range approximation error must cost fewer bytes with wavelet
+// coefficients than with vertex splits.
+func TestWaveletsMoreCompactThanPM(t *testing.T) {
+	s := mesh.RandomBuilding(rand.New(rand.NewSource(7)), geom.V2(0, 0),
+		mesh.DefaultBuildingSpec())
+	const levels = 3
+	d := wavelet.Decompose(0, mesh.BaseMeshFor(s), s, levels)
+	full := d.Final
+	p := Decompose(full, 2*mesh.Octahedron().NumFaces())
+
+	// Error budget: half-way between base and full quality (geometric
+	// mean of the base errors).
+	target := ChamferError(p.BaseMesh(), full) / 8
+
+	// Wavelet transmission: coefficients in descending-value order, in
+	// their minimal encoding — the subdivision schema makes topology,
+	// level, and value implicit, so a record is id + quantized delta.
+	coeffs := append([]wavelet.Coefficient(nil), d.Coeffs...)
+	sort.SliceStable(coeffs, func(i, j int) bool { return coeffs[i].Value > coeffs[j].Value })
+	recon := wavelet.NewReconstructor(d.Base, d.Bounds().Center(), d.J)
+	waveletRecords := -1
+	for i := range coeffs {
+		recon.Apply(coeffs[i])
+		if (i+1)%25 == 0 || i == len(coeffs)-1 {
+			if ChamferError(recon.Mesh(), full) <= target {
+				waveletRecords = i + 1
+				break
+			}
+		}
+	}
+	if waveletRecords < 0 {
+		t.Fatal("wavelet transmission never reached the error target")
+	}
+	waveletBytes := waveletRecords * wavelet.MinimalWireBytes
+
+	// Progressive-mesh transmission: vertex splits in recorded order;
+	// each split must carry its connectivity.
+	pmRecords, pmBytes := -1, -1
+	for k := 0; k <= p.NumSplits(); k += 25 {
+		if ChamferError(p.MeshAt(k), full) <= target {
+			pmRecords = k
+			pmBytes = p.WireBytesAt(k)
+			break
+		}
+	}
+	if pmBytes < 0 {
+		pmRecords = p.NumSplits()
+		pmBytes = p.WireBytesAt(p.NumSplits())
+	}
+
+	t.Logf("error target %.4f: wavelets %d records / %d B, progressive mesh %d records / %d B",
+		target, waveletRecords, waveletBytes, pmRecords, pmBytes)
+	if waveletBytes >= pmBytes {
+		t.Errorf("wavelets (%d B) not more compact than progressive meshes (%d B)",
+			waveletBytes, pmBytes)
+	}
+}

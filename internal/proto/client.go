@@ -1,0 +1,162 @@
+package proto
+
+import (
+	"fmt"
+	"net"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+	"repro/internal/retrieval"
+	"repro/internal/wavelet"
+)
+
+// Client is the networked mobile client: it plans incremental sub-queries
+// with Algorithm 1, ships them over a connection, and feeds the streamed
+// coefficients into per-object reconstructors so the caller can render
+// (or measure) the meshes it has received so far.
+type Client struct {
+	conn  net.Conn
+	r     *Reader
+	w     *Writer
+	hello Hello
+
+	planner *retrieval.Client
+	recons  map[int32]*wavelet.Reconstructor
+
+	// Totals over the connection's lifetime.
+	BytesReceived int64
+	Coefficients  int64
+	ServerIO      int64
+}
+
+// Dial connects to a protocol server and performs the handshake.
+func Dial(addr string, mapSpeed retrieval.MapSpeedToResolution) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn, mapSpeed)
+}
+
+// NewClient performs the handshake over an established connection.
+func NewClient(conn net.Conn, mapSpeed retrieval.MapSpeedToResolution) (*Client, error) {
+	c := &Client{
+		conn:    conn,
+		r:       NewReader(conn),
+		w:       NewWriter(conn),
+		planner: retrieval.NewClient(nil, mapSpeed),
+		recons:  make(map[int32]*wavelet.Reconstructor),
+	}
+	tag, err := c.r.ReadTag()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("proto: handshake read: %w", err)
+	}
+	if tag != TagHello {
+		conn.Close()
+		return nil, fmt.Errorf("proto: expected hello, got tag %d", tag)
+	}
+	if c.hello, err = c.r.ReadHello(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Hello returns the dataset schema announced by the server.
+func (c *Client) Hello() Hello { return c.hello }
+
+// Space returns the navigable data space.
+func (c *Client) Space() geom.Rect2 { return c.hello.Space }
+
+// Frame issues one continuous-query frame: Algorithm 1 planning, one
+// round-trip, reconstruction state update. It returns the number of new
+// coefficients received.
+func (c *Client) Frame(q geom.Rect2, speed float64) (int, error) {
+	subs := c.planner.PlanFrame(q, speed)
+	if err := c.w.WriteRequest(Request{Speed: speed, Subs: subs}); err != nil {
+		return 0, err
+	}
+	tag, err := c.r.ReadTag()
+	if err != nil {
+		return 0, err
+	}
+	switch tag {
+	case TagResponse:
+		resp, err := c.r.ReadResponse()
+		if err != nil {
+			return 0, err
+		}
+		for i := range resp.Coeffs {
+			c.apply(&resp.Coeffs[i])
+		}
+		c.BytesReceived += int64(len(resp.Coeffs)) * wavelet.WireBytes
+		c.Coefficients += int64(len(resp.Coeffs))
+		c.ServerIO += resp.IO
+		c.planner.Advance(q, speed)
+		return len(resp.Coeffs), nil
+	case TagError:
+		msg, err := c.r.ReadError()
+		if err != nil {
+			return 0, err
+		}
+		return 0, fmt.Errorf("proto: server error: %s", msg)
+	default:
+		return 0, fmt.Errorf("proto: unexpected tag %d", tag)
+	}
+}
+
+// apply routes one coefficient into its object's reconstructor, creating
+// the reconstructor on first contact. All generated objects share the
+// octahedron subdivision schema announced in the hello.
+func (c *Client) apply(pc *Coeff) {
+	r, ok := c.recons[pc.Object]
+	if !ok {
+		r = wavelet.NewReconstructor(mesh.Octahedron(), geom.Vec3{}, int(c.hello.Levels))
+		c.recons[pc.Object] = r
+	}
+	level := int8(0)
+	if pc.Vertex < c.hello.BaseVerts {
+		level = wavelet.BaseLevel
+	}
+	r.Apply(wavelet.Coefficient{
+		Object: pc.Object,
+		Vertex: pc.Vertex,
+		Level:  level,
+		Delta:  pc.Delta,
+		Value:  float64(pc.Value),
+	})
+}
+
+// Objects returns the ids of objects the client has received data for.
+func (c *Client) Objects() []int32 {
+	out := make([]int32, 0, len(c.recons))
+	for id := range c.recons {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Mesh reconstructs one object from everything received so far; ok is
+// false if no data has arrived for it.
+func (c *Client) Mesh(object int32) (m *mesh.Mesh, ok bool) {
+	r, found := c.recons[object]
+	if !found {
+		return nil, false
+	}
+	return r.Mesh(), true
+}
+
+// CoeffCount returns the number of coefficients held for one object.
+func (c *Client) CoeffCount(object int32) int {
+	if r, ok := c.recons[object]; ok {
+		return r.Count()
+	}
+	return 0
+}
+
+// Close sends a goodbye and closes the connection.
+func (c *Client) Close() error {
+	c.w.WriteBye()
+	return c.conn.Close()
+}

@@ -1,0 +1,330 @@
+// Package proto defines the binary wire protocol between a mobile client
+// and the retrieval server for the networked demonstration: a hello
+// handshake carrying the dataset schema, window-query requests (the
+// sub-query sets Algorithm 1 produces), and streamed coefficient records.
+// Framing is little-endian with explicit lengths, written through
+// bufio so each message costs one flush — mirroring the
+// one-connection-per-query cost model of the paper.
+package proto
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/retrieval"
+	"repro/internal/wavelet"
+)
+
+// Message type tags.
+const (
+	TagHello    = byte(1)
+	TagRequest  = byte(2)
+	TagResponse = byte(3)
+	TagError    = byte(4)
+	TagBye      = byte(5)
+)
+
+// Version is bumped on incompatible wire changes.
+const Version = 1
+
+// MaxSubQueries bounds one request; Algorithm 1 produces at most 5
+// sub-queries (overlap band + 4 difference rectangles), so anything
+// larger indicates a corrupted stream.
+const MaxSubQueries = 64
+
+// MaxCoeffs bounds one response (sanity limit against corrupted length
+// prefixes).
+const MaxCoeffs = 1 << 24
+
+// Hello announces the dataset schema: the client needs the subdivision
+// depth, base-mesh vertex count, and object count to set up
+// reconstructors, and the space bounds to navigate.
+type Hello struct {
+	Version   int32
+	Objects   int32
+	Levels    int32
+	BaseVerts int32 // vertices of the shared base mesh (octahedron: 6)
+	Space     geom.Rect2
+}
+
+// Request carries the sub-queries of one query frame together with the
+// client's declared speed (for server-side logging/derating).
+type Request struct {
+	Speed float64
+	Subs  []retrieval.SubQuery
+}
+
+// Coeff is one coefficient on the wire: ids, the full-precision
+// displacement the reconstruction applies, the fitted position (single
+// precision, enough for progressive point splatting before parents
+// arrive), and the normalized value. At 48 bytes it matches
+// wavelet.WireBytes, keeping the simulated and real byte accounting
+// consistent. Whether a record is a base pseudo-coefficient follows from
+// Vertex < Hello.BaseVerts.
+type Coeff struct {
+	Object int32
+	Vertex int32
+	Delta  geom.Vec3 // 3 × float64 = 24 bytes
+	Pos    [3]float32
+	Value  float32
+}
+
+// wireCoeffBytes is the on-the-wire size of one Coeff record.
+const wireCoeffBytes = 4 + 4 + 24 + 12 + 4
+
+func init() {
+	if wireCoeffBytes != wavelet.WireBytes {
+		panic("proto: wire size drifted from wavelet.WireBytes")
+	}
+}
+
+// Response streams the coefficients answering one request.
+type Response struct {
+	Coeffs []Coeff
+	IO     int64 // server-side index node reads (for experiment parity)
+}
+
+// Writer frames messages onto a stream.
+type Writer struct {
+	w *bufio.Writer
+}
+
+// NewWriter wraps a connection.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+func (w *Writer) u8(v byte)     { w.w.WriteByte(v) }
+func (w *Writer) i32(v int32)   { binary.Write(w.w, binary.LittleEndian, v) }
+func (w *Writer) f64(v float64) { binary.Write(w.w, binary.LittleEndian, v) }
+func (w *Writer) f32(v float32) { binary.Write(w.w, binary.LittleEndian, v) }
+
+// WriteHello sends the handshake.
+func (w *Writer) WriteHello(h Hello) error {
+	w.u8(TagHello)
+	w.i32(h.Version)
+	w.i32(h.Objects)
+	w.i32(h.Levels)
+	w.i32(h.BaseVerts)
+	for _, f := range []float64{h.Space.Min.X, h.Space.Min.Y, h.Space.Max.X, h.Space.Max.Y} {
+		w.f64(f)
+	}
+	return w.w.Flush()
+}
+
+// WriteRequest sends one query frame's sub-queries.
+func (w *Writer) WriteRequest(r Request) error {
+	if len(r.Subs) > MaxSubQueries {
+		return fmt.Errorf("proto: %d sub-queries exceeds limit %d", len(r.Subs), MaxSubQueries)
+	}
+	w.u8(TagRequest)
+	w.f64(r.Speed)
+	w.i32(int32(len(r.Subs)))
+	for _, s := range r.Subs {
+		for _, f := range []float64{
+			s.Region.Min.X, s.Region.Min.Y, s.Region.Max.X, s.Region.Max.Y,
+			s.WMin, s.WMax,
+		} {
+			w.f64(f)
+		}
+	}
+	return w.w.Flush()
+}
+
+// WriteResponse streams the coefficients for one request.
+func (w *Writer) WriteResponse(r Response) error {
+	if len(r.Coeffs) > MaxCoeffs {
+		return fmt.Errorf("proto: response of %d coefficients exceeds limit", len(r.Coeffs))
+	}
+	w.u8(TagResponse)
+	w.i32(int32(len(r.Coeffs)))
+	binary.Write(w.w, binary.LittleEndian, r.IO)
+	for i := range r.Coeffs {
+		c := &r.Coeffs[i]
+		w.i32(c.Object)
+		w.i32(c.Vertex)
+		w.f64(c.Delta.X)
+		w.f64(c.Delta.Y)
+		w.f64(c.Delta.Z)
+		w.f32(c.Pos[0])
+		w.f32(c.Pos[1])
+		w.f32(c.Pos[2])
+		w.f32(c.Value)
+	}
+	return w.w.Flush()
+}
+
+// WriteError sends an error message.
+func (w *Writer) WriteError(msg string) error {
+	if len(msg) > math.MaxInt32 {
+		msg = msg[:1024]
+	}
+	w.u8(TagError)
+	w.i32(int32(len(msg)))
+	w.w.WriteString(msg)
+	return w.w.Flush()
+}
+
+// WriteBye announces an orderly shutdown.
+func (w *Writer) WriteBye() error {
+	w.u8(TagBye)
+	return w.w.Flush()
+}
+
+// Reader parses framed messages from a stream.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader wraps a connection.
+func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReader(r)} }
+
+func (r *Reader) u8() (byte, error) { return r.r.ReadByte() }
+
+func (r *Reader) i32() (int32, error) {
+	var v int32
+	err := binary.Read(r.r, binary.LittleEndian, &v)
+	return v, err
+}
+
+func (r *Reader) i64() (int64, error) {
+	var v int64
+	err := binary.Read(r.r, binary.LittleEndian, &v)
+	return v, err
+}
+
+func (r *Reader) f64() (float64, error) {
+	var v float64
+	err := binary.Read(r.r, binary.LittleEndian, &v)
+	return v, err
+}
+
+func (r *Reader) f32() (float32, error) {
+	var v float32
+	err := binary.Read(r.r, binary.LittleEndian, &v)
+	return v, err
+}
+
+// ReadTag returns the next message tag.
+func (r *Reader) ReadTag() (byte, error) { return r.u8() }
+
+// ReadHello parses a hello body (after its tag).
+func (r *Reader) ReadHello() (Hello, error) {
+	var h Hello
+	var err error
+	if h.Version, err = r.i32(); err != nil {
+		return h, err
+	}
+	if h.Objects, err = r.i32(); err != nil {
+		return h, err
+	}
+	if h.Levels, err = r.i32(); err != nil {
+		return h, err
+	}
+	if h.BaseVerts, err = r.i32(); err != nil {
+		return h, err
+	}
+	fs := make([]float64, 4)
+	for i := range fs {
+		if fs[i], err = r.f64(); err != nil {
+			return h, err
+		}
+	}
+	h.Space = geom.Rect2{Min: geom.V2(fs[0], fs[1]), Max: geom.V2(fs[2], fs[3])}
+	if h.Version != Version {
+		return h, fmt.Errorf("proto: version %d, want %d", h.Version, Version)
+	}
+	return h, nil
+}
+
+// ReadRequest parses a request body (after its tag).
+func (r *Reader) ReadRequest() (Request, error) {
+	var req Request
+	var err error
+	if req.Speed, err = r.f64(); err != nil {
+		return req, err
+	}
+	n, err := r.i32()
+	if err != nil {
+		return req, err
+	}
+	if n < 0 || n > MaxSubQueries {
+		return req, fmt.Errorf("proto: bad sub-query count %d", n)
+	}
+	req.Subs = make([]retrieval.SubQuery, n)
+	for i := range req.Subs {
+		fs := make([]float64, 6)
+		for j := range fs {
+			if fs[j], err = r.f64(); err != nil {
+				return req, err
+			}
+		}
+		req.Subs[i] = retrieval.SubQuery{
+			Region: geom.Rect2{Min: geom.V2(fs[0], fs[1]), Max: geom.V2(fs[2], fs[3])},
+			WMin:   fs[4],
+			WMax:   fs[5],
+		}
+	}
+	return req, nil
+}
+
+// ReadResponse parses a response body (after its tag).
+func (r *Reader) ReadResponse() (Response, error) {
+	var resp Response
+	n, err := r.i32()
+	if err != nil {
+		return resp, err
+	}
+	if n < 0 || n > MaxCoeffs {
+		return resp, fmt.Errorf("proto: bad coefficient count %d", n)
+	}
+	if resp.IO, err = r.i64(); err != nil {
+		return resp, err
+	}
+	resp.Coeffs = make([]Coeff, n)
+	for i := range resp.Coeffs {
+		c := &resp.Coeffs[i]
+		if c.Object, err = r.i32(); err != nil {
+			return resp, err
+		}
+		if c.Vertex, err = r.i32(); err != nil {
+			return resp, err
+		}
+		if c.Delta.X, err = r.f64(); err != nil {
+			return resp, err
+		}
+		if c.Delta.Y, err = r.f64(); err != nil {
+			return resp, err
+		}
+		if c.Delta.Z, err = r.f64(); err != nil {
+			return resp, err
+		}
+		for j := 0; j < 3; j++ {
+			if c.Pos[j], err = r.f32(); err != nil {
+				return resp, err
+			}
+		}
+		if c.Value, err = r.f32(); err != nil {
+			return resp, err
+		}
+	}
+	return resp, nil
+}
+
+// ReadError parses an error body (after its tag).
+func (r *Reader) ReadError() (string, error) {
+	n, err := r.i32()
+	if err != nil {
+		return "", err
+	}
+	if n < 0 || n > 1<<20 {
+		return "", fmt.Errorf("proto: bad error length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,139 @@
+package proto
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/retrieval"
+)
+
+// Server serves the retrieval protocol over TCP (or any net.Listener).
+// Each connection is one client session with its own delivered-set
+// filtering, exactly like the in-process retrieval.Session.
+type Server struct {
+	srv    *retrieval.Server
+	levels int
+	logf   func(format string, args ...any)
+
+	mu     sync.Mutex
+	closed bool
+	lis    net.Listener
+}
+
+// NewServer wraps a retrieval server for network access. levels is the
+// dataset's subdivision depth, announced in the hello. logf may be nil.
+func NewServer(srv *retrieval.Server, levels int, logf func(string, ...any)) *Server {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{srv: srv, levels: levels, logf: logf}
+}
+
+// Serve accepts connections until the listener closes. It returns nil
+// after Close.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.handle(conn)
+	}
+}
+
+// Close stops the accept loop.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if s.lis != nil {
+		s.lis.Close()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	w := NewWriter(conn)
+	r := NewReader(conn)
+	store := s.srv.Store()
+
+	bounds := store.Bounds().XY()
+	baseVerts := 0
+	if store.NumObjects() > 0 {
+		baseVerts = store.Objects[0].Base.NumVerts()
+	}
+	if err := w.WriteHello(Hello{
+		Version:   Version,
+		Objects:   int32(store.NumObjects()),
+		Levels:    int32(s.levels),
+		BaseVerts: int32(baseVerts),
+		Space:     bounds,
+	}); err != nil {
+		s.logf("proto: hello to %v failed: %v", conn.RemoteAddr(), err)
+		return
+	}
+
+	session := retrieval.NewSession(s.srv)
+	for {
+		tag, err := r.ReadTag()
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				s.logf("proto: read from %v failed: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		switch tag {
+		case TagRequest:
+			req, err := r.ReadRequest()
+			if err != nil {
+				s.logf("proto: bad request from %v: %v", conn.RemoteAddr(), err)
+				w.WriteError(err.Error())
+				return
+			}
+			resp := session.Retrieve(req.Subs)
+			out := Response{IO: resp.IO, Coeffs: make([]Coeff, 0, len(resp.IDs))}
+			for _, id := range resp.IDs {
+				c := store.Coeff(id)
+				out.Coeffs = append(out.Coeffs, Coeff{
+					Object: c.Object,
+					Vertex: c.Vertex,
+					Delta:  c.Delta,
+					Pos:    [3]float32{float32(c.Pos.X), float32(c.Pos.Y), float32(c.Pos.Z)},
+					Value:  float32(c.Value),
+				})
+			}
+			if err := w.WriteResponse(out); err != nil {
+				s.logf("proto: response to %v failed: %v", conn.RemoteAddr(), err)
+				return
+			}
+		case TagBye:
+			return
+		default:
+			s.logf("proto: unexpected tag %d from %v", tag, conn.RemoteAddr())
+			w.WriteError("unexpected message")
+			return
+		}
+	}
+}
+
+// ListenAndServe binds addr and serves until Close. It logs the bound
+// address through logf (useful with ":0").
+func (s *Server) ListenAndServe(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.logf("proto: listening on %v", lis.Addr())
+	return s.Serve(lis)
+}

@@ -1,0 +1,80 @@
+package retrieval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// TestPlanFrameInvariantsQuick property-checks Algorithm 1's planner over
+// random frame sequences: every planned sub-query lies inside the current
+// frame, carries a valid value band whose lower bound is the mapped
+// resolution, and the sub-queries are pairwise disjoint (the overlap band
+// region may coincide spatially with nothing — difference pieces never
+// overlap each other or leave the frame).
+func TestPlanFrameInvariantsQuick(t *testing.T) {
+	norm := func(f float64) float64 {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return 0
+		}
+		return math.Mod(math.Abs(f), 500)
+	}
+	f := func(x1, y1, x2, y2 float64, s1raw, s2raw float64) bool {
+		c := NewClient(nil, nil)
+		q1 := geom.RectAround(geom.V2(norm(x1), norm(y1)), 100)
+		q2 := geom.RectAround(geom.V2(norm(x2), norm(y2)), 100)
+		s1 := math.Mod(math.Abs(norm(s1raw)), 1)
+		s2 := math.Mod(math.Abs(norm(s2raw)), 1)
+
+		c.PlanFrame(q1, s1)
+		c.Advance(q1, s1)
+		subs := c.PlanFrame(q2, s2)
+
+		overlapBands := 0
+		for i, sub := range subs {
+			if !q2.ContainsRect(sub.Region) {
+				return false
+			}
+			if sub.WMin > sub.WMax || sub.WMin < 0 || sub.WMax > 1 {
+				return false
+			}
+			if math.Abs(sub.WMin-Identity(s2)) > 1e-12 {
+				return false
+			}
+			if sub.WMax < 1 {
+				// The overlap detail band: at most one, only when slowing,
+				// covering the overlap region.
+				overlapBands++
+				if s2 >= s1 {
+					return false
+				}
+				if sub.Region != q2.Intersect(q1) {
+					return false
+				}
+				continue
+			}
+			// Difference pieces must avoid the previous frame and each
+			// other.
+			if q2.Intersects(q1) && sub.Region.Intersect(q1).Area() > 1e-9 {
+				// Full-frame fallback happens only when there is no overlap.
+				if len(subs) != 1 {
+					return false
+				}
+			}
+			for j, other := range subs {
+				if j == i || other.WMax < 1 {
+					continue
+				}
+				if len(subs) > 1 && sub.Region.Intersect(other.Region).Area() > 1e-9 {
+					return false
+				}
+			}
+		}
+		return overlapBands <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

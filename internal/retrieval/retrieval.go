@@ -1,0 +1,270 @@
+// Package retrieval implements the motion-aware continuous data retrieval
+// of paper §IV: the client-side Algorithm 1 (ContinuousDataRetrieval) that
+// turns consecutive query frames into incremental sub-queries with
+// speed-dependent resolution bands, and the server that executes the
+// sub-queries against a pluggable index and filters out coefficients a
+// client already holds (the Fig. 3 "send only vertex 2" behaviour).
+package retrieval
+
+import (
+	"repro/internal/geom"
+	"repro/internal/index"
+	"repro/internal/wavelet"
+)
+
+// SubQuery is one element of the parameter set passed to the paper's
+// Retrieve function: a region plus the value band of the coefficients
+// needed in it.
+type SubQuery struct {
+	Region geom.Rect2
+	WMin   float64
+	WMax   float64
+	// Filter optionally restricts delivery to coefficients whose vertex
+	// position satisfies it (e.g. a view frustum). Nil delivers every
+	// match. Filters are a local-API extension; the wire protocol ships
+	// pure window queries.
+	Filter func(geom.Vec3) bool
+}
+
+// Response summarizes one retrieval round-trip.
+type Response struct {
+	IDs     []int64 // newly delivered coefficient ids
+	Bytes   int64   // payload size of the delivered coefficients
+	IO      int64   // index node reads spent answering the sub-queries
+	Queries int     // number of sub-queries executed
+}
+
+// MapSpeedToResolution is the client-tunable function of §IV converting
+// normalized speed into the minimum coefficient value worth retrieving.
+// Nil clients use Identity.
+type MapSpeedToResolution func(speed float64) float64
+
+// Identity is the mapping used throughout the paper's experiments: the
+// speed *is* the resolution cutoff ("the speed is expected to be inversely
+// proportional to the value of the wavelet coefficients retrieved"),
+// clamped to [0, 1].
+func Identity(speed float64) float64 {
+	if speed < 0 {
+		return 0
+	}
+	if speed > 1 {
+		return 1
+	}
+	return speed
+}
+
+// Server answers window sub-queries from a coefficient store through an
+// access method.
+type Server struct {
+	store *index.Store
+	idx   index.Index
+	zMin  float64
+	zMax  float64
+}
+
+// NewServer creates a server over the store using the given index. The
+// vertical query band is derived from the store's bounds (queries are
+// ground-plane windows; the z band always spans every object).
+func NewServer(store *index.Store, idx index.Index) *Server {
+	b := store.Bounds()
+	return &Server{store: store, idx: idx, zMin: b.Min.Z, zMax: b.Max.Z}
+}
+
+// Store returns the underlying coefficient store.
+func (s *Server) Store() *index.Store { return s.store }
+
+// Index returns the access method in use.
+func (s *Server) Index() index.Index { return s.idx }
+
+// Execute runs the sub-queries, filtering results against the client's
+// delivered set (nil = no filtering) and recording new deliveries into it.
+// This is the server side of Fig. 3: overlapping sub-queries and support
+// regions straddling the old frame produce duplicates, and the filter
+// ensures each coefficient crosses the link once per client.
+func (s *Server) Execute(subs []SubQuery, delivered map[int64]bool) Response {
+	var resp Response
+	for _, sub := range subs {
+		if sub.Region.Empty() || sub.WMin > sub.WMax {
+			continue
+		}
+		ids, io := s.idx.Search(index.Query{
+			Region: sub.Region,
+			ZMin:   s.zMin, ZMax: s.zMax,
+			WMin: sub.WMin, WMax: sub.WMax,
+		})
+		resp.IO += io
+		resp.Queries++
+		for _, id := range ids {
+			// Filter before touching the delivered set: a coefficient the
+			// filter rejects has not been sent and must stay retrievable.
+			if sub.Filter != nil && !sub.Filter(s.store.Coeff(id).Pos) {
+				continue
+			}
+			if delivered != nil {
+				if delivered[id] {
+					continue
+				}
+				delivered[id] = true
+			}
+			resp.IDs = append(resp.IDs, id)
+		}
+	}
+	resp.Bytes = int64(len(resp.IDs)) * wavelet.WireBytes
+	return resp
+}
+
+// RegionBytes returns the payload size and index I/O of a one-shot window
+// query at the given resolution, without per-client filtering. The buffer
+// manager uses it to size and fetch blocks.
+func (s *Server) RegionBytes(region geom.Rect2, wmin float64) (int64, int64) {
+	resp := s.Execute([]SubQuery{{Region: region, WMin: wmin, WMax: 1}}, nil)
+	return resp.Bytes, resp.IO
+}
+
+// BlockBytes returns the payload and index I/O of the coefficients
+// *assigned* to the region: those whose vertex position falls inside it
+// (with value ≥ wmin). Assignment partitions the dataset — a coefficient
+// belongs to exactly one grid block — so block payloads sum to the
+// dataset size without the multiple counting that support-region overlap
+// would cause. Grid-block caching uses this; window queries keep using
+// the support-intersection semantics of RegionBytes.
+func (s *Server) BlockBytes(region geom.Rect2, wmin float64) (int64, int64) {
+	ids, io := s.idx.Search(index.Query{
+		Region: region,
+		ZMin:   s.zMin, ZMax: s.zMax,
+		WMin: wmin, WMax: 1,
+	})
+	var n int64
+	for _, id := range ids {
+		if region.Contains(s.store.Coeff(id).Pos.XY()) {
+			n++
+		}
+	}
+	return n * wavelet.WireBytes, io
+}
+
+// Session is the per-client server state: the set of coefficients already
+// delivered to this client.
+type Session struct {
+	srv       *Server
+	delivered map[int64]bool
+}
+
+// NewSession opens a session against the server.
+func NewSession(srv *Server) *Session {
+	return &Session{srv: srv, delivered: make(map[int64]bool)}
+}
+
+// Retrieve executes the sub-queries with duplicate filtering.
+func (s *Session) Retrieve(subs []SubQuery) Response {
+	return s.srv.Execute(subs, s.delivered)
+}
+
+// Delivered returns the number of coefficients this client holds.
+func (s *Session) Delivered() int { return len(s.delivered) }
+
+// Has reports whether a coefficient has been delivered to this client.
+func (s *Session) Has(id int64) bool { return s.delivered[id] }
+
+// Client runs Algorithm 1 (ContinuousDataRetrieval) against a session:
+// each frame is diffed against the previous one, the speed is mapped to a
+// resolution cutoff, and only the new region — plus, when the client
+// slowed down, the extra detail band for the overlap region — is
+// retrieved.
+type Client struct {
+	session  *Session
+	mapSpeed MapSpeedToResolution
+
+	havePrev bool
+	prev     geom.Rect2
+	prevW    float64
+}
+
+// NewClient creates a client over the session. A nil mapping uses
+// Identity. A nil session is allowed for plan-only use (PlanFrame +
+// Advance, e.g. when the retrieval happens over a network connection);
+// Frame requires a session.
+func NewClient(session *Session, mapSpeed MapSpeedToResolution) *Client {
+	if mapSpeed == nil {
+		mapSpeed = Identity
+	}
+	return &Client{session: session, mapSpeed: mapSpeed}
+}
+
+// Session returns the client's server session.
+func (c *Client) Session() *Session { return c.session }
+
+// Frame processes the query frame at time t (Algorithm 1). It returns the
+// retrieval response and the resolution cutoff used.
+func (c *Client) Frame(q geom.Rect2, speed float64) (Response, float64) {
+	w := c.mapSpeed(speed)
+	subs := c.PlanFrame(q, speed)
+	resp := c.session.Retrieve(subs)
+	c.havePrev = true
+	c.prev = q
+	c.prevW = w
+	return resp, w
+}
+
+// PlanFrame computes the sub-queries Algorithm 1 would issue for the
+// frame without executing them (used by tests and by the wire protocol).
+func (c *Client) PlanFrame(q geom.Rect2, speed float64) []SubQuery {
+	w := c.mapSpeed(speed)
+	if !c.havePrev {
+		// Line 1.10: no previous frame — retrieve Q_t wholesale.
+		return []SubQuery{{Region: q, WMin: w, WMax: 1}}
+	}
+	overlap := q.Intersect(c.prev)
+	if overlap.Empty() {
+		return []SubQuery{{Region: q, WMin: w, WMax: 1}}
+	}
+	var subs []SubQuery
+	if w < c.prevW {
+		// Line 1.6: the client slowed down (finer resolution, lower cutoff):
+		// fetch the missing detail band for the overlap region. The band is
+		// closed at prevW; coefficients exactly at prevW were already
+		// delivered and are removed by the session filter.
+		subs = append(subs, SubQuery{Region: overlap, WMin: w, WMax: c.prevW})
+	}
+	// Lines 1.6/1.8: the region not covered by the previous frame at full
+	// band.
+	for _, n := range q.Difference(c.prev) {
+		subs = append(subs, SubQuery{Region: n, WMin: w, WMax: 1})
+	}
+	return subs
+}
+
+// Advance records that the frame was served (by whatever transport)
+// without executing sub-queries locally. Plan-only clients call
+// PlanFrame, ship the sub-queries over their own transport, then Advance.
+func (c *Client) Advance(q geom.Rect2, speed float64) {
+	c.havePrev = true
+	c.prev = q
+	c.prevW = c.mapSpeed(speed)
+}
+
+// FrustumFrame retrieves the data visible in a directional view frustum
+// at the given speed: the frustum's bounding window is queried with a
+// position filter restricted to the sector. Frustum frames do not use
+// the rectangle-difference incrementality (a filtered window leaves
+// unfiltered parts of the rectangle unretrieved, which would poison the
+// overlap bookkeeping); incremental savings come entirely from the
+// session's delivered-set filtering, which remains exact.
+func (c *Client) FrustumFrame(f geom.Frustum, speed float64) (Response, float64) {
+	w := c.mapSpeed(speed)
+	sub := SubQuery{
+		Region: f.BoundingRect(),
+		WMin:   w,
+		WMax:   1,
+		Filter: func(p geom.Vec3) bool { return f.Contains(p.XY()) },
+	}
+	resp := c.session.Retrieve([]SubQuery{sub})
+	// The rectangular-frame history is invalidated: what was "covered" was
+	// a sector, not the rectangle.
+	c.havePrev = false
+	return resp, w
+}
+
+// Reset forgets the previous frame (e.g. after a teleport or cache
+// flush); the next frame is retrieved wholesale.
+func (c *Client) Reset() { c.havePrev = false }

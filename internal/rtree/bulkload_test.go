@@ -1,0 +1,172 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomItems(n int, dims int, seed int64) []Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]Item, n)
+	for i := range items {
+		switch dims {
+		case 2:
+			items[i] = Item{Rect: randRect2D(rng, 1000), Data: int64(i)}
+		case 3:
+			x, y, w := rng.Float64()*1000, rng.Float64()*1000, rng.Float64()
+			items[i] = Item{Rect: Box(x, x+rng.Float64()*10, y, y+rng.Float64()*10, w, w), Data: int64(i)}
+		default:
+			x, y, z, w := rng.Float64()*1000, rng.Float64()*1000, rng.Float64()*100, rng.Float64()
+			items[i] = Item{Rect: Box(x, x+5, y, y+5, z, z+5, w, w), Data: int64(i)}
+		}
+	}
+	return items
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	tr := BulkLoad(DefaultConfig(2), nil)
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("len=%d height=%d", tr.Len(), tr.Height())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadSmall(t *testing.T) {
+	items := randomItems(7, 2, 1)
+	tr := BulkLoad(DefaultConfig(2), items)
+	if tr.Len() != 7 || tr.Height() != 1 {
+		t.Fatalf("len=%d height=%d", tr.Len(), tr.Height())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadValidAndComplete(t *testing.T) {
+	for _, dims := range []int{2, 3, 4} {
+		for _, n := range []int{21, 100, 5000, 20000} {
+			items := randomItems(n, dims, int64(n+dims))
+			tr := BulkLoad(DefaultConfig(dims), items)
+			if tr.Len() != n {
+				t.Fatalf("%dD n=%d: len=%d", dims, n, tr.Len())
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("%dD n=%d: %v", dims, n, err)
+			}
+			seen := make(map[int64]bool, n)
+			tr.Scan(func(_ Rect, d int64) bool { seen[d] = true; return true })
+			if len(seen) != n {
+				t.Fatalf("%dD n=%d: scan saw %d", dims, n, len(seen))
+			}
+		}
+	}
+}
+
+func TestBulkLoadQueryMatchesLinearScan(t *testing.T) {
+	items := randomItems(8000, 3, 3)
+	tr := BulkLoad(DefaultConfig(3), items)
+	rng := rand.New(rand.NewSource(4))
+	for q := 0; q < 100; q++ {
+		x0, y0 := rng.Float64()*800, rng.Float64()*800
+		query := Box(x0, x0+rng.Float64()*200, y0, y0+rng.Float64()*200, 0, rng.Float64())
+		want := map[int64]bool{}
+		for _, it := range items {
+			if query.intersects(&it.Rect, 3) {
+				want[it.Data] = true
+			}
+		}
+		got := tr.Collect(query)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d want %d", q, len(got), len(want))
+		}
+		for _, d := range got {
+			if !want[d] {
+				t.Fatalf("query %d: stray item %d", q, d)
+			}
+		}
+	}
+}
+
+func TestBulkLoadedTreeSupportsMutation(t *testing.T) {
+	items := randomItems(3000, 2, 5)
+	tr := BulkLoad(DefaultConfig(2), items)
+	// Insert on top of a bulk-loaded tree.
+	tr.Insert(Box(1, 2, 1, 2), 999999)
+	if tr.Len() != 3001 {
+		t.Fatalf("len=%d", tr.Len())
+	}
+	if got := tr.Collect(Box(1, 2, 1, 2)); !contains(got, 999999) {
+		t.Fatal("inserted item lost")
+	}
+	// Delete items loaded in bulk.
+	for i := 0; i < 500; i++ {
+		if !tr.Delete(items[i].Rect, items[i].Data) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func contains(xs []int64, v int64) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBulkLoadQueryIONotWorseThanInsertion(t *testing.T) {
+	// STR packing should answer small windows with no more node reads than
+	// the insertion-built tree (usually fewer).
+	items := randomItems(20000, 2, 7)
+	bulk := BulkLoad(DefaultConfig(2), items)
+	ins := New(DefaultConfig(2))
+	for _, it := range items {
+		ins.Insert(it.Rect, it.Data)
+	}
+	rng := rand.New(rand.NewSource(8))
+	var bulkIO, insIO int64
+	for q := 0; q < 200; q++ {
+		x, y := rng.Float64()*950, rng.Float64()*950
+		query := Box(x, x+30, y, y+30)
+		bulkIO += bulk.SearchCounted(query, func(Rect, int64) bool { return true })
+		insIO += ins.SearchCounted(query, func(Rect, int64) bool { return true })
+	}
+	if bulkIO > insIO {
+		t.Errorf("bulk io %d above insertion io %d", bulkIO, insIO)
+	}
+}
+
+func BenchmarkInsertBuild(b *testing.B) {
+	items := randomItems(50000, 3, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := New(DefaultConfig(3))
+		for _, it := range items {
+			tr.Insert(it.Rect, it.Data)
+		}
+	}
+}
+
+func BenchmarkBulkLoadBuild(b *testing.B) {
+	items := randomItems(50000, 3, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BulkLoad(DefaultConfig(3), items)
+	}
+}
+
+func BenchmarkSearchBulkLoaded(b *testing.B) {
+	tr := BulkLoad(DefaultConfig(3), randomItems(100000, 3, 10))
+	rng := rand.New(rand.NewSource(11))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x, y := rng.Float64()*950, rng.Float64()*950
+		tr.Count(Box(x, x+20, y, y+20, 0.5, 1.0))
+	}
+}

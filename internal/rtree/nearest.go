@@ -1,0 +1,170 @@
+package rtree
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Neighbor is one result of a nearest-neighbor query.
+type Neighbor struct {
+	Rect Rect
+	Data int64
+	// Dist is the minimum distance from the query point to the rectangle
+	// (0 if the point lies inside it).
+	Dist float64
+}
+
+// Nearest returns the k items closest to the query point (in minimum
+// rectangle distance, ascending), using best-first branch-and-bound
+// traversal. Fewer than k items are returned when the tree is smaller.
+// The traversal's node reads are added to the tree's Stats. The paper
+// only needs window queries, but continuous-query systems pair them with
+// kNN ("retrieve the nearest landmark"), so the access method supports
+// both.
+func (t *Tree) Nearest(point []float64, k int) []Neighbor {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	dims := t.cfg.Dims
+	if len(point) < dims {
+		panic("rtree: query point has too few coordinates")
+	}
+
+	pq := &distHeap{}
+	heap.Init(pq)
+	heap.Push(pq, &distEntry{node: t.root, dist: 0})
+	var io int64
+
+	out := make([]Neighbor, 0, k)
+	for pq.Len() > 0 {
+		e := heap.Pop(pq).(*distEntry)
+		// Best-first: once the closest frontier entry is farther than the
+		// kth found item, nothing better remains.
+		if len(out) == k && e.dist > out[k-1].Dist {
+			break
+		}
+		if e.node != nil {
+			io++
+			n := e.node
+			for i := range n.entries {
+				d := minDist(point, &n.entries[i].rect, dims)
+				if len(out) == k && d > out[k-1].Dist {
+					continue
+				}
+				if n.leaf {
+					heap.Push(pq, &distEntry{leafRect: n.entries[i].rect, data: n.entries[i].data, dist: d, isItem: true})
+				} else {
+					heap.Push(pq, &distEntry{node: n.entries[i].child, dist: d})
+				}
+			}
+			continue
+		}
+		// An item surfaced: by best-first order it is the next nearest.
+		out = insertNeighbor(out, Neighbor{Rect: e.leafRect, Data: e.data, Dist: e.dist}, k)
+	}
+	t.nodesRead.Add(io)
+	t.queries.Add(1)
+	return out
+}
+
+func insertNeighbor(out []Neighbor, nb Neighbor, k int) []Neighbor {
+	if len(out) < k {
+		out = append(out, nb)
+	} else if nb.Dist < out[k-1].Dist {
+		out[k-1] = nb
+	} else {
+		return out
+	}
+	// Bubble into place (out is small and nearly sorted).
+	for i := len(out) - 1; i > 0 && out[i].Dist < out[i-1].Dist; i-- {
+		out[i], out[i-1] = out[i-1], out[i]
+	}
+	return out
+}
+
+// minDist returns the minimum Euclidean distance from a point to a
+// rectangle over the first dims dimensions.
+func minDist(p []float64, r *Rect, dims int) float64 {
+	var sum float64
+	for d := 0; d < dims; d++ {
+		var gap float64
+		if p[d] < r.Lo[d] {
+			gap = r.Lo[d] - p[d]
+		} else if p[d] > r.Hi[d] {
+			gap = p[d] - r.Hi[d]
+		}
+		sum += gap * gap
+	}
+	return math.Sqrt(sum)
+}
+
+type distEntry struct {
+	node     *node // nil for items
+	leafRect Rect
+	data     int64
+	dist     float64
+	isItem   bool
+	index    int
+}
+
+type distHeap []*distEntry
+
+func (h distHeap) Len() int { return len(h) }
+func (h distHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	// Items before nodes at equal distance so results surface promptly.
+	return h[i].isItem && !h[j].isItem
+}
+func (h distHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *distHeap) Push(x interface{}) {
+	e := x.(*distEntry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// TreeStats summarizes the tree's structure for ablation reporting.
+type TreeStats struct {
+	Nodes      int
+	Leaves     int
+	Height     int
+	AvgFanout  float64 // mean entries per node
+	LeafFill   float64 // mean leaf fill relative to MaxEntries
+	TotalItems int
+}
+
+// StructureStats walks the tree and reports occupancy statistics.
+func (t *Tree) StructureStats() TreeStats {
+	s := TreeStats{Height: t.height, TotalItems: t.size}
+	var entries, leafEntries int
+	var walk func(n *node)
+	walk = func(n *node) {
+		s.Nodes++
+		entries += len(n.entries)
+		if n.leaf {
+			s.Leaves++
+			leafEntries += len(n.entries)
+			return
+		}
+		for i := range n.entries {
+			walk(n.entries[i].child)
+		}
+	}
+	walk(t.root)
+	if s.Nodes > 0 {
+		s.AvgFanout = float64(entries) / float64(s.Nodes)
+	}
+	if s.Leaves > 0 {
+		s.LeafFill = float64(leafEntries) / float64(s.Leaves*t.cfg.MaxEntries)
+	}
+	return s
+}

@@ -1,0 +1,132 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestNearestEmptyAndDegenerate(t *testing.T) {
+	tr := New(DefaultConfig(2))
+	if got := tr.Nearest([]float64{0, 0}, 3); got != nil {
+		t.Fatalf("empty tree returned %v", got)
+	}
+	tr.Insert(Box(1, 2, 1, 2), 7)
+	if got := tr.Nearest([]float64{0, 0}, 0); got != nil {
+		t.Fatalf("k=0 returned %v", got)
+	}
+	got := tr.Nearest([]float64{0, 0}, 5)
+	if len(got) != 1 || got[0].Data != 7 {
+		t.Fatalf("got %v", got)
+	}
+	// Distance to the box corner (1,1) from (0,0) is √2.
+	if math.Abs(got[0].Dist-math.Sqrt2) > 1e-12 {
+		t.Errorf("dist = %v", got[0].Dist)
+	}
+	// Inside the box: distance 0.
+	if d := tr.Nearest([]float64{1.5, 1.5}, 1)[0].Dist; d != 0 {
+		t.Errorf("inside dist = %v", d)
+	}
+}
+
+func TestNearestPanicsOnShortPoint(t *testing.T) {
+	tr := New(DefaultConfig(3))
+	tr.Insert(Box(0, 1, 0, 1, 0, 1), 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tr.Nearest([]float64{1, 2}, 1)
+}
+
+// TestNearestMatchesBruteForce is the correctness property: the k results
+// and their order must agree with an exhaustive scan.
+func TestNearestMatchesBruteForce(t *testing.T) {
+	for _, variant := range []string{"insert", "bulk"} {
+		items := randomItems(5000, 2, 31)
+		var tr *Tree
+		if variant == "bulk" {
+			tr = BulkLoad(DefaultConfig(2), items)
+		} else {
+			tr = New(DefaultConfig(2))
+			for _, it := range items {
+				tr.Insert(it.Rect, it.Data)
+			}
+		}
+		rng := rand.New(rand.NewSource(32))
+		for q := 0; q < 50; q++ {
+			p := []float64{rng.Float64() * 1000, rng.Float64() * 1000}
+			const k = 10
+			got := tr.Nearest(p, k)
+			if len(got) != k {
+				t.Fatalf("%s: got %d results", variant, len(got))
+			}
+			// Brute force distances.
+			dists := make([]float64, len(items))
+			for i := range items {
+				dists[i] = minDist(p, &items[i].Rect, 2)
+			}
+			sort.Float64s(dists)
+			for i := 0; i < k; i++ {
+				if math.Abs(got[i].Dist-dists[i]) > 1e-9 {
+					t.Fatalf("%s query %d: result %d dist %v want %v",
+						variant, q, i, got[i].Dist, dists[i])
+				}
+			}
+			// Results sorted ascending.
+			for i := 1; i < k; i++ {
+				if got[i].Dist < got[i-1].Dist {
+					t.Fatalf("%s: results out of order", variant)
+				}
+			}
+		}
+	}
+}
+
+func TestNearestCountsIO(t *testing.T) {
+	tr := BulkLoad(DefaultConfig(2), randomItems(10000, 2, 33))
+	tr.ResetStats()
+	tr.Nearest([]float64{500, 500}, 5)
+	s := tr.Stats()
+	if s.Queries != 1 || s.NodesRead < 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// Best-first kNN should touch far fewer nodes than the whole tree.
+	if int(s.NodesRead) >= tr.NumNodes()/2 {
+		t.Errorf("kNN read %d of %d nodes", s.NodesRead, tr.NumNodes())
+	}
+}
+
+func TestStructureStats(t *testing.T) {
+	tr := BulkLoad(DefaultConfig(2), randomItems(5000, 2, 34))
+	s := tr.StructureStats()
+	if s.TotalItems != 5000 || s.Height != tr.Height() || s.Nodes != tr.NumNodes() {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Leaves == 0 || s.AvgFanout <= 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// STR packs leaves nearly full.
+	if s.LeafFill < 0.9 {
+		t.Errorf("bulk-loaded leaf fill = %v", s.LeafFill)
+	}
+	// Insertion-built trees are sparser.
+	ins := New(DefaultConfig(2))
+	for _, it := range randomItems(5000, 2, 34) {
+		ins.Insert(it.Rect, it.Data)
+	}
+	if f := ins.StructureStats().LeafFill; f >= s.LeafFill {
+		t.Errorf("insertion fill %v not below bulk fill %v", f, s.LeafFill)
+	}
+}
+
+func BenchmarkNearest10(b *testing.B) {
+	tr := BulkLoad(DefaultConfig(2), randomItems(100000, 2, 35))
+	rng := rand.New(rand.NewSource(36))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Nearest([]float64{rng.Float64() * 1000, rng.Float64() * 1000}, 10)
+	}
+}

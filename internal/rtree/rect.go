@@ -1,0 +1,172 @@
+// Package rtree implements the spatial access methods of the paper: an
+// R*-tree (Beckmann et al., SIGMOD 1990) and a classic quadratic-split
+// R-tree (Guttman, SIGMOD 1984), both over rectangles of up to four
+// dimensions. The fourth dimension carries the normalized wavelet
+// coefficient value w, turning window queries Q(R, wmax, wmin) into plain
+// rectangle intersections (paper §VI-B). Every query counts the tree nodes
+// it touches; with one node per 4 KB page that count is the I/O cost
+// reported in the paper's Figures 12–13.
+package rtree
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// MaxDims is the largest supported dimensionality. The paper's indexes are
+// 3D (x, y, w) in the experiments and 4D (x, y, z, w) in the design
+// section; both fit.
+const MaxDims = 4
+
+// Rect is an axis-aligned rectangle in up to MaxDims dimensions. Only the
+// first `dims` coordinates of a tree's rectangles are meaningful; unused
+// coordinates must be zero so equality and hashing behave.
+type Rect struct {
+	Lo, Hi [MaxDims]float64
+}
+
+// Point returns the degenerate rectangle at the given coordinates.
+func Point(coords ...float64) Rect {
+	var r Rect
+	for i, c := range coords {
+		r.Lo[i] = c
+		r.Hi[i] = c
+	}
+	return r
+}
+
+// Box builds a rectangle from coordinate pairs: Box(lo0,hi0, lo1,hi1, ...).
+// It panics on odd argument counts or inverted intervals, which indicate
+// programmer error.
+func Box(pairs ...float64) Rect {
+	if len(pairs)%2 != 0 || len(pairs) > 2*MaxDims {
+		panic(fmt.Sprintf("rtree: Box needs up to %d lo/hi pairs", MaxDims))
+	}
+	var r Rect
+	for i := 0; i < len(pairs); i += 2 {
+		lo, hi := pairs[i], pairs[i+1]
+		if hi < lo {
+			panic(fmt.Sprintf("rtree: inverted interval [%v,%v] in dim %d", lo, hi, i/2))
+		}
+		r.Lo[i/2] = lo
+		r.Hi[i/2] = hi
+	}
+	return r
+}
+
+// From3D converts a geometry box plus a value interval into a 4D rect
+// (x, y, z, w).
+func From3D(b geom.Rect3, wLo, wHi float64) Rect {
+	return Rect{
+		Lo: [MaxDims]float64{b.Min.X, b.Min.Y, b.Min.Z, wLo},
+		Hi: [MaxDims]float64{b.Max.X, b.Max.Y, b.Max.Z, wHi},
+	}
+}
+
+// FromXYW converts a ground-plane rectangle plus a value interval into a
+// 3D rect (x, y, w) — the layout of the paper's experimental index.
+func FromXYW(b geom.Rect2, wLo, wHi float64) Rect {
+	return Rect{
+		Lo: [MaxDims]float64{b.Min.X, b.Min.Y, wLo, 0},
+		Hi: [MaxDims]float64{b.Max.X, b.Max.Y, wHi, 0},
+	}
+}
+
+// intersects reports whether r and s overlap in the first dims dimensions
+// (closed intervals).
+func (r *Rect) intersects(s *Rect, dims int) bool {
+	for d := 0; d < dims; d++ {
+		if r.Lo[d] > s.Hi[d] || s.Lo[d] > r.Hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// contains reports whether r contains s in the first dims dimensions.
+func (r *Rect) contains(s *Rect, dims int) bool {
+	for d := 0; d < dims; d++ {
+		if s.Lo[d] < r.Lo[d] || s.Hi[d] > r.Hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// area returns the measure (area/volume/hyper-volume) of r over dims
+// dimensions. Degenerate extents contribute factor 0.
+func (r *Rect) area(dims int) float64 {
+	a := 1.0
+	for d := 0; d < dims; d++ {
+		a *= r.Hi[d] - r.Lo[d]
+	}
+	return a
+}
+
+// margin returns the sum of edge lengths of r over dims dimensions (the
+// R* split criterion).
+func (r *Rect) margin(dims int) float64 {
+	m := 0.0
+	for d := 0; d < dims; d++ {
+		m += r.Hi[d] - r.Lo[d]
+	}
+	return m
+}
+
+// extend grows r in place to cover s.
+func (r *Rect) extend(s *Rect, dims int) {
+	for d := 0; d < dims; d++ {
+		if s.Lo[d] < r.Lo[d] {
+			r.Lo[d] = s.Lo[d]
+		}
+		if s.Hi[d] > r.Hi[d] {
+			r.Hi[d] = s.Hi[d]
+		}
+	}
+}
+
+// union returns the smallest rect covering r and s.
+func (r *Rect) union(s *Rect, dims int) Rect {
+	out := *r
+	out.extend(s, dims)
+	return out
+}
+
+// enlargement returns the area increase of r needed to cover s.
+func (r *Rect) enlargement(s *Rect, dims int) float64 {
+	u := r.union(s, dims)
+	return u.area(dims) - r.area(dims)
+}
+
+// overlap returns the measure of r ∩ s (0 if disjoint).
+func (r *Rect) overlap(s *Rect, dims int) float64 {
+	a := 1.0
+	for d := 0; d < dims; d++ {
+		lo := math.Max(r.Lo[d], s.Lo[d])
+		hi := math.Min(r.Hi[d], s.Hi[d])
+		if hi <= lo {
+			return 0
+		}
+		a *= hi - lo
+	}
+	return a
+}
+
+// center returns the centroid coordinate in dimension d.
+func (r *Rect) center(d int) float64 { return (r.Lo[d] + r.Hi[d]) / 2 }
+
+// centerDist returns the squared distance between the centroids of r and s.
+func (r *Rect) centerDist(s *Rect, dims int) float64 {
+	var sum float64
+	for d := 0; d < dims; d++ {
+		diff := r.center(d) - s.center(d)
+		sum += diff * diff
+	}
+	return sum
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("rect{lo=%v hi=%v}", r.Lo, r.Hi)
+}

@@ -1,0 +1,187 @@
+package wavelet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+)
+
+// Binary persistence for decompositions: little-endian, length-prefixed,
+// versioned. Generating a paper-scale dataset takes seconds but indexing
+// workflows (cmd/server restarts, repeated experiment runs) benefit from
+// loading a serialized city instead. The final mesh M^J is not stored —
+// it is exactly reconstructible from the coefficients (RebuildFinal).
+
+// encodeMagic identifies a serialized decomposition stream.
+const encodeMagic = uint32(0x4D415233) // "MAR3"
+
+// encodeVersion is bumped on incompatible format changes.
+const encodeVersion = uint32(1)
+
+type countingWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (cw *countingWriter) u32(v uint32) {
+	if cw.err == nil {
+		cw.err = binary.Write(cw.w, binary.LittleEndian, v)
+	}
+}
+func (cw *countingWriter) i32(v int32) { cw.u32(uint32(v)) }
+func (cw *countingWriter) f64(v float64) {
+	if cw.err == nil {
+		cw.err = binary.Write(cw.w, binary.LittleEndian, v)
+	}
+}
+func (cw *countingWriter) vec3(v geom.Vec3) { cw.f64(v.X); cw.f64(v.Y); cw.f64(v.Z) }
+func (cw *countingWriter) rect3(r geom.Rect3) {
+	cw.vec3(r.Min)
+	cw.vec3(r.Max)
+}
+
+// Encode serializes the decomposition (without its final mesh). Callers
+// streaming many decompositions should pass a buffered writer; Encode
+// must not add its own buffering, or object boundaries would be flushed
+// inconsistently.
+func (d *Decomposition) Encode(w io.Writer) error {
+	cw := &countingWriter{w: w}
+	cw.u32(encodeMagic)
+	cw.u32(encodeVersion)
+	cw.i32(d.Object)
+	cw.u32(uint32(d.J))
+
+	cw.u32(uint32(d.Base.NumVerts()))
+	for _, v := range d.Base.Verts {
+		cw.vec3(v)
+	}
+	cw.u32(uint32(d.Base.NumFaces()))
+	for _, f := range d.Base.Faces {
+		cw.i32(f[0])
+		cw.i32(f[1])
+		cw.i32(f[2])
+	}
+
+	cw.u32(uint32(len(d.Coeffs)))
+	for i := range d.Coeffs {
+		c := &d.Coeffs[i]
+		cw.i32(c.Vertex)
+		cw.i32(int32(c.Level))
+		cw.i32(c.Parent.A)
+		cw.i32(c.Parent.B)
+		cw.vec3(c.Delta)
+		cw.vec3(c.Pos)
+		cw.f64(c.Value)
+		cw.rect3(c.Support)
+	}
+	cw.rect3(d.bounds)
+	return cw.err
+}
+
+type countingReader struct {
+	r   io.Reader
+	err error
+}
+
+func (cr *countingReader) u32() uint32 {
+	var v uint32
+	if cr.err == nil {
+		cr.err = binary.Read(cr.r, binary.LittleEndian, &v)
+	}
+	return v
+}
+func (cr *countingReader) i32() int32 { return int32(cr.u32()) }
+func (cr *countingReader) f64() float64 {
+	var v float64
+	if cr.err == nil {
+		cr.err = binary.Read(cr.r, binary.LittleEndian, &v)
+	}
+	return v
+}
+func (cr *countingReader) vec3() geom.Vec3 {
+	return geom.V3(cr.f64(), cr.f64(), cr.f64())
+}
+func (cr *countingReader) rect3() geom.Rect3 {
+	return geom.Rect3{Min: cr.vec3(), Max: cr.vec3()}
+}
+
+// maxDecodeCount bounds length prefixes against corrupted streams.
+const maxDecodeCount = 1 << 26
+
+// DecodeDecomposition reads one serialized decomposition. The final mesh
+// is nil; call RebuildFinal if error measurement is needed. The reader is
+// consumed exactly up to the decomposition's end (no look-ahead), so
+// several decompositions can be decoded back to back from one stream;
+// pass a buffered reader for throughput.
+func DecodeDecomposition(r io.Reader) (*Decomposition, error) {
+	cr := &countingReader{r: r}
+	if m := cr.u32(); cr.err == nil && m != encodeMagic {
+		return nil, fmt.Errorf("wavelet: bad magic %#x", m)
+	}
+	if v := cr.u32(); cr.err == nil && v != encodeVersion {
+		return nil, fmt.Errorf("wavelet: unsupported version %d", v)
+	}
+	d := &Decomposition{}
+	d.Object = cr.i32()
+	d.J = int(cr.u32())
+	if cr.err == nil && (d.J < 0 || d.J > 32) {
+		return nil, fmt.Errorf("wavelet: implausible level count %d", d.J)
+	}
+
+	nv := cr.u32()
+	if cr.err == nil && nv > maxDecodeCount {
+		return nil, fmt.Errorf("wavelet: vertex count %d too large", nv)
+	}
+	d.Base = &mesh.Mesh{Verts: make([]geom.Vec3, nv)}
+	for i := range d.Base.Verts {
+		d.Base.Verts[i] = cr.vec3()
+	}
+	nf := cr.u32()
+	if cr.err == nil && nf > maxDecodeCount {
+		return nil, fmt.Errorf("wavelet: face count %d too large", nf)
+	}
+	d.Base.Faces = make([][3]int32, nf)
+	for i := range d.Base.Faces {
+		d.Base.Faces[i] = [3]int32{cr.i32(), cr.i32(), cr.i32()}
+	}
+
+	nc := cr.u32()
+	if cr.err == nil && nc > maxDecodeCount {
+		return nil, fmt.Errorf("wavelet: coefficient count %d too large", nc)
+	}
+	d.Coeffs = make([]Coefficient, nc)
+	for i := range d.Coeffs {
+		c := &d.Coeffs[i]
+		c.Object = d.Object
+		c.Vertex = cr.i32()
+		c.Level = int8(cr.i32())
+		c.Parent = mesh.Edge{A: cr.i32(), B: cr.i32()}
+		c.Delta = cr.vec3()
+		c.Pos = cr.vec3()
+		c.Value = cr.f64()
+		c.Support = cr.rect3()
+	}
+	d.bounds = cr.rect3()
+	if cr.err != nil {
+		return nil, cr.err
+	}
+	if err := d.Base.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// RebuildFinal reconstructs the final mesh M^J from the stored
+// coefficients — the roundtrip guarantee the persistence format rests on.
+// It is a no-op if the final mesh is already present.
+func (d *Decomposition) RebuildFinal() {
+	if d.Final != nil {
+		return
+	}
+	r := NewReconstructor(d.Base, d.bounds.Center(), d.J)
+	r.ApplyAll(d.Coeffs)
+	d.Final = r.Mesh()
+}

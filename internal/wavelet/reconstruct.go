@@ -1,0 +1,98 @@
+package wavelet
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+)
+
+// Reconstructor rebuilds an object's mesh from whatever subset of wavelet
+// coefficients the client has received so far. It models the client-side
+// rendering state: applying more coefficients monotonically sharpens the
+// mesh toward M^J. Reconstruction replays the deterministic subdivision of
+// the base topology, so vertex ids assigned during reconstruction match
+// the ids recorded at decomposition time.
+type Reconstructor struct {
+	baseTopology *mesh.Mesh // positions ignored; topology drives subdivision
+	center       geom.Vec3  // placeholder for vertices with no data yet
+	levels       int
+	have         map[int32]geom.Vec3 // vertex id → displacement (position for base)
+	haveBase     map[int32]bool
+}
+
+// NewReconstructor creates the client-side state for one object. The
+// client is assumed to know the object's subdivision schema (base topology
+// and level count) and its placement center — both are tiny compared to
+// the coefficient payload — but no geometry.
+func NewReconstructor(baseTopology *mesh.Mesh, center geom.Vec3, levels int) *Reconstructor {
+	return &Reconstructor{
+		baseTopology: baseTopology.Clone(),
+		center:       center,
+		levels:       levels,
+		have:         make(map[int32]geom.Vec3),
+		haveBase:     make(map[int32]bool),
+	}
+}
+
+// Apply records one received coefficient. Applying the same coefficient
+// twice is harmless (idempotent), mirroring the server-side duplicate
+// filtering being an optimization rather than a correctness requirement.
+func (r *Reconstructor) Apply(c Coefficient) {
+	r.have[c.Vertex] = c.Delta
+	if c.Level == BaseLevel {
+		r.haveBase[c.Vertex] = true
+	}
+}
+
+// Count returns the number of distinct coefficients applied so far.
+func (r *Reconstructor) Count() int { return len(r.have) }
+
+// Mesh reconstructs the object at the full topology M^J using every
+// coefficient applied so far. Vertices whose coefficients have not arrived
+// sit at the midpoint of their parents (zero displacement); base vertices
+// without data collapse to the object center.
+func (r *Reconstructor) Mesh() *mesh.Mesh {
+	m := r.baseTopology.Clone()
+	for i := range m.Verts {
+		if r.haveBase[int32(i)] {
+			m.Verts[i] = r.have[int32(i)]
+		} else {
+			m.Verts[i] = r.center
+		}
+	}
+	for j := 0; j < r.levels; j++ {
+		fine, splits := mesh.Subdivide(m)
+		for _, sp := range splits {
+			if d, ok := r.have[sp.Vertex]; ok {
+				fine.Verts[sp.Vertex] = fine.Verts[sp.Vertex].Add(d)
+			}
+		}
+		m = fine
+	}
+	return m
+}
+
+// Error returns the root-mean-square vertex distance between the
+// reconstruction and the reference mesh (typically Decomposition.Final).
+// It panics if the vertex counts differ, which would indicate mismatched
+// subdivision schemas.
+func (r *Reconstructor) Error(ref *mesh.Mesh) float64 {
+	m := r.Mesh()
+	if m.NumVerts() != ref.NumVerts() {
+		panic("wavelet: reconstruction topology mismatch")
+	}
+	var sum float64
+	for i := range m.Verts {
+		d := m.Verts[i].Dist(ref.Verts[i])
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(m.NumVerts()))
+}
+
+// ApplyAll applies a batch of coefficients.
+func (r *Reconstructor) ApplyAll(cs []Coefficient) {
+	for i := range cs {
+		r.Apply(cs[i])
+	}
+}

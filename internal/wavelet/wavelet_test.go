@@ -1,0 +1,356 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+)
+
+func sphereDecomp(t *testing.T, J int) *Decomposition {
+	t.Helper()
+	s := mesh.Sphere{Radius: 1}
+	base := mesh.Octahedron() // vertices already on the unit sphere
+	return Decompose(1, base, s, J)
+}
+
+func buildingDecomp(t *testing.T, seed int64, J int) (*Decomposition, *mesh.StarSurface) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	s := mesh.RandomBuilding(rng, geom.V2(0, 0), mesh.DefaultBuildingSpec())
+	return Decompose(2, mesh.BaseMeshFor(s), s, J), s
+}
+
+func TestDecomposeCounts(t *testing.T) {
+	d := sphereDecomp(t, 3)
+	// Octahedron: 6 base vertices; splits per level 12, 48, 192.
+	want := 6 + 12 + 48 + 192
+	if d.NumCoeffs() != want {
+		t.Fatalf("NumCoeffs = %d want %d", d.NumCoeffs(), want)
+	}
+	if d.SizeBytes() != want*WireBytes {
+		t.Errorf("SizeBytes = %d", d.SizeBytes())
+	}
+	if len(d.LevelOf(BaseLevel)) != 6 {
+		t.Errorf("base level size = %d", len(d.LevelOf(BaseLevel)))
+	}
+	if len(d.LevelOf(0)) != 12 || len(d.LevelOf(1)) != 48 || len(d.LevelOf(2)) != 192 {
+		t.Errorf("level sizes = %d/%d/%d",
+			len(d.LevelOf(0)), len(d.LevelOf(1)), len(d.LevelOf(2)))
+	}
+}
+
+func TestDecomposeLevelOrdering(t *testing.T) {
+	d := sphereDecomp(t, 3)
+	for i := 1; i < len(d.Coeffs); i++ {
+		if d.Coeffs[i].Level < d.Coeffs[i-1].Level {
+			t.Fatalf("coefficients out of level order at %d", i)
+		}
+	}
+}
+
+func TestValuesNormalized(t *testing.T) {
+	d, _ := buildingDecomp(t, 5, 4)
+	var sawOne bool
+	for i := range d.Coeffs {
+		c := &d.Coeffs[i]
+		if c.Value < 0 || c.Value > 1 {
+			t.Fatalf("value %v out of range for %v", c.Value, c)
+		}
+		if c.Level == BaseLevel && c.Value != 1.0 {
+			t.Fatalf("base coefficient value %v != 1.0", c.Value)
+		}
+		if c.Value == 1.0 && c.Level != BaseLevel {
+			sawOne = true
+		}
+	}
+	if !sawOne {
+		t.Error("no regular coefficient normalized to exactly 1.0")
+	}
+}
+
+func TestValueDecaysWithLevel(t *testing.T) {
+	d, _ := buildingDecomp(t, 9, 5)
+	avg := map[int8]float64{}
+	cnt := map[int8]int{}
+	for i := range d.Coeffs {
+		c := &d.Coeffs[i]
+		if c.Level == BaseLevel {
+			continue
+		}
+		avg[c.Level] += c.Value
+		cnt[c.Level]++
+	}
+	for j := int8(1); j < 5; j++ {
+		a0 := avg[j-1] / float64(cnt[j-1])
+		a1 := avg[j] / float64(cnt[j])
+		if a1 >= a0 {
+			t.Errorf("average value did not decay: level %d = %v, level %d = %v", j-1, a0, j, a1)
+		}
+	}
+}
+
+func TestSupportRegionsContainVertexAndParents(t *testing.T) {
+	d := sphereDecomp(t, 3)
+	for i := range d.Coeffs {
+		c := &d.Coeffs[i]
+		if !c.Support.Contains(c.Pos) {
+			t.Fatalf("support %v misses its own vertex %v", c.Support, c.Pos)
+		}
+		if c.Level == BaseLevel {
+			continue
+		}
+		if c.Support.Volume() == 0 && c.Support.XY().Area() == 0 {
+			t.Fatalf("degenerate support for %v", c)
+		}
+	}
+}
+
+func TestSupportSubsetProperty(t *testing.T) {
+	// §VI-A: if R2 ⊆ R1, the region affected by a support region inside R2
+	// is contained in the region affected inside R1.
+	d, _ := buildingDecomp(t, 13, 3)
+	rng := rand.New(rand.NewSource(4))
+	b := d.Bounds()
+	for trial := 0; trial < 200; trial++ {
+		outer := randBoxIn(rng, b)
+		inner := shrink(rng, outer)
+		c := &d.Coeffs[rng.Intn(len(d.Coeffs))]
+		if err := SupportSubsetProperty(outer, inner, c.Support); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func randBoxIn(rng *rand.Rand, b geom.Rect3) geom.Rect3 {
+	rx := func(lo, hi float64) (float64, float64) {
+		a := lo + rng.Float64()*(hi-lo)
+		c := lo + rng.Float64()*(hi-lo)
+		if a > c {
+			a, c = c, a
+		}
+		return a, c
+	}
+	x0, x1 := rx(b.Min.X, b.Max.X)
+	y0, y1 := rx(b.Min.Y, b.Max.Y)
+	z0, z1 := rx(b.Min.Z, b.Max.Z)
+	return geom.R3(x0, y0, z0, x1, y1, z1)
+}
+
+func shrink(rng *rand.Rand, b geom.Rect3) geom.Rect3 {
+	c := b.Center()
+	f := rng.Float64()
+	return geom.Rect3{
+		Min: c.Add(b.Min.Sub(c).Scale(f)),
+		Max: c.Add(b.Max.Sub(c).Scale(f)),
+	}
+}
+
+func TestFullReconstructionExact(t *testing.T) {
+	d, _ := buildingDecomp(t, 21, 4)
+	r := NewReconstructor(d.Base, d.Bounds().Center(), d.J)
+	r.ApplyAll(d.Coeffs)
+	if e := r.Error(d.Final); e > 1e-9 {
+		t.Fatalf("full reconstruction error = %v", e)
+	}
+	m := r.Mesh()
+	if m.NumVerts() != d.Final.NumVerts() || m.NumFaces() != d.Final.NumFaces() {
+		t.Fatalf("topology mismatch: %d/%d vs %d/%d",
+			m.NumVerts(), m.NumFaces(), d.Final.NumVerts(), d.Final.NumFaces())
+	}
+}
+
+func TestProgressiveErrorMonotone(t *testing.T) {
+	// Applying coefficients in descending-value order must never increase
+	// the reconstruction error when applied level by level, and must end at
+	// (near) zero. This is the invariant that makes "retrieve w ≥ s"
+	// sensible.
+	d, _ := buildingDecomp(t, 33, 4)
+	coeffs := make([]Coefficient, len(d.Coeffs))
+	copy(coeffs, d.Coeffs)
+	sort.SliceStable(coeffs, func(i, j int) bool { return coeffs[i].Value > coeffs[j].Value })
+
+	r := NewReconstructor(d.Base, d.Bounds().Center(), d.J)
+	prev := r.Error(d.Final)
+	chunk := len(coeffs) / 8
+	for off := 0; off < len(coeffs); off += chunk {
+		end := off + chunk
+		if end > len(coeffs) {
+			end = len(coeffs)
+		}
+		r.ApplyAll(coeffs[off:end])
+		e := r.Error(d.Final)
+		if e > prev+1e-9 {
+			t.Fatalf("error increased from %v to %v after %d coefficients", prev, e, end)
+		}
+		prev = e
+	}
+	if prev > 1e-9 {
+		t.Fatalf("final error = %v", prev)
+	}
+}
+
+func TestResolutionCutoffReducesError(t *testing.T) {
+	d, _ := buildingDecomp(t, 44, 4)
+	errAt := func(w float64) float64 {
+		r := NewReconstructor(d.Base, d.Bounds().Center(), d.J)
+		for i := range d.Coeffs {
+			if d.Coeffs[i].Value >= w {
+				r.Apply(d.Coeffs[i])
+			}
+		}
+		return r.Error(d.Final)
+	}
+	e1, e05, e0 := errAt(1.0), errAt(0.5), errAt(0.0)
+	if !(e1 >= e05 && e05 >= e0) {
+		t.Fatalf("errors not monotone in resolution: %v %v %v", e1, e05, e0)
+	}
+	if e0 > 1e-9 {
+		t.Fatalf("resolution 0 should be exact, error %v", e0)
+	}
+	if e1 <= 0 {
+		t.Fatal("coarsest reconstruction should have positive error")
+	}
+}
+
+func TestCountAtLeast(t *testing.T) {
+	d := sphereDecomp(t, 2)
+	all := d.NumCoeffs()
+	if got := d.CountAtLeast(0); got != all {
+		t.Errorf("CountAtLeast(0) = %d want %d", got, all)
+	}
+	base := len(d.LevelOf(BaseLevel))
+	if got := d.CountAtLeast(1.0); got < base {
+		t.Errorf("CountAtLeast(1) = %d, below base count %d", got, base)
+	}
+	if got := d.CountAtLeast(0.5); got > all || got < base {
+		t.Errorf("CountAtLeast(0.5) = %d outside [%d,%d]", got, base, all)
+	}
+	// Monotone in w.
+	prev := all + 1
+	for _, w := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		n := d.CountAtLeast(w)
+		if n > prev {
+			t.Fatalf("CountAtLeast not monotone at %v", w)
+		}
+		prev = n
+	}
+}
+
+func TestApplyIdempotent(t *testing.T) {
+	d := sphereDecomp(t, 2)
+	r1 := NewReconstructor(d.Base, geom.V3(0, 0, 0), d.J)
+	r2 := NewReconstructor(d.Base, geom.V3(0, 0, 0), d.J)
+	r1.ApplyAll(d.Coeffs)
+	r2.ApplyAll(d.Coeffs)
+	r2.ApplyAll(d.Coeffs) // duplicate application
+	m1, m2 := r1.Mesh(), r2.Mesh()
+	for i := range m1.Verts {
+		if m1.Verts[i] != m2.Verts[i] {
+			t.Fatalf("duplicate application changed vertex %d", i)
+		}
+	}
+	if r1.Count() != r2.Count() {
+		t.Errorf("counts differ: %d vs %d", r1.Count(), r2.Count())
+	}
+}
+
+func TestReconstructorErrorPanicsOnMismatch(t *testing.T) {
+	d := sphereDecomp(t, 2)
+	r := NewReconstructor(d.Base, geom.V3(0, 0, 0), 1) // wrong level count
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on topology mismatch")
+		}
+	}()
+	r.Error(d.Final)
+}
+
+func TestDecomposeAssignsObjectID(t *testing.T) {
+	d := sphereDecomp(t, 1)
+	for i := range d.Coeffs {
+		if d.Coeffs[i].Object != 1 {
+			t.Fatalf("coefficient %d has object %d", i, d.Coeffs[i].Object)
+		}
+		k := d.Coeffs[i].Key()
+		if k.Object != 1 || k.Vertex != d.Coeffs[i].Vertex {
+			t.Fatalf("bad key %+v", k)
+		}
+	}
+}
+
+func TestBoundsCoverAllCoefficients(t *testing.T) {
+	d, _ := buildingDecomp(t, 55, 3)
+	b := d.Bounds()
+	for i := range d.Coeffs {
+		if !b.Contains(d.Coeffs[i].Pos) {
+			t.Fatalf("coefficient position %v outside bounds %v", d.Coeffs[i].Pos, b)
+		}
+	}
+}
+
+func TestSphereCoefficientMagnitudes(t *testing.T) {
+	// For the octahedron→sphere refinement, every level's displacements are
+	// strictly positive (midpoints lie inside the sphere) and shrink by
+	// roughly 4x per level (second-order surface approximation).
+	d := sphereDecomp(t, 4)
+	var prevAvg float64 = math.Inf(1)
+	for j := int8(0); j < 4; j++ {
+		var sum float64
+		lvl := d.LevelOf(j)
+		for i := range lvl {
+			if l := lvl[i].Delta.Len(); l <= 0 {
+				t.Fatalf("level %d coefficient %d has zero displacement", j, i)
+			}
+			sum += lvl[i].Delta.Len()
+		}
+		avg := sum / float64(len(lvl))
+		if avg >= prevAvg {
+			t.Fatalf("level %d avg %v did not shrink", j, avg)
+		}
+		if j > 0 && prevAvg/avg < 2.5 {
+			t.Errorf("level %d decay ratio %v, want ≳ 4", j, prevAvg/avg)
+		}
+		prevAvg = avg
+	}
+}
+
+// TestLevelBandsDisjointAndOrdered pins the per-level banding contract:
+// level j's values live in ((J−1−j)/J, (J−j)/J] and coarser levels sit in
+// strictly higher bands.
+func TestLevelBandsDisjointAndOrdered(t *testing.T) {
+	d, _ := buildingDecomp(t, 77, 5)
+	J := float64(d.J)
+	for j := int8(0); int(j) < d.J; j++ {
+		lo := (J - 1 - float64(j)) / J
+		hi := (J - float64(j)) / J
+		for i, c := range d.LevelOf(j) {
+			if c.Value <= lo-1e-12 || c.Value > hi+1e-12 {
+				t.Fatalf("level %d coefficient %d value %v outside (%v,%v]",
+					j, i, c.Value, lo, hi)
+			}
+		}
+	}
+}
+
+// TestBandMaxHitsTop verifies each level's largest-magnitude coefficient
+// maps exactly to the band's upper bound.
+func TestBandMaxHitsTop(t *testing.T) {
+	d, _ := buildingDecomp(t, 78, 4)
+	J := float64(d.J)
+	for j := int8(0); int(j) < d.J; j++ {
+		hi := (J - float64(j)) / J
+		var best float64
+		for _, c := range d.LevelOf(j) {
+			if c.Value > best {
+				best = c.Value
+			}
+		}
+		if math.Abs(best-hi) > 1e-12 {
+			t.Errorf("level %d max value %v, want %v", j, best, hi)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	orig := Generate(Spec{NumObjects: 5, Levels: 3, Placement: Zipf, Seed: 9})
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spec.NumObjects != 5 || got.Spec.Levels != 3 ||
+		got.Spec.Placement != Zipf || got.Spec.Seed != 9 {
+		t.Fatalf("spec = %+v", got.Spec)
+	}
+	if got.Spec.Space != orig.Spec.Space {
+		t.Fatalf("space = %v", got.Spec.Space)
+	}
+	if got.Store.NumCoeffs() != orig.Store.NumCoeffs() {
+		t.Fatalf("coeffs %d vs %d", got.Store.NumCoeffs(), orig.Store.NumCoeffs())
+	}
+	for i, obj := range got.Store.Objects {
+		ref := orig.Store.Objects[i]
+		if obj.Bounds() != ref.Bounds() {
+			t.Fatalf("object %d bounds differ", i)
+		}
+		for j := range obj.Coeffs {
+			a, b := &obj.Coeffs[j], &ref.Coeffs[j]
+			if a.Pos != b.Pos || a.Delta != b.Delta || a.Value != b.Value ||
+				a.Support != b.Support || a.Level != b.Level || a.Parent != b.Parent {
+				t.Fatalf("object %d coefficient %d differs", i, j)
+			}
+		}
+		// RebuildFinal restored the refined mesh exactly.
+		if obj.Final == nil {
+			t.Fatalf("object %d final not rebuilt", i)
+		}
+		if obj.Final.NumVerts() != ref.Final.NumVerts() {
+			t.Fatalf("object %d final topology differs", i)
+		}
+		for v := range obj.Final.Verts {
+			if obj.Final.Verts[v].Dist(ref.Final.Verts[v]) > 1e-9 {
+				t.Fatalf("object %d final vertex %d off by %v",
+					i, v, obj.Final.Verts[v].Dist(ref.Final.Verts[v]))
+			}
+		}
+	}
+}
+
+func TestLoadWithoutFinals(t *testing.T) {
+	orig := Generate(Spec{NumObjects: 2, Levels: 2, Seed: 10})
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, obj := range got.Store.Objects {
+		if obj.Final != nil {
+			t.Fatalf("object %d has a final mesh", i)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "city.mar")
+	orig := Generate(Spec{NumObjects: 3, Levels: 2, Seed: 11})
+	if err := orig.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Store.NumObjects() != 3 {
+		t.Fatalf("objects = %d", got.Store.NumObjects())
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.mar"), false); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	orig := Generate(Spec{NumObjects: 2, Levels: 2, Seed: 12})
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte{}, full...)
+	bad[0] ^= 0xFF
+	if _, err := Load(bytes.NewReader(bad), false); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Bad version.
+	bad = append([]byte{}, full...)
+	bad[4] = 0x7F
+	if _, err := Load(bytes.NewReader(bad), false); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Truncations at a sweep of cut points.
+	for _, frac := range []int{4, 3, 2} {
+		cut := len(full) / frac
+		if _, err := Load(bytes.NewReader(full[:cut]), false); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestLoadedDatasetServes(t *testing.T) {
+	orig := Generate(Spec{NumObjects: 4, Levels: 2, Seed: 13})
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loaded store supports the naive index path (neighbors need the
+	// rebuilt finals).
+	got.Store.EnsureNeighbors()
+	if got.SizeBytes() != orig.SizeBytes() {
+		t.Fatalf("size %d vs %d", got.SizeBytes(), orig.SizeBytes())
+	}
+}

@@ -1,0 +1,270 @@
+// Package workload generates the experimental datasets of paper §VII-A:
+// city-scale collections of wavelet-decomposed 3D buildings distributed
+// uniformly or Zipfian over a square data space, sized so that 100
+// objects serialize to ≈ 20 MB, plus the query-frame sizing (5–20% of the
+// space) the experiments sweep.
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/geom"
+	"repro/internal/index"
+	"repro/internal/mesh"
+	"repro/internal/wavelet"
+)
+
+// Placement selects how objects are distributed over the space.
+type Placement int
+
+const (
+	// Uniform scatters objects independently and uniformly.
+	Uniform Placement = iota
+	// Zipf concentrates objects around attraction centers with Zipfian
+	// popularity — the skewed dataset of Figure 15.
+	Zipf
+)
+
+func (p Placement) String() string {
+	if p == Uniform {
+		return "uniform"
+	}
+	return "zipf"
+}
+
+// Spec parameterizes dataset generation.
+type Spec struct {
+	Space      geom.Rect2 // data space; zero value → 1000×1000
+	NumObjects int        // paper: 100/200/300/400 (≈ 20/40/60/80 MB)
+	Levels     int        // subdivision depth J; 0 → 5 (≈ 200 KB per object)
+	Placement  Placement
+	Seed       int64
+	Building   mesh.BuildingSpec // zero value → mesh.DefaultBuildingSpec
+	DropFinals bool              // release refined meshes after neighbor lists
+	Centers    int               // Zipf attraction centers; 0 → 16
+}
+
+func (s *Spec) fill() {
+	if s.Space.Area() == 0 {
+		s.Space = geom.R2(0, 0, 1000, 1000)
+	}
+	if s.Levels == 0 {
+		s.Levels = 5
+	}
+	if s.Building == (mesh.BuildingSpec{}) {
+		s.Building = mesh.DefaultBuildingSpec()
+	}
+	if s.Centers == 0 {
+		s.Centers = 16
+	}
+	if s.NumObjects <= 0 {
+		s.NumObjects = 100
+	}
+}
+
+// Dataset is a generated object collection ready for indexing.
+type Dataset struct {
+	Spec  Spec
+	Store *index.Store
+}
+
+// SizeBytes returns the serialized dataset size (the paper's 20–80 MB
+// axis).
+func (d *Dataset) SizeBytes() int64 { return d.Store.SizeBytes() }
+
+// SizeMB returns the dataset size in megabytes.
+func (d *Dataset) SizeMB() float64 { return float64(d.SizeBytes()) / 1e6 }
+
+func (d *Dataset) String() string {
+	return fmt.Sprintf("%d objects (%s, J=%d, %.1f MB)",
+		d.Spec.NumObjects, d.Spec.Placement, d.Spec.Levels, d.SizeMB())
+}
+
+// QuerySide returns the query-frame side length for a given fraction of
+// the data space (the paper's 5%, 10%, 15%, 20% query sizes).
+func (d *Dataset) QuerySide(frac float64) float64 {
+	return d.Spec.Space.Width() * frac
+}
+
+// Generate builds a reproducible dataset. If EnsureNeighbors will be
+// needed (the naive index), set DropFinals=false or call it before
+// dropping.
+func Generate(spec Spec) *Dataset {
+	spec.fill()
+	rng := rand.New(rand.NewSource(spec.Seed))
+	positions := placements(spec, rng)
+
+	objs := make([]*wavelet.Decomposition, spec.NumObjects)
+	for i := 0; i < spec.NumObjects; i++ {
+		s := mesh.RandomBuilding(rng, positions[i], spec.Building)
+		objs[i] = wavelet.Decompose(int32(i), mesh.BaseMeshFor(s), s, spec.Levels)
+	}
+	store := index.NewStore(objs)
+	if spec.DropFinals {
+		store.DropFinals()
+	}
+	return &Dataset{Spec: spec, Store: store}
+}
+
+// placements returns the ground positions of all objects. Buildings keep
+// a margin from the border so their footprints stay inside the space.
+func placements(spec Spec, rng *rand.Rand) []geom.Vec2 {
+	margin := 2 * spec.Building.Footprint
+	inner := spec.Space.Expand(-margin)
+	if inner.Empty() {
+		inner = spec.Space
+	}
+	out := make([]geom.Vec2, spec.NumObjects)
+	switch spec.Placement {
+	case Zipf:
+		// Attraction centers with Zipfian popularity: center k is chosen
+		// with probability ∝ 1/(k+1)^s, objects scatter around their center
+		// with Gaussian spread.
+		centers := make([]geom.Vec2, spec.Centers)
+		for i := range centers {
+			centers[i] = geom.V2(
+				inner.Min.X+rng.Float64()*inner.Width(),
+				inner.Min.Y+rng.Float64()*inner.Height(),
+			)
+		}
+		z := rand.NewZipf(rng, 2.0, 1, uint64(spec.Centers-1))
+		spread := inner.Width() / 20
+		for i := range out {
+			c := centers[z.Uint64()]
+			p := geom.V2(c.X+rng.NormFloat64()*spread, c.Y+rng.NormFloat64()*spread)
+			out[i] = clampTo(p, inner)
+		}
+	default:
+		for i := range out {
+			out[i] = geom.V2(
+				inner.Min.X+rng.Float64()*inner.Width(),
+				inner.Min.Y+rng.Float64()*inner.Height(),
+			)
+		}
+	}
+	return out
+}
+
+func clampTo(p geom.Vec2, r geom.Rect2) geom.Vec2 {
+	if p.X < r.Min.X {
+		p.X = r.Min.X
+	}
+	if p.X > r.Max.X {
+		p.X = r.Max.X
+	}
+	if p.Y < r.Min.Y {
+		p.Y = r.Min.Y
+	}
+	if p.Y > r.Max.Y {
+		p.Y = r.Max.Y
+	}
+	return p
+}
+
+// Save serializes the dataset to w: a small header with the spec's
+// reproducibility-relevant fields followed by each object's
+// decomposition. Final meshes are not stored; Load rebuilds them on
+// demand.
+func (d *Dataset) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hdr := []any{
+		uint32(0x4D415244), // "MARD"
+		uint32(1),
+		int64(d.Spec.Seed),
+		uint32(d.Spec.NumObjects),
+		uint32(d.Spec.Levels),
+		uint32(d.Spec.Placement),
+		d.Spec.Space.Min.X, d.Spec.Space.Min.Y,
+		d.Spec.Space.Max.X, d.Spec.Space.Max.Y,
+	}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, obj := range d.Store.Objects {
+		if err := obj.Encode(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load deserializes a dataset written by Save. Set rebuildFinals to
+// restore the refined meshes (needed by the naive index and by error
+// measurement).
+func Load(r io.Reader, rebuildFinals bool) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	r = br
+	var magic, version uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return nil, err
+	}
+	if magic != 0x4D415244 {
+		return nil, fmt.Errorf("workload: bad magic %#x", magic)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != 1 {
+		return nil, fmt.Errorf("workload: unsupported version %d", version)
+	}
+	var seed int64
+	var num, levels, placement uint32
+	var x0, y0, x1, y1 float64
+	for _, p := range []any{&seed, &num, &levels, &placement, &x0, &y0, &x1, &y1} {
+		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	if num > 1<<20 {
+		return nil, fmt.Errorf("workload: implausible object count %d", num)
+	}
+	spec := Spec{
+		Seed:       seed,
+		NumObjects: int(num),
+		Levels:     int(levels),
+		Placement:  Placement(placement),
+		Space:      geom.Rect2{Min: geom.V2(x0, y0), Max: geom.V2(x1, y1)},
+	}
+	objs := make([]*wavelet.Decomposition, spec.NumObjects)
+	for i := range objs {
+		obj, err := wavelet.DecodeDecomposition(r)
+		if err != nil {
+			return nil, fmt.Errorf("workload: object %d: %w", i, err)
+		}
+		if rebuildFinals {
+			obj.RebuildFinal()
+		}
+		objs[i] = obj
+	}
+	return &Dataset{Spec: spec, Store: index.NewStore(objs)}, nil
+}
+
+// SaveFile and LoadFile are file-path conveniences over Save and Load.
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile opens and deserializes a dataset file.
+func LoadFile(path string, rebuildFinals bool) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f, rebuildFinals)
+}

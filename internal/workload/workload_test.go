@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestGenerateDefaults(t *testing.T) {
+	d := Generate(Spec{NumObjects: 5, Levels: 3, Seed: 1})
+	if d.Store.NumObjects() != 5 {
+		t.Fatalf("objects = %d", d.Store.NumObjects())
+	}
+	if d.Spec.Space.Width() != 1000 {
+		t.Errorf("default space = %v", d.Spec.Space)
+	}
+	// Level-3 octahedron: 6 + 12 + 48 + 192 = 258 coefficients.
+	if d.Store.NumCoeffs() != 5*258 {
+		t.Errorf("coeffs = %d", d.Store.NumCoeffs())
+	}
+}
+
+func TestPaperDatasetSizing(t *testing.T) {
+	// 100 objects at J=5 must land near 20 MB (paper §VII-A). Level-5
+	// octahedron: 6 + 12·(1+4+16+64+256) = 4098... plus levels: verify via
+	// actual size; accept 18–22 MB.
+	if testing.Short() {
+		t.Skip("dataset sizing is slow")
+	}
+	d := Generate(Spec{NumObjects: 100, Seed: 2, DropFinals: true})
+	mb := d.SizeMB()
+	if mb < 18 || mb > 22 {
+		t.Errorf("100-object dataset = %.2f MB, want ≈ 20", mb)
+	}
+}
+
+func TestObjectsInsideSpace(t *testing.T) {
+	for _, placement := range []Placement{Uniform, Zipf} {
+		d := Generate(Spec{NumObjects: 30, Levels: 2, Placement: placement, Seed: 3})
+		for i, obj := range d.Store.Objects {
+			b := obj.Bounds().XY()
+			if !d.Spec.Space.Expand(d.Spec.Building.Footprint * 3).ContainsRect(b) {
+				t.Errorf("%v object %d at %v escapes the space", placement, i, b)
+			}
+		}
+	}
+}
+
+func TestReproducible(t *testing.T) {
+	a := Generate(Spec{NumObjects: 4, Levels: 2, Seed: 7})
+	b := Generate(Spec{NumObjects: 4, Levels: 2, Seed: 7})
+	for i := range a.Store.Objects {
+		ca, cb := a.Store.Objects[i].Coeffs, b.Store.Objects[i].Coeffs
+		if len(ca) != len(cb) {
+			t.Fatalf("object %d coefficient counts differ", i)
+		}
+		for j := range ca {
+			if ca[j].Pos != cb[j].Pos || ca[j].Value != cb[j].Value {
+				t.Fatalf("object %d coefficient %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := Generate(Spec{NumObjects: 4, Levels: 2, Seed: 7})
+	b := Generate(Spec{NumObjects: 4, Levels: 2, Seed: 8})
+	same := true
+	for i := range a.Store.Objects {
+		if a.Store.Objects[i].Bounds() != b.Store.Objects[i].Bounds() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestZipfIsSkewed(t *testing.T) {
+	// Zipf placement should concentrate objects: the fraction of object
+	// pairs closer than 15% of the space must clearly exceed the uniform
+	// dataset's.
+	closePairs := func(p Placement) float64 {
+		d := Generate(Spec{NumObjects: 60, Levels: 1, Placement: p, Seed: 11})
+		var close, n int
+		for i := 0; i < 60; i++ {
+			for j := i + 1; j < 60; j++ {
+				ci := d.Store.Objects[i].Bounds().Center().XY()
+				cj := d.Store.Objects[j].Bounds().Center().XY()
+				if ci.Dist(cj) < 150 {
+					close++
+				}
+				n++
+			}
+		}
+		return float64(close) / float64(n)
+	}
+	u, z := closePairs(Uniform), closePairs(Zipf)
+	if z < 2*u {
+		t.Errorf("zipf close-pair fraction %v not clearly above uniform %v", z, u)
+	}
+}
+
+func TestQuerySide(t *testing.T) {
+	d := Generate(Spec{NumObjects: 1, Levels: 1, Seed: 1})
+	if s := d.QuerySide(0.10); math.Abs(s-100) > 1e-9 {
+		t.Errorf("10%% query side = %v", s)
+	}
+}
+
+func TestDropFinals(t *testing.T) {
+	d := Generate(Spec{NumObjects: 2, Levels: 2, Seed: 5, DropFinals: true})
+	for i, obj := range d.Store.Objects {
+		if obj.Final != nil {
+			t.Errorf("object %d kept its final mesh", i)
+		}
+	}
+	if d.String() == "" {
+		t.Error("empty description")
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	if Uniform.String() != "uniform" || Zipf.String() != "zipf" {
+		t.Error("placement names wrong")
+	}
+}
+
+func TestSpecFillClampsBadValues(t *testing.T) {
+	d := Generate(Spec{NumObjects: -3, Levels: 1, Seed: 1})
+	if d.Store.NumObjects() != 100 {
+		t.Errorf("negative object count filled to %d", d.Store.NumObjects())
+	}
+}
+
+func TestCustomSpace(t *testing.T) {
+	space := geom.R2(0, 0, 5000, 5000)
+	d := Generate(Spec{NumObjects: 3, Levels: 1, Seed: 1, Space: space})
+	if d.QuerySide(0.2) != 1000 {
+		t.Errorf("query side = %v", d.QuerySide(0.2))
+	}
+}
