@@ -1,0 +1,32 @@
+# Development targets. `make ci` is the full gate a change must pass:
+# build, vet, the tier-1 test suite, and the race-detector run that
+# guards the concurrent serving path (see README "Testing").
+
+GO ?= go
+
+.PHONY: build test race vet bench soak ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race gate: the full suite under the race detector, including the
+# multi-client soak (internal/proto), the concurrent-search property
+# tests (internal/index), and the parallel-execution tests
+# (internal/retrieval).
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# Just the concurrency-focused tests, verbosely.
+soak:
+	$(GO) test -race -v -run 'TestMultiClientSoak|TestConcurrent|TestExecuteParallel|TestBulkLoadedTreeSurvivesChurn' ./internal/proto/ ./internal/index/ ./internal/retrieval/ ./internal/rtree/
+
+ci: build vet test race

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	experiments [-quick] [-fig fig8,fig12] [-objects N] [-tours N]
-//	            [-steps N] [-seed N] [-o out.txt]
+//	            [-steps N] [-seed N] [-o out.txt] [-stats]
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -30,6 +31,7 @@ func main() {
 		steps     = flag.Int("steps", 0, "override steps per tour")
 		seed      = flag.Int64("seed", 1, "base random seed")
 		out       = flag.String("o", "", "also write output to this file")
+		showStats = flag.Bool("stats", false, "print accumulated retrieval/buffer stats after the run")
 	)
 	flag.Parse()
 
@@ -77,5 +79,10 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "experiments: no figures matched %q\n", *figs)
 		os.Exit(1)
+	}
+	if *showStats {
+		// Every retrieval server and buffer manager the figures construct
+		// records into the process-wide collector.
+		fmt.Fprintf(w, "stats: %v\n", stats.Default.Snapshot())
 	}
 }

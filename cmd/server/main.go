@@ -7,6 +7,7 @@
 // Usage:
 //
 //	server [-addr :7333] [-objects 100] [-levels 5] [-zipf] [-seed 1]
+//	       [-stats 30s] [-workers 0]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/retrieval"
 	"repro/internal/rtree"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -29,6 +31,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "dataset seed")
 		save    = flag.String("save", "", "write the generated dataset to this file and continue")
 		load    = flag.String("load", "", "serve a previously saved dataset instead of generating")
+		statsIv = flag.Duration("stats", 0, "dump serving stats at this interval (0 disables, e.g. 30s)")
+		workers = flag.Int("workers", 0, "per-request sub-query parallelism (0 = auto, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -66,7 +70,15 @@ func main() {
 	log.Printf("building motion-aware (x,y,w) R*-tree over %d coefficients...",
 		d.Store.NumCoeffs())
 	idx := index.NewMotionAware(d.Store, index.XYW, rtree.Config{})
-	srv := proto.NewServer(retrieval.NewServer(d.Store, idx), d.Spec.Levels, log.Printf)
+	rsrv := retrieval.NewServer(d.Store, idx)
+	if *workers > 0 {
+		rsrv.SetParallelism(*workers)
+	}
+	srv := proto.NewServer(rsrv, d.Spec.Levels, log.Printf)
+	if *statsIv > 0 {
+		stop := stats.Default.StartLogging(*statsIv, log.Printf)
+		defer stop()
+	}
 	if err := srv.ListenAndServe(*addr); err != nil {
 		log.Fatal(err)
 	}

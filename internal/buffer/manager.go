@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/motion"
+	"repro/internal/stats"
 )
 
 // Fetcher supplies block payloads: the serialized size of the data needed
@@ -104,6 +105,10 @@ type Config struct {
 	// predictor with `History` displacements; motion.NewLinearPredictor()
 	// gives the constant-velocity baseline of prior work for ablations.
 	Estimator motion.Estimator
+	// Stats receives hit/miss and link-byte counts in addition to the
+	// per-manager Metrics. Nil records into stats.Default (recording is
+	// a few wait-free atomic adds per step).
+	Stats *stats.Stats
 }
 
 // Manager is the client-side buffer: it serves the blocks each query
@@ -148,6 +153,9 @@ func NewManager(cfg Config, f Fetcher) *Manager {
 	pred := cfg.Estimator
 	if pred == nil {
 		pred = motion.NewPredictor(cfg.History)
+	}
+	if cfg.Stats == nil {
+		cfg.Stats = stats.Default
 	}
 	return &Manager{
 		cfg:       cfg,
@@ -227,6 +235,7 @@ func (m *Manager) Step(pos geom.Vec2, frame geom.Rect2, wmin float64) StepResult
 		}
 	}
 	m.enforceCapacity(neededSet)
+	m.cfg.Stats.RecordBuffer(res.Blocks-res.Misses, res.Misses, res.Demand, res.Prefetched)
 	return res
 }
 

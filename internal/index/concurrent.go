@@ -1,0 +1,93 @@
+package index
+
+import (
+	"sync"
+)
+
+// Mutable is an access method that supports incremental updates after its
+// initial build. MotionAware implements it; the bulk-loaded baselines do
+// not need to.
+type Mutable interface {
+	Index
+	// Insert indexes the store coefficient with the given global id.
+	Insert(id int64)
+	// Delete removes the coefficient with the given global id, reporting
+	// whether it was present.
+	Delete(id int64) bool
+}
+
+// Concurrent makes a Mutable index safe for concurrent readers *and*
+// writers: Search/Len/Name take a read lock, Insert/Delete/Update take
+// the write lock. Readers proceed in parallel with each other (the
+// underlying indexes are already safe for concurrent Search — see the
+// Index contract); a writer drains and excludes them only for the
+// duration of its mutation, so the motion-aware index keeps serving
+// window queries while background updates land.
+type Concurrent struct {
+	mu  sync.RWMutex
+	idx Index
+}
+
+// NewConcurrent wraps an index. The wrapper owns the synchronization;
+// callers must not mutate the wrapped index directly afterwards.
+func NewConcurrent(idx Index) *Concurrent {
+	return &Concurrent{idx: idx}
+}
+
+// Unwrap returns the wrapped index. Mutating it directly bypasses the
+// lock; use Update for that.
+func (c *Concurrent) Unwrap() Index { return c.idx }
+
+// Name identifies the access method in experiment output.
+func (c *Concurrent) Name() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return "concurrent(" + c.idx.Name() + ")"
+}
+
+// Len returns the number of indexed coefficients.
+func (c *Concurrent) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.Len()
+}
+
+// Search answers a window query under the read lock; any number of
+// searches proceed in parallel.
+func (c *Concurrent) Search(q Query) ([]int64, int64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.Search(q)
+}
+
+// Insert indexes one coefficient under the write lock. Panics if the
+// wrapped index is not Mutable.
+func (c *Concurrent) Insert(id int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mutable().Insert(id)
+}
+
+// Delete removes one coefficient under the write lock. Panics if the
+// wrapped index is not Mutable.
+func (c *Concurrent) Delete(id int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mutable().Delete(id)
+}
+
+// Update runs an arbitrary batch mutation under the write lock, e.g.
+// re-indexing several coefficients atomically with respect to readers.
+func (c *Concurrent) Update(f func(Index)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f(c.idx)
+}
+
+func (c *Concurrent) mutable() Mutable {
+	m, ok := c.idx.(Mutable)
+	if !ok {
+		panic("index: " + c.idx.Name() + " does not support mutation")
+	}
+	return m
+}

@@ -1,0 +1,308 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+// randomQueries builds a reproducible batch of window queries spanning
+// degenerate, tiny, and space-covering windows with varied value bands.
+func randomQueries(seed int64, n int) []Query {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]Query, n)
+	for i := range qs {
+		x, y := rng.Float64()*900, rng.Float64()*900
+		w, h := rng.Float64()*300, rng.Float64()*300
+		wmin := rng.Float64()
+		wmax := wmin + rng.Float64()*(1-wmin)
+		qs[i] = Query{
+			Region: geom.R2(x, y, x+w, y+h),
+			ZMin:   0, ZMax: rng.Float64() * 120,
+			WMin: wmin, WMax: wmax,
+		}
+	}
+	return qs
+}
+
+func sortedIDs(ids []int64) []int64 {
+	out := append([]int64(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func idsEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestConcurrentSearchEqualsSerial is the read-path property test: for
+// random coefficient sets and random query batches, every access method
+// must return, under heavy goroutine concurrency, exactly the results
+// (and I/O counts) of a single-threaded execution — Search holds no
+// hidden mutable state. The subtests run with t.Parallel() so the index
+// builds and cross-index searches interleave, and the whole test is part
+// of the -race gate.
+func TestConcurrentSearchEqualsSerial(t *testing.T) {
+	for _, seed := range []int64{21, 22} {
+		seed := seed
+		s := testStore(t, 8, seed)
+		indexes := []Index{
+			NewMotionAware(s, XYW, rtree.Config{}),
+			NewMotionAware(s, XYZW, rtree.Config{}),
+			NewNaive(s, XYW, rtree.Config{}),
+			NewObjectIndex(s, rtree.Config{}),
+		}
+		queries := randomQueries(seed*100, 40)
+		for _, idx := range indexes {
+			idx := idx
+			t.Run(fmt.Sprintf("seed%d/%s", seed, idx.Name()), func(t *testing.T) {
+				t.Parallel()
+				// Single-threaded baseline, computed once up front.
+				wantIDs := make([][]int64, len(queries))
+				wantIO := make([]int64, len(queries))
+				for i, q := range queries {
+					ids, io := idx.Search(q)
+					wantIDs[i] = sortedIDs(ids)
+					wantIO[i] = io
+				}
+				// The motion-aware baseline must itself match brute force.
+				if ma, ok := idx.(*MotionAware); ok {
+					for i, q := range queries {
+						ref := referenceMotionAware(s, ma.layout, q)
+						if len(ref) != len(wantIDs[i]) {
+							t.Fatalf("query %d: baseline %d ids, brute force %d",
+								i, len(wantIDs[i]), len(ref))
+						}
+						for _, id := range wantIDs[i] {
+							if !ref[id] {
+								t.Fatalf("query %d: id %d not in brute force set", i, id)
+							}
+						}
+					}
+				}
+
+				const goroutines = 8
+				var wg sync.WaitGroup
+				errs := make(chan error, goroutines)
+				for g := 0; g < goroutines; g++ {
+					wg.Add(1)
+					go func(g int) {
+						defer wg.Done()
+						// Each goroutine walks the batch from a different
+						// offset so distinct queries overlap in time.
+						for k := range queries {
+							i := (k + g*len(queries)/goroutines) % len(queries)
+							ids, io := idx.Search(queries[i])
+							if got := sortedIDs(ids); !idsEqual(got, wantIDs[i]) {
+								errs <- fmt.Errorf("goroutine %d query %d: %d ids, serial %d",
+									g, i, len(got), len(wantIDs[i]))
+								return
+							}
+							if io != wantIO[i] {
+								errs <- fmt.Errorf("goroutine %d query %d: io %d, serial %d",
+									g, i, io, wantIO[i])
+								return
+							}
+						}
+					}(g)
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					t.Error(err)
+				}
+			})
+		}
+	}
+}
+
+// TestMotionAwareInsertDelete checks the new mutation ops single-threaded:
+// delete removes exactly the coefficient, insert restores it, and
+// searches stay consistent with brute force throughout.
+func TestMotionAwareInsertDelete(t *testing.T) {
+	s := testStore(t, 4, 31)
+	ma := NewMotionAware(s, XYW, rtree.Config{})
+	total := ma.Len()
+	all := Query{Region: geom.R2(0, 0, 1000, 1000), WMin: 0, WMax: 1}
+
+	victim := s.ID(1, 7)
+	if !ma.Delete(victim) {
+		t.Fatal("delete of an indexed coefficient failed")
+	}
+	if ma.Delete(victim) {
+		t.Fatal("double delete succeeded")
+	}
+	if ma.Len() != total-1 {
+		t.Fatalf("len = %d after delete", ma.Len())
+	}
+	ids, _ := ma.Search(all)
+	for _, id := range ids {
+		if id == victim {
+			t.Fatal("deleted coefficient still returned")
+		}
+	}
+	if len(ids) != total-1 {
+		t.Fatalf("search returned %d of %d", len(ids), total-1)
+	}
+
+	ma.Insert(victim)
+	if ma.Len() != total {
+		t.Fatalf("len = %d after reinsert", ma.Len())
+	}
+	ids, _ = ma.Search(all)
+	found := false
+	for _, id := range ids {
+		if id == victim {
+			found = true
+		}
+	}
+	if !found || len(ids) != total {
+		t.Fatalf("reinsert lost the coefficient (%d ids, found=%v)", len(ids), found)
+	}
+	if err := ma.Tree().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentWrapperServesReadersDuringUpdates churns one object's
+// coefficients through Delete/Insert on a background writer while reader
+// goroutines run full-space searches through the Concurrent wrapper.
+// Every read must observe a consistent index: all untouched coefficients
+// present exactly once, churned ones present at most once. Run under
+// -race this proves the reader/writer locking.
+func TestConcurrentWrapperServesReadersDuringUpdates(t *testing.T) {
+	s := testStore(t, 6, 32)
+	ma := NewMotionAware(s, XYW, rtree.Config{})
+	c := NewConcurrent(ma)
+	total := c.Len()
+
+	var churn []int64
+	for v := range s.Objects[0].Coeffs {
+		churn = append(churn, s.ID(0, int32(v)))
+	}
+	stable := make(map[int64]bool)
+	for id := int64(0); id < s.NumCoeffs(); id++ {
+		stable[id] = true
+	}
+	for _, id := range churn {
+		delete(stable, id)
+	}
+
+	all := Query{Region: geom.R2(0, 0, 1000, 1000), WMin: 0, WMax: 1}
+	stop := make(chan struct{})
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, id := range churn {
+				c.Delete(id)
+			}
+			// Batch reinsert under one write lock.
+			c.Update(func(idx Index) {
+				m := idx.(*MotionAware)
+				for _, id := range churn {
+					m.Insert(id)
+				}
+			})
+		}
+	}()
+
+	const readers = 4
+	const reads = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < reads; k++ {
+				ids, _ := c.Search(all)
+				seen := make(map[int64]bool, len(ids))
+				for _, id := range ids {
+					if seen[id] {
+						errs <- fmt.Errorf("reader %d: duplicate id %d", g, id)
+						return
+					}
+					seen[id] = true
+				}
+				for id := range stable {
+					if !seen[id] {
+						errs <- fmt.Errorf("reader %d: stable id %d missing", g, id)
+						return
+					}
+				}
+				if n := c.Len(); n < len(stable) || n > total {
+					errs <- fmt.Errorf("reader %d: len %d outside [%d, %d]",
+						g, n, len(stable), total)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	writerWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Once the writer finishes, the index is whole again.
+	if c.Len() != total {
+		t.Fatalf("final len = %d, want %d", c.Len(), total)
+	}
+	ids, _ := c.Search(all)
+	if len(ids) != total {
+		t.Fatalf("final search returned %d of %d", len(ids), total)
+	}
+	if err := ma.Tree().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentWrapperBasics covers the wrapper's pass-throughs and the
+// non-mutable guard.
+func TestConcurrentWrapperBasics(t *testing.T) {
+	s := testStore(t, 2, 33)
+	ma := NewMotionAware(s, XYW, rtree.Config{})
+	c := NewConcurrent(ma)
+	if c.Unwrap() != Index(ma) {
+		t.Error("Unwrap returned a different index")
+	}
+	if c.Name() != "concurrent("+ma.Name()+")" {
+		t.Errorf("name = %q", c.Name())
+	}
+	if c.Len() != ma.Len() {
+		t.Errorf("len = %d, want %d", c.Len(), ma.Len())
+	}
+	var _ Index = c   // wrapper satisfies the read interface
+	var _ Mutable = c // and the mutable one
+	var _ Mutable = ma
+
+	nonMutable := NewConcurrent(NewObjectIndex(s, rtree.Config{}))
+	defer func() {
+		if recover() == nil {
+			t.Error("Insert on a non-mutable index did not panic")
+		}
+	}()
+	nonMutable.Insert(0)
+}

@@ -49,7 +49,8 @@ func (m *MotionAware) Tree() *rtree.Tree { return m.tree }
 
 // Search returns the global ids of all coefficients whose support region
 // intersects the query region with value in [WMin, WMax], plus the node
-// I/O spent.
+// I/O spent. It is safe for any number of concurrent callers as long as
+// no mutation (Insert/Delete) runs — see the Index contract.
 func (m *MotionAware) Search(q Query) ([]int64, int64) {
 	var ids []int64
 	io := m.tree.SearchCounted(m.layout.queryRect(q), func(_ rtree.Rect, data int64) bool {
@@ -57,4 +58,22 @@ func (m *MotionAware) Search(q Query) ([]int64, int64) {
 		return true
 	})
 	return ids, io
+}
+
+// Insert indexes the store coefficient with the given global id (e.g.
+// after a background update changed its support region or value —
+// Delete, mutate the store, Insert). Not safe concurrently with Search;
+// wrap the index in a Concurrent to serve readers across updates.
+func (m *MotionAware) Insert(id int64) {
+	c := m.store.Coeff(id)
+	m.tree.Insert(m.layout.supportRect(c), id)
+}
+
+// Delete removes the coefficient with the given global id from the
+// index, reporting whether it was present. The coefficient's current
+// store state must match its indexed rectangle (delete before mutating
+// the store). Not safe concurrently with Search.
+func (m *MotionAware) Delete(id int64) bool {
+	c := m.store.Coeff(id)
+	return m.tree.Delete(m.layout.supportRect(c), id)
 }

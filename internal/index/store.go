@@ -86,6 +86,9 @@ func (s *Store) objectOf(id int64) int {
 
 // EnsureNeighbors computes and caches the final-mesh vertex adjacency for
 // every object. The naive index needs it; it must run before DropFinal.
+// It mutates the store and must complete before concurrent readers
+// (Neighbors, and therefore Naive.Search) start — NewNaive calls it at
+// build time, which satisfies the Index concurrency contract.
 func (s *Store) EnsureNeighbors() {
 	for i, d := range s.Objects {
 		if s.neighbors[i] != nil {
@@ -199,6 +202,14 @@ func (l Layout) queryRect(q Query) rtree.Rect {
 // Index is a queryable access method over a Store. Search returns the
 // global coefficient ids satisfying the query and the number of index
 // nodes (pages) read.
+//
+// Concurrency contract: after construction (and, for Naive, the
+// EnsureNeighbors call its constructor performs), Search must be safe
+// for any number of concurrent callers — every implementation in this
+// package keeps its search state allocation-local and counts I/O with
+// atomics. Mutating an index (e.g. MotionAware.Insert/Delete) is NOT
+// safe concurrently with Search; wrap mutable indexes in a Concurrent
+// to serve readers while background updates land.
 type Index interface {
 	Name() string
 	Search(q Query) (ids []int64, io int64)

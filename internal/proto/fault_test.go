@@ -160,6 +160,90 @@ func TestServerRejectsOversizedRequest(t *testing.T) {
 	}
 }
 
+// TestSanitizeWireError pins down the error-reflection contract: whatever
+// an internal decode error carries — control bytes, terminal escapes,
+// multi-line log-forgery text, unbounded length — the string sent to the
+// peer is printable ASCII capped at maxWireErrorLen.
+func TestSanitizeWireError(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"plain message", "plain message"},
+		{"line one\nline two\r\x1b[31mred", "line one?line two??[31mred"},
+		{"null \x00 byte and tab \t here", "null ? byte and tab ? here"},
+		{"non-ascii café 世界", "non-ascii caf? ??"},
+	}
+	for _, c := range cases {
+		if got := sanitizeWireError(fmt.Errorf("%s", c.in)); got != c.want {
+			t.Errorf("sanitize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	long := strings.Repeat("x", 10*maxWireErrorLen)
+	if got := sanitizeWireError(fmt.Errorf("%s", long)); len(got) != maxWireErrorLen {
+		t.Errorf("long error capped to %d bytes, want %d", len(got), maxWireErrorLen)
+	}
+	// Truncation may split a multibyte rune; the torn tail must still come
+	// out as printable ASCII.
+	torn := strings.Repeat("y", maxWireErrorLen-1) + "é"
+	got := sanitizeWireError(fmt.Errorf("%s", torn))
+	if len(got) > maxWireErrorLen {
+		t.Errorf("torn-rune error is %d bytes", len(got))
+	}
+	for i := 0; i < len(got); i++ {
+		if got[i] < 0x20 || got[i] > 0x7e {
+			t.Errorf("byte %d of sanitized error is %#x", i, got[i])
+		}
+	}
+}
+
+// TestServerErrorReplyIsSanitized sends a malformed request over the wire
+// and checks the error reply obeys the sanitization contract end to end.
+func TestServerErrorReplyIsSanitized(t *testing.T) {
+	addr, _, shutdown := startTestServer(t)
+	defer shutdown()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := NewReader(conn)
+	r.ReadTag()
+	if _, err := r.ReadHello(); err != nil {
+		t.Fatal(err)
+	}
+	// A request header with a hostile sub-query count.
+	var buf bytes.Buffer
+	bw := NewWriter(&buf)
+	bw.u8(TagRequest)
+	bw.f64(0.25)
+	bw.i32(-1)
+	bw.w.Flush()
+	conn.Write(buf.Bytes())
+
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	tag, err := r.ReadTag()
+	if err != nil {
+		t.Fatalf("no error reply: %v", err)
+	}
+	if tag != TagError {
+		t.Fatalf("expected error tag, got %d", tag)
+	}
+	msg, err := r.ReadError()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msg) == 0 || len(msg) > maxWireErrorLen {
+		t.Fatalf("error reply length %d outside (0, %d]", len(msg), maxWireErrorLen)
+	}
+	for i := 0; i < len(msg); i++ {
+		if msg[i] < 0x20 || msg[i] > 0x7e {
+			t.Fatalf("error reply byte %d is %#x, not printable ASCII", i, msg[i])
+		}
+	}
+}
+
 // TestClientRejectsNonHelloGreeting ensures the client fails fast when
 // the peer is not a protocol server.
 func TestClientRejectsNonHelloGreeting(t *testing.T) {

@@ -4,18 +4,26 @@ import (
 	"errors"
 	"io"
 	"net"
+	"strings"
 	"sync"
 
 	"repro/internal/retrieval"
+	"repro/internal/stats"
 )
 
 // Server serves the retrieval protocol over TCP (or any net.Listener).
 // Each connection is one client session with its own delivered-set
 // filtering, exactly like the in-process retrieval.Session.
+//
+// Concurrency: every accepted connection runs on its own goroutine. The
+// per-connection state (reader, writer, session) is goroutine-local;
+// the shared retrieval.Server, store, and index are concurrent-read-safe
+// (see the index.Index contract), and the stats collector is wait-free.
 type Server struct {
 	srv    *retrieval.Server
 	levels int
 	logf   func(format string, args ...any)
+	st     *stats.Stats
 
 	mu     sync.Mutex
 	closed bool
@@ -24,12 +32,18 @@ type Server struct {
 
 // NewServer wraps a retrieval server for network access. levels is the
 // dataset's subdivision depth, announced in the hello. logf may be nil.
+// Session and error counts are recorded into stats.Default; SetStats
+// overrides.
 func NewServer(srv *retrieval.Server, levels int, logf func(string, ...any)) *Server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Server{srv: srv, levels: levels, logf: logf}
+	return &Server{srv: srv, levels: levels, logf: logf, st: stats.Default}
 }
+
+// SetStats redirects the server's session/error counters (nil disables
+// recording). Call before Serve.
+func (s *Server) SetStats(st *stats.Stats) { s.st = st }
 
 // Serve accepts connections until the listener closes. It returns nil
 // after Close.
@@ -62,8 +76,33 @@ func (s *Server) Close() {
 	}
 }
 
+// maxWireErrorLen caps error strings sent to clients: long enough for
+// any protocol diagnostic, short enough that an error reply can never
+// balloon into a payload.
+const maxWireErrorLen = 256
+
+// sanitizeWireError prepares an internal error for the wire: the string
+// is capped at maxWireErrorLen bytes and every non-printable or
+// non-ASCII byte is replaced, so a corrupted request can never reflect
+// binary garbage (or multi-line log-forgery text) back over the
+// protocol or into peers' logs.
+func sanitizeWireError(err error) string {
+	msg := err.Error()
+	if len(msg) > maxWireErrorLen {
+		msg = msg[:maxWireErrorLen]
+	}
+	return strings.Map(func(r rune) rune {
+		if r < 0x20 || r > 0x7e {
+			return '?'
+		}
+		return r
+	}, msg)
+}
+
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	s.st.SessionOpened()
+	defer s.st.SessionClosed()
 	w := NewWriter(conn)
 	r := NewReader(conn)
 	store := s.srv.Store()
@@ -80,6 +119,7 @@ func (s *Server) handle(conn net.Conn) {
 		BaseVerts: int32(baseVerts),
 		Space:     bounds,
 	}); err != nil {
+		s.st.RecordError()
 		s.logf("proto: hello to %v failed: %v", conn.RemoteAddr(), err)
 		return
 	}
@@ -89,6 +129,7 @@ func (s *Server) handle(conn net.Conn) {
 		tag, err := r.ReadTag()
 		if err != nil {
 			if !errors.Is(err, io.EOF) {
+				s.st.RecordError()
 				s.logf("proto: read from %v failed: %v", conn.RemoteAddr(), err)
 			}
 			return
@@ -97,8 +138,11 @@ func (s *Server) handle(conn net.Conn) {
 		case TagRequest:
 			req, err := r.ReadRequest()
 			if err != nil {
+				s.st.RecordError()
 				s.logf("proto: bad request from %v: %v", conn.RemoteAddr(), err)
-				w.WriteError(err.Error())
+				if werr := w.WriteError(sanitizeWireError(err)); werr != nil {
+					s.logf("proto: error reply to %v failed: %v", conn.RemoteAddr(), werr)
+				}
 				return
 			}
 			resp := session.Retrieve(req.Subs)
@@ -114,14 +158,18 @@ func (s *Server) handle(conn net.Conn) {
 				})
 			}
 			if err := w.WriteResponse(out); err != nil {
+				s.st.RecordError()
 				s.logf("proto: response to %v failed: %v", conn.RemoteAddr(), err)
 				return
 			}
 		case TagBye:
 			return
 		default:
+			s.st.RecordError()
 			s.logf("proto: unexpected tag %d from %v", tag, conn.RemoteAddr())
-			w.WriteError("unexpected message")
+			if werr := w.WriteError("unexpected message"); werr != nil {
+				s.logf("proto: error reply to %v failed: %v", conn.RemoteAddr(), werr)
+			}
 			return
 		}
 	}

@@ -7,8 +7,13 @@
 package retrieval
 
 import (
+	"runtime"
+	"sync"
+	"time"
+
 	"repro/internal/geom"
 	"repro/internal/index"
+	"repro/internal/stats"
 	"repro/internal/wavelet"
 )
 
@@ -54,20 +59,51 @@ func Identity(speed float64) float64 {
 }
 
 // Server answers window sub-queries from a coefficient store through an
-// access method.
+// access method. It is safe for concurrent use by any number of
+// sessions: Execute only reads the store and the index (whose Search is
+// concurrent-safe per the index.Index contract) and touches no shared
+// mutable state beyond the wait-free stats collector.
 type Server struct {
-	store *index.Store
-	idx   index.Index
-	zMin  float64
-	zMax  float64
+	store   *index.Store
+	idx     index.Index
+	zMin    float64
+	zMax    float64
+	workers int
+	st      *stats.Stats
 }
 
 // NewServer creates a server over the store using the given index. The
 // vertical query band is derived from the store's bounds (queries are
-// ground-plane windows; the z band always spans every object).
+// ground-plane windows; the z band always spans every object). The
+// server records into stats.Default and executes a request's sub-queries
+// on a bounded worker pool sized to the machine; SetStats and
+// SetParallelism override both.
 func NewServer(store *index.Store, idx index.Index) *Server {
 	b := store.Bounds()
-	return &Server{store: store, idx: idx, zMin: b.Min.Z, zMax: b.Max.Z}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		// Algorithm 1 yields ≤5 sub-queries; more workers than that only
+		// buys scheduler churn.
+		workers = 8
+	}
+	return &Server{store: store, idx: idx, zMin: b.Min.Z, zMax: b.Max.Z,
+		workers: workers, st: stats.Default}
+}
+
+// SetStats redirects the server's observability counters (nil disables
+// recording). Not safe to call while requests are in flight.
+func (s *Server) SetStats(st *stats.Stats) { s.st = st }
+
+// SetParallelism bounds the worker pool that executes one request's
+// sub-queries; 1 (or less) runs them serially on the calling goroutine.
+// Parallelism never changes results: sub-query searches are independent
+// index reads and the delivered-set merge always runs in sub-query
+// order. Not safe to call while requests are in flight.
+func (s *Server) SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.workers = n
 }
 
 // Store returns the underlying coefficient store.
@@ -81,23 +117,31 @@ func (s *Server) Index() index.Index { return s.idx }
 // This is the server side of Fig. 3: overlapping sub-queries and support
 // regions straddling the old frame produce duplicates, and the filter
 // ensures each coefficient crosses the link once per client.
+//
+// The index searches of one request run on a bounded worker pool (see
+// SetParallelism); the merge into the delivered set always happens on
+// the calling goroutine in sub-query order, so the response — ids,
+// order, bytes, I/O — is byte-identical to serial execution. The
+// delivered map is the caller's: Execute must not be called concurrently
+// with the same map (one session = one client = one request at a time).
 func (s *Server) Execute(subs []SubQuery, delivered map[int64]bool) Response {
+	var start time.Time
+	if s.st != nil {
+		start = time.Now()
+	}
+	results := s.searchAll(subs)
 	var resp Response
-	for _, sub := range subs {
-		if sub.Region.Empty() || sub.WMin > sub.WMax {
+	for i := range subs {
+		r := &results[i]
+		if !r.ran {
 			continue
 		}
-		ids, io := s.idx.Search(index.Query{
-			Region: sub.Region,
-			ZMin:   s.zMin, ZMax: s.zMax,
-			WMin: sub.WMin, WMax: sub.WMax,
-		})
-		resp.IO += io
+		resp.IO += r.io
 		resp.Queries++
-		for _, id := range ids {
+		for _, id := range r.ids {
 			// Filter before touching the delivered set: a coefficient the
 			// filter rejects has not been sent and must stay retrievable.
-			if sub.Filter != nil && !sub.Filter(s.store.Coeff(id).Pos) {
+			if subs[i].Filter != nil && !subs[i].Filter(s.store.Coeff(id).Pos) {
 				continue
 			}
 			if delivered != nil {
@@ -110,7 +154,73 @@ func (s *Server) Execute(subs []SubQuery, delivered map[int64]bool) Response {
 		}
 	}
 	resp.Bytes = int64(len(resp.IDs)) * wavelet.WireBytes
+	if s.st != nil {
+		s.st.RecordRequest(resp.Queries, resp.IO, int64(len(resp.IDs)),
+			resp.Bytes, time.Since(start))
+	}
 	return resp
+}
+
+// subResult holds one sub-query's raw index hits, pre-merge.
+type subResult struct {
+	ids []int64
+	io  int64
+	ran bool // false for degenerate sub-queries (empty region, WMin > WMax)
+}
+
+// searchAll runs the index search of every well-formed sub-query,
+// in parallel on the worker pool when the request has more than one.
+// results[i] always corresponds to subs[i], whatever order the searches
+// complete in.
+func (s *Server) searchAll(subs []SubQuery) []subResult {
+	results := make([]subResult, len(subs))
+	valid := 0
+	for i, sub := range subs {
+		if sub.Region.Empty() || sub.WMin > sub.WMax {
+			continue
+		}
+		results[i].ran = true
+		valid++
+	}
+	if valid <= 1 || s.workers <= 1 {
+		for i := range results {
+			if results[i].ran {
+				s.searchOne(&subs[i], &results[i])
+			}
+		}
+		return results
+	}
+	workers := s.workers
+	if workers > valid {
+		workers = valid
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				s.searchOne(&subs[i], &results[i])
+			}
+		}()
+	}
+	for i := range results {
+		if results[i].ran {
+			work <- i
+		}
+	}
+	close(work)
+	wg.Wait()
+	return results
+}
+
+func (s *Server) searchOne(sub *SubQuery, out *subResult) {
+	out.ids, out.io = s.idx.Search(index.Query{
+		Region: sub.Region,
+		ZMin:   s.zMin, ZMax: s.zMax,
+		WMin: sub.WMin, WMax: sub.WMax,
+	})
 }
 
 // RegionBytes returns the payload size and index I/O of a one-shot window
@@ -144,7 +254,9 @@ func (s *Server) BlockBytes(region geom.Rect2, wmin float64) (int64, int64) {
 }
 
 // Session is the per-client server state: the set of coefficients already
-// delivered to this client.
+// delivered to this client. A Session is NOT safe for concurrent use —
+// it is owned by one client (one connection goroutine); many sessions
+// may call into the shared Server concurrently.
 type Session struct {
 	srv       *Server
 	delivered map[int64]bool

@@ -63,7 +63,11 @@ func packLevel(entries []entry, cfg Config, leaf bool) []*node {
 // invariant.
 func strTile(entries []entry, dims, d, maxEntries int) [][]entry {
 	if len(entries) <= maxEntries {
-		return [][]entry{entries}
+		// Copy: entries is a window into the level-wide slice shared with
+		// sibling slabs. Handing it to a node as-is would let a later
+		// in-place append (Insert/Delete reinsertion) overwrite the first
+		// entry of the adjacent node's window.
+		return [][]entry{append([]entry(nil), entries...)}
 	}
 	sortByCenter(entries, d)
 	if d == dims-1 {

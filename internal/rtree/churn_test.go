@@ -1,0 +1,91 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// walkRefs traverses from the root counting leaf entries and how many
+// parents reference each node. A structurally sound tree references every
+// node exactly once.
+func walkRefs(t *Tree) (leafEntries int, refs map[*node]int) {
+	refs = make(map[*node]int)
+	var walk func(n *node)
+	walk = func(n *node) {
+		refs[n]++
+		if n.leaf {
+			leafEntries += len(n.entries)
+			return
+		}
+		for i := range n.entries {
+			walk(n.entries[i].child)
+		}
+	}
+	walk(t.root)
+	return
+}
+
+// TestBulkLoadedTreeSurvivesChurn is the regression test for the slab
+// aliasing bug: strTile's base case used to hand a node a window of the
+// level-wide entry slice, so a post-bulk-load Insert appending into that
+// node overwrote the first entry of the adjacent node's window — one
+// subtree referenced twice, another lost. Mass-delete then reinsert on a
+// bulk-loaded tree reproduced it deterministically.
+func TestBulkLoadedTreeSurvivesChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 1548
+	items := make([]Item, n)
+	for i := range items {
+		x, y := rng.Float64()*900, rng.Float64()*900
+		w, h := rng.Float64()*40, rng.Float64()*40
+		var r Rect
+		r.Lo[0], r.Hi[0] = x, x+w
+		r.Lo[1], r.Hi[1] = y, y+h
+		r.Lo[2], r.Hi[2] = rng.Float64(), 1
+		items[i] = Item{Rect: r, Data: int64(i)}
+	}
+	tr := BulkLoad(Config{Dims: 3, MaxEntries: 20}, items)
+
+	check := func(stage string, wantLen int) {
+		t.Helper()
+		if tr.Len() != wantLen {
+			t.Fatalf("%s: len %d, want %d", stage, tr.Len(), wantLen)
+		}
+		leaves, refs := walkRefs(tr)
+		for nd, c := range refs {
+			if c > 1 {
+				t.Fatalf("%s: node %p referenced %d times", stage, nd, c)
+			}
+		}
+		if leaves != wantLen {
+			t.Fatalf("%s: traversal found %d leaf entries, want %d", stage, leaves, wantLen)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+	}
+	check("after bulk load", n)
+
+	// Delete a contiguous block (the shape of removing one object's
+	// coefficients), then reinsert it, twice over.
+	const churn = 258
+	for round := 0; round < 2; round++ {
+		for j := 0; j < churn; j++ {
+			if !tr.Delete(items[j].Rect, items[j].Data) {
+				t.Fatalf("round %d: delete %d failed", round, j)
+			}
+		}
+		check("after deletes", n-churn)
+		for j := 0; j < churn; j++ {
+			tr.Insert(items[j].Rect, items[j].Data)
+		}
+		check("after reinserts", n)
+	}
+
+	// Every item is still retrievable by its exact rectangle.
+	got := make(map[int64]bool, n)
+	tr.Scan(func(_ Rect, data int64) bool { got[data] = true; return true })
+	if len(got) != n {
+		t.Fatalf("scan found %d distinct items, want %d", len(got), n)
+	}
+}

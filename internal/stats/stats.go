@@ -1,0 +1,309 @@
+// Package stats is the server's observability layer: a set of atomic
+// counters and lock-free histograms that the retrieval server, the wire
+// protocol server, and the client buffer manager update on their hot
+// paths. Recording is wait-free (atomic adds only), so the counters are
+// safe to share between every session goroutine of a multi-client server
+// without adding lock contention to the read path.
+//
+// Snapshot() reads every counter individually; it is not a single atomic
+// cut across all of them. Counters monotonically increase (the active-
+// session gauge excepted), so totals taken after the workload quiesces
+// are exact; totals taken mid-flight may be torn across counters by
+// in-flight requests, which is the usual and acceptable semantics for
+// monitoring reads.
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two histogram buckets. Bucket b
+// holds values v with bits.Len64(v) == b, i.e. [2^(b-1), 2^b); bucket 0
+// holds zeros. 48 buckets cover nanosecond latencies up to ~3 days and
+// per-request I/O up to ~10^14 node reads.
+const histBuckets = 48
+
+// Histogram is a lock-free power-of-two-bucketed histogram. The zero
+// value is ready to use. Observe is wait-free; a snapshot mid-Observe
+// may see the count without the bucket (or vice versa) — bounded, benign
+// skew for a monitoring structure.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value. Negative values are clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	b := bits.Len64(uint64(v))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b].Add(1)
+}
+
+// Snapshot copies the histogram state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     int64
+	Max     int64
+	Buckets [histBuckets]int64
+}
+
+// Mean returns the average observed value (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an upper bound for the p-quantile (p in [0, 1]): the
+// top of the first bucket whose cumulative count reaches p·Count. The
+// bound is within 2× of the true value — the resolution of power-of-two
+// buckets.
+func (s HistogramSnapshot) Quantile(p float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := int64(p * float64(s.Count))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for b, n := range s.Buckets {
+		cum += n
+		if cum >= target {
+			if b == 0 {
+				return 0
+			}
+			hi := int64(1)<<uint(b) - 1
+			if hi > s.Max {
+				hi = s.Max
+			}
+			return hi
+		}
+	}
+	return s.Max
+}
+
+// Stats aggregates the server-side observability counters. The zero
+// value is ready to use; all methods are safe on a nil receiver (they
+// no-op), so call sites can wire an optional *Stats without guards.
+type Stats struct {
+	sessionsOpened atomic.Int64
+	sessionsActive atomic.Int64
+	requests       atomic.Int64
+	subQueries     atomic.Int64
+	indexIO        atomic.Int64
+	coeffs         atomic.Int64
+	bytes          atomic.Int64
+	errors         atomic.Int64
+
+	bufferHits    atomic.Int64
+	bufferMisses  atomic.Int64
+	demandBytes   atomic.Int64
+	prefetchBytes atomic.Int64
+
+	latency   Histogram // per-request latency in nanoseconds
+	requestIO Histogram // index node reads per request
+}
+
+// Default is the process-wide collector. Components record into it
+// unless given a dedicated Stats (tests that reconcile totals use their
+// own instance).
+var Default = New()
+
+// New creates an empty collector.
+func New() *Stats { return &Stats{} }
+
+// SessionOpened records a new client session and raises the active
+// gauge.
+func (s *Stats) SessionOpened() {
+	if s == nil {
+		return
+	}
+	s.sessionsOpened.Add(1)
+	s.sessionsActive.Add(1)
+}
+
+// SessionClosed lowers the active-session gauge.
+func (s *Stats) SessionClosed() {
+	if s == nil {
+		return
+	}
+	s.sessionsActive.Add(-1)
+}
+
+// ActiveSessions returns the current active-session gauge.
+func (s *Stats) ActiveSessions() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.sessionsActive.Load()
+}
+
+// RecordRequest accounts one executed retrieval request: the sub-queries
+// it ran, the index node reads it cost, the coefficients and payload
+// bytes it delivered, and its latency.
+func (s *Stats) RecordRequest(subQueries int, io, coeffs, bytes int64, latency time.Duration) {
+	if s == nil {
+		return
+	}
+	s.requests.Add(1)
+	s.subQueries.Add(int64(subQueries))
+	s.indexIO.Add(io)
+	s.coeffs.Add(coeffs)
+	s.bytes.Add(bytes)
+	s.latency.Observe(int64(latency))
+	s.requestIO.Observe(io)
+}
+
+// RecordError counts one protocol or transport error.
+func (s *Stats) RecordError() {
+	if s == nil {
+		return
+	}
+	s.errors.Add(1)
+}
+
+// RecordBuffer accounts one buffer-manager step: blocks found in the
+// buffer, blocks fetched on demand, and the bytes moved over the link.
+func (s *Stats) RecordBuffer(hits, misses int, demandBytes, prefetchBytes int64) {
+	if s == nil {
+		return
+	}
+	s.bufferHits.Add(int64(hits))
+	s.bufferMisses.Add(int64(misses))
+	s.demandBytes.Add(demandBytes)
+	s.prefetchBytes.Add(prefetchBytes)
+}
+
+// Snapshot is a point-in-time copy of every counter. See the package
+// comment for its (per-counter, not cross-counter) atomicity.
+type Snapshot struct {
+	SessionsOpened int64
+	SessionsActive int64
+	Requests       int64
+	SubQueries     int64
+	IndexIO        int64
+	Coeffs         int64
+	Bytes          int64
+	Errors         int64
+
+	BufferHits    int64
+	BufferMisses  int64
+	DemandBytes   int64
+	PrefetchBytes int64
+
+	Latency   HistogramSnapshot
+	RequestIO HistogramSnapshot
+}
+
+// Snapshot copies the current counter values.
+func (s *Stats) Snapshot() Snapshot {
+	if s == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		SessionsOpened: s.sessionsOpened.Load(),
+		SessionsActive: s.sessionsActive.Load(),
+		Requests:       s.requests.Load(),
+		SubQueries:     s.subQueries.Load(),
+		IndexIO:        s.indexIO.Load(),
+		Coeffs:         s.coeffs.Load(),
+		Bytes:          s.bytes.Load(),
+		Errors:         s.errors.Load(),
+		BufferHits:     s.bufferHits.Load(),
+		BufferMisses:   s.bufferMisses.Load(),
+		DemandBytes:    s.demandBytes.Load(),
+		PrefetchBytes:  s.prefetchBytes.Load(),
+		Latency:        s.latency.Snapshot(),
+		RequestIO:      s.requestIO.Snapshot(),
+	}
+}
+
+func (s Snapshot) String() string {
+	return fmt.Sprintf(
+		"sessions %d/%d active/opened · requests %d (%d errors) · sub-queries %d · "+
+			"index io %d · delivered %d coeffs / %s · latency mean %v p50 ≤%v p99 ≤%v · "+
+			"buffer %d/%d hit/miss · link %s demand + %s prefetch",
+		s.SessionsActive, s.SessionsOpened, s.Requests, s.Errors, s.SubQueries,
+		s.IndexIO, s.Coeffs, fmtBytes(s.Bytes),
+		time.Duration(int64(s.Latency.Mean())).Round(time.Microsecond),
+		time.Duration(s.Latency.Quantile(0.50)).Round(time.Microsecond),
+		time.Duration(s.Latency.Quantile(0.99)).Round(time.Microsecond),
+		s.BufferHits, s.BufferMisses, fmtBytes(s.DemandBytes), fmtBytes(s.PrefetchBytes))
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+// StartLogging dumps a snapshot line through logf every interval until
+// the returned stop function is called. Stop is idempotent and waits for
+// the logging goroutine to exit.
+func (s *Stats) StartLogging(interval time.Duration, logf func(format string, args ...any)) (stop func()) {
+	if s == nil || logf == nil || interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				logf("stats: %v", s.Snapshot())
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once atomic.Bool
+	return func() {
+		if once.CompareAndSwap(false, true) {
+			close(done)
+			<-finished
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilStatsIsSafe(t *testing.T) {
+	var s *Stats
+	s.SessionOpened()
+	s.SessionClosed()
+	s.RecordRequest(3, 10, 5, 240, time.Millisecond)
+	s.RecordError()
+	s.RecordBuffer(1, 2, 100, 200)
+	if got := s.Snapshot(); got != (Snapshot{}) {
+		t.Fatalf("nil snapshot = %+v", got)
+	}
+	if s.ActiveSessions() != 0 {
+		t.Fatal("nil gauge nonzero")
+	}
+	s.StartLogging(time.Millisecond, t.Logf)() // stop immediately; must not panic
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	s := New()
+	s.SessionOpened()
+	s.SessionOpened()
+	s.SessionClosed()
+	s.RecordRequest(4, 12, 7, 336, 2*time.Millisecond)
+	s.RecordRequest(1, 3, 0, 0, time.Millisecond)
+	s.RecordError()
+	s.RecordBuffer(5, 2, 96, 48)
+
+	got := s.Snapshot()
+	if got.SessionsOpened != 2 || got.SessionsActive != 1 {
+		t.Errorf("sessions = %d/%d", got.SessionsActive, got.SessionsOpened)
+	}
+	if got.Requests != 2 || got.SubQueries != 5 || got.IndexIO != 15 {
+		t.Errorf("requests %d subqueries %d io %d", got.Requests, got.SubQueries, got.IndexIO)
+	}
+	if got.Coeffs != 7 || got.Bytes != 336 || got.Errors != 1 {
+		t.Errorf("coeffs %d bytes %d errors %d", got.Coeffs, got.Bytes, got.Errors)
+	}
+	if got.BufferHits != 5 || got.BufferMisses != 2 || got.DemandBytes != 96 || got.PrefetchBytes != 48 {
+		t.Errorf("buffer counters = %+v", got)
+	}
+	if got.Latency.Count != 2 || got.RequestIO.Count != 2 {
+		t.Errorf("histogram counts = %d/%d", got.Latency.Count, got.RequestIO.Count)
+	}
+	if got.RequestIO.Max != 12 {
+		t.Errorf("io max = %d", got.RequestIO.Max)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 || s.Sum != 1000*1001/2 || s.Max != 1000 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if m := s.Mean(); m < 500 || m > 501 {
+		t.Errorf("mean = %v", m)
+	}
+	// Power-of-two buckets: the quantile bound must be ≥ the true value
+	// and within 2× of it.
+	for _, p := range []float64{0.25, 0.5, 0.9, 0.99} {
+		truth := int64(p * 1000)
+		q := s.Quantile(p)
+		if q < truth || q > 2*truth {
+			t.Errorf("q(%v) = %d, truth %d", p, q, truth)
+		}
+	}
+	if s.Quantile(1.0) != 1000 {
+		t.Errorf("q(1.0) = %d", s.Quantile(1.0))
+	}
+}
+
+func TestHistogramZeroAndNegative(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-5)
+	s := h.Snapshot()
+	if s.Count != 2 || s.Sum != 0 || s.Max != 0 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Buckets[0] != 2 {
+		t.Fatalf("zero bucket = %d", s.Buckets[0])
+	}
+	if s.Quantile(0.5) != 0 {
+		t.Fatalf("q(0.5) = %d", s.Quantile(0.5))
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Mean() != 0 || s.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram not zero-valued")
+	}
+}
+
+// TestConcurrentRecording hammers every recording path from many
+// goroutines; totals must be exact. Run under -race this also proves the
+// collector is lock-free-safe.
+func TestConcurrentRecording(t *testing.T) {
+	s := New()
+	const workers = 16
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s.SessionOpened()
+			for i := 0; i < perWorker; i++ {
+				s.RecordRequest(2, 3, 1, 48, time.Duration(i))
+				s.RecordBuffer(1, 0, 0, 16)
+			}
+			s.SessionClosed()
+		}(w)
+	}
+	wg.Wait()
+	got := s.Snapshot()
+	total := int64(workers * perWorker)
+	if got.Requests != total || got.SubQueries != 2*total || got.IndexIO != 3*total {
+		t.Errorf("requests %d subqueries %d io %d", got.Requests, got.SubQueries, got.IndexIO)
+	}
+	if got.Coeffs != total || got.Bytes != 48*total {
+		t.Errorf("coeffs %d bytes %d", got.Coeffs, got.Bytes)
+	}
+	if got.SessionsOpened != workers || got.SessionsActive != 0 {
+		t.Errorf("sessions = %d/%d", got.SessionsActive, got.SessionsOpened)
+	}
+	if got.Latency.Count != total || got.BufferHits != total || got.PrefetchBytes != 16*total {
+		t.Errorf("latency count %d hits %d prefetch %d",
+			got.Latency.Count, got.BufferHits, got.PrefetchBytes)
+	}
+	var bucketSum int64
+	for _, b := range got.Latency.Buckets {
+		bucketSum += b
+	}
+	if bucketSum != total {
+		t.Errorf("bucket sum %d != count %d", bucketSum, total)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	s := New()
+	s.SessionOpened()
+	s.RecordRequest(2, 40, 100, 4800, 120*time.Microsecond)
+	line := s.Snapshot().String()
+	for _, want := range []string{"sessions 1/1", "requests 1", "sub-queries 2", "index io 40"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("summary %q missing %q", line, want)
+		}
+	}
+}
+
+func TestStartLoggingEmitsAndStops(t *testing.T) {
+	s := New()
+	s.RecordRequest(1, 1, 1, 48, time.Millisecond)
+	var mu sync.Mutex
+	var lines []string
+	stop := s.StartLogging(5*time.Millisecond, func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, format)
+		mu.Unlock()
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(lines)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no log line emitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+}
