@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench soak ci
+.PHONY: build test race vet bench soak fault fuzz ci
 
 build:
 	$(GO) build ./...
@@ -29,4 +29,23 @@ bench:
 soak:
 	$(GO) test -race -v -run 'TestMultiClientSoak|TestConcurrent|TestExecuteParallel|TestBulkLoadedTreeSurvivesChurn' ./internal/proto/ ./internal/index/ ./internal/retrieval/ ./internal/rtree/
 
-ci: build vet test race
+# The fault-tolerance gate, verbosely: deterministic fault-recovery
+# convergence, resume rollback, server shedding/draining, degraded mode,
+# and the faultnet link model itself — all under the race detector.
+fault:
+	$(GO) test -race -v -run 'TestFaultRecoveryConvergence|TestResume|TestServerSheds|TestIdleTimeout|TestGracefulDrain|TestDegraded' ./internal/proto/
+	$(GO) test -race -v ./internal/faultnet/
+	$(GO) test -race -run 'TestApplyIdempotent' ./internal/wavelet/
+	$(GO) test -race -run 'TestRunFault' ./internal/experiment/
+
+# Short coverage-guided exploration of every wire-protocol decoder. Each
+# fuzz target needs its own invocation (go test allows one -fuzz at a
+# time); seeds alone also run in `make test`.
+fuzz:
+	$(GO) test -fuzz 'FuzzReader$$' -fuzztime 10s -run '^$$' ./internal/proto/
+	$(GO) test -fuzz 'FuzzReadResponse$$' -fuzztime 10s -run '^$$' ./internal/proto/
+	$(GO) test -fuzz 'FuzzReadHello$$' -fuzztime 10s -run '^$$' ./internal/proto/
+	$(GO) test -fuzz 'FuzzReadResume$$' -fuzztime 10s -run '^$$' ./internal/proto/
+	$(GO) test -fuzz 'FuzzCRCRejectsFlips$$' -fuzztime 10s -run '^$$' ./internal/proto/
+
+ci: build vet test race fuzz

@@ -32,6 +32,13 @@ func main() {
 		seed      = flag.Int64("seed", 1, "base random seed")
 		out       = flag.String("o", "", "also write output to this file")
 		showStats = flag.Bool("stats", false, "print accumulated retrieval/buffer stats after the run")
+
+		fault        = flag.Bool("fault", false, "run the fault-injection experiment instead of the figures")
+		faultSeed    = flag.Int64("fault-seed", 1, "seed for the injected fault schedule")
+		faultDrop    = flag.Int64("fault-drop", 0, "mean bytes between connection drops (0 = default 60 KB)")
+		faultCorrupt = flag.Int64("fault-corrupt", 0, "mean read bytes between bit flips (0 = default 40 KB)")
+		faultLatency = flag.Duration("fault-latency", 0, "injected round-trip latency")
+		faultBW      = flag.Int64("fault-bw", 0, "link throughput in bytes/second (0 = unthrottled)")
 	)
 	flag.Parse()
 
@@ -52,6 +59,23 @@ func main() {
 		}
 		defer f.Close()
 		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	if *fault {
+		spec := experiment.FaultSpec{
+			Seed:           *faultSeed,
+			Objects:        *objects,
+			Steps:          *steps,
+			DropMeanBytes:  *faultDrop,
+			CorruptBytes:   *faultCorrupt,
+			Latency:        *faultLatency,
+			BytesPerSecond: *faultBW,
+		}
+		if err := experiment.RunFault(spec, w); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	want := map[string]bool{}

@@ -7,12 +7,15 @@
 // Usage:
 //
 //	server [-addr :7333] [-objects 100] [-levels 5] [-zipf] [-seed 1]
-//	       [-stats 30s] [-workers 0]
+//	       [-stats 30s] [-workers 0] [-max-sessions 0] [-idle-timeout 2m]
+//	       [-frame-timeout 30s] [-drain-timeout 5s] [-resume-cache 1024]
+//	       [-resume-ttl 2m]
 package main
 
 import (
 	"flag"
 	"log"
+	"time"
 
 	"repro/internal/index"
 	"repro/internal/proto"
@@ -33,6 +36,13 @@ func main() {
 		load    = flag.String("load", "", "serve a previously saved dataset instead of generating")
 		statsIv = flag.Duration("stats", 0, "dump serving stats at this interval (0 disables, e.g. 30s)")
 		workers = flag.Int("workers", 0, "per-request sub-query parallelism (0 = auto, 1 = serial)")
+
+		maxSessions  = flag.Int("max-sessions", 0, "shed connections beyond this many concurrent sessions (0 = unlimited)")
+		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "disconnect a session silent for this long (0 disables)")
+		frameTimeout = flag.Duration("frame-timeout", 30*time.Second, "per-frame read/write deadline (0 disables)")
+		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain bound")
+		resumeCache  = flag.Int("resume-cache", 1024, "dropped sessions kept resumable (0 disables resumption)")
+		resumeTTL    = flag.Duration("resume-ttl", 2*time.Minute, "how long a dropped session stays resumable")
 	)
 	flag.Parse()
 
@@ -75,6 +85,9 @@ func main() {
 		rsrv.SetParallelism(*workers)
 	}
 	srv := proto.NewServer(rsrv, d.Spec.Levels, log.Printf)
+	srv.SetLimits(*maxSessions, *idleTimeout, *frameTimeout)
+	srv.SetResumeCache(*resumeCache, *resumeTTL)
+	srv.SetDrainTimeout(*drainTimeout)
 	if *statsIv > 0 {
 		stop := stats.Default.StartLogging(*statsIv, log.Printf)
 		defer stop()

@@ -1,0 +1,167 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"time"
+
+	"repro/internal/faultnet"
+	"repro/internal/geom"
+	"repro/internal/index"
+	"repro/internal/motion"
+	"repro/internal/proto"
+	"repro/internal/retrieval"
+	"repro/internal/rtree"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// FaultSpec configures the fault-injection experiment: a resilient
+// client rides a motion tour across a loopback server while faultnet
+// drops, corrupts, delays, and throttles the link. The zero value gets
+// quick-scale defaults.
+type FaultSpec struct {
+	Seed    int64
+	Objects int // dataset size (default 40)
+	Levels  int // subdivision depth (default 3)
+	Steps   int // tour length (default 120)
+
+	DropMeanBytes  int64 // mean traffic between connection drops (default 16 KB)
+	CorruptBytes   int64 // mean read bytes between bit flips (default 12 KB)
+	Latency        time.Duration
+	BytesPerSecond int64
+}
+
+func (s FaultSpec) fill() FaultSpec {
+	if s.Objects == 0 {
+		s.Objects = 40
+	}
+	if s.Levels == 0 {
+		s.Levels = 3
+	}
+	if s.Steps == 0 {
+		s.Steps = 120
+	}
+	return s
+}
+
+// RunFault runs the fault-injection experiment and prints a summary: the
+// injected fault volume, what the recovery machinery did about it
+// (retries, resumes, degraded mode), and whether the client's final
+// reconstructions are byte-identical to a fault-free oracle run — the
+// end-to-end correctness claim of the fault-tolerance layer. A
+// convergence failure is returned as an error.
+func RunFault(spec FaultSpec, w io.Writer) error {
+	spec = spec.fill()
+
+	d := workload.Generate(workload.Spec{NumObjects: spec.Objects, Levels: spec.Levels, Seed: spec.Seed + 5})
+	idx := index.NewMotionAware(d.Store, index.XYW, rtree.Config{})
+	stServer := stats.New()
+	srv := proto.NewServer(retrieval.NewServer(d.Store, idx), d.Spec.Levels, nil)
+	srv.SetStats(stServer)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(lis) }()
+	defer func() { srv.Close(); <-done }()
+	addr := lis.Addr().String()
+
+	space := d.Store.Bounds().XY()
+	tour := motion.NewTour(motion.Tram, motion.TourSpec{
+		Space: space, Steps: spec.Steps, Speed: 0.25,
+	}, rand.New(rand.NewSource(spec.Seed)))
+	side := d.QuerySide(0.10)
+
+	// Fault-free oracle.
+	oracle, err := proto.Dial(addr, nil)
+	if err != nil {
+		return err
+	}
+	for i, pos := range tour.Pos {
+		if _, err := oracle.Frame(geom.RectAround(pos, side), tour.SpeedAt(i)); err != nil {
+			return fmt.Errorf("oracle frame %d: %w", i, err)
+		}
+	}
+	oracle.Close()
+
+	// Faulty run.
+	cfg := faultnet.Config{
+		Seed:           spec.Seed + 1,
+		Latency:        spec.Latency,
+		BytesPerSecond: spec.BytesPerSecond,
+	}
+	if m := spec.DropMeanBytes; m != 0 {
+		cfg.DropAfterMin, cfg.DropAfterMax = m/2, 3*m/2
+	} else {
+		cfg.DropAfterMin, cfg.DropAfterMax = 8_000, 24_000
+	}
+	if m := spec.CorruptBytes; m != 0 {
+		cfg.CorruptAfterMin, cfg.CorruptAfterMax = m/2, 3*m/2
+	} else {
+		cfg.CorruptAfterMin, cfg.CorruptAfterMax = 6_000, 18_000
+	}
+	stClient := stats.New()
+	dialer := faultnet.NewDialer(addr, cfg)
+	dialer.SetStats(stClient)
+	rc, err := proto.DialResilient(proto.ResilientConfig{
+		Dial:         dialer.Dial,
+		FrameTimeout: 10 * time.Second,
+		MaxAttempts:  12,
+		BackoffBase:  time.Millisecond,
+		BackoffMax:   50 * time.Millisecond,
+		Seed:         spec.Seed + 2,
+		DegradeAfter: 3,
+		Stats:        stClient,
+	})
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	start := time.Now()
+	for i, pos := range tour.Pos {
+		if _, err := rc.Frame(geom.RectAround(pos, side), tour.SpeedAt(i)); err != nil {
+			return fmt.Errorf("frame %d did not survive injected faults: %w", i, err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	// Convergence check against the oracle.
+	c := rc.Client()
+	diverged := 0
+	for _, id := range oracle.Objects() {
+		om, _ := oracle.Mesh(id)
+		gm, ok := c.Mesh(id)
+		if !ok || c.CoeffCount(id) != oracle.CoeffCount(id) || om.NumVerts() != gm.NumVerts() {
+			diverged++
+			continue
+		}
+		for i := range om.Verts {
+			if om.Verts[i] != gm.Verts[i] {
+				diverged++
+				break
+			}
+		}
+	}
+
+	cs, ss := stClient.Snapshot(), stServer.Snapshot()
+	fmt.Fprintf(w, "fault injection: %d objects, %d-step tram tour, drop ~[%d,%d] B, corrupt ~[%d,%d] B\n",
+		spec.Objects, spec.Steps, cfg.DropAfterMin, cfg.DropAfterMax, cfg.CorruptAfterMin, cfg.CorruptAfterMax)
+	fmt.Fprintf(w, "  frames %d in %v · %d coefficients · %d bytes\n",
+		tour.Len(), elapsed.Round(time.Millisecond), c.Coefficients, c.BytesReceived)
+	fmt.Fprintf(w, "  faults injected %d · connections %d · retries %d (%d timeouts)\n",
+		cs.Faults, dialer.Dials(), cs.Retries, cs.Timeouts)
+	fmt.Fprintf(w, "  resume %d/%d hit/miss (server view %d/%d) · degraded %d (floor %.2f)\n",
+		cs.ResumeHits, cs.ResumeMisses, ss.ResumeHits, ss.ResumeMisses, cs.Degraded, rc.DegradeFloor())
+	if diverged > 0 {
+		fmt.Fprintf(w, "  convergence FAILED: %d/%d objects diverged from the fault-free oracle\n",
+			diverged, len(oracle.Objects()))
+		return fmt.Errorf("experiment: %d objects diverged under faults", diverged)
+	}
+	fmt.Fprintf(w, "  convergence OK: all %d objects byte-identical to the fault-free oracle\n",
+		len(oracle.Objects()))
+	return nil
+}

@@ -1,0 +1,22 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunFault smokes the fault-injection experiment at reduced scale:
+// it must converge (RunFault errors otherwise) and report its summary
+// lines.
+func TestRunFault(t *testing.T) {
+	var b strings.Builder
+	if err := RunFault(FaultSpec{Seed: 7, Objects: 20, Steps: 60}, &b); err != nil {
+		t.Fatalf("fault experiment failed: %v\n%s", err, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{"fault injection", "convergence OK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package proto
 
 import (
+	"errors"
 	"fmt"
 	"net"
 
@@ -14,6 +15,27 @@ import (
 // with Algorithm 1, ships them over a connection, and feeds the streamed
 // coefficients into per-object reconstructors so the caller can render
 // (or measure) the meshes it has received so far.
+//
+// Retry safety. The client's local state (planner, reconstructors,
+// applied-sequence counter) only advances after a response is fully
+// received, checksum-verified, and applied, so every Frame error leaves
+// the client in a well-defined place:
+//
+//   - Request write failed: the server may or may not have seen the
+//     request. The connection is dead, but the planner was not advanced.
+//   - Response read failed (drop, timeout, ErrChecksum): the server has
+//     processed the request and counted its coefficients as delivered,
+//     but the client never applied them. The delivered-sets have
+//     diverged by exactly one frame.
+//
+// Both states are safe to retry from after Reconnect: a successful
+// resume rolls the server back to the last applied frame (closing the
+// one-frame divergence), and a failed resume resets the planner so the
+// next frame is a non-incremental window query that re-covers the gap.
+// Re-delivered coefficients are harmless — Reconstructor.Apply is
+// idempotent. The connection itself is never reusable after an error;
+// only Reconnect (or Close) is valid then. ResilientClient packages this
+// policy.
 type Client struct {
 	conn  net.Conn
 	r     *Reader
@@ -23,7 +45,13 @@ type Client struct {
 	planner *retrieval.Client
 	recons  map[int32]*wavelet.Reconstructor
 
-	// Totals over the connection's lifetime.
+	// Session-resume lineage: the newest server-assigned token and the
+	// sequence number of the last response applied on that lineage.
+	token      uint64
+	appliedSeq int64
+
+	// Totals over the client's lifetime (across reconnects; re-delivered
+	// coefficients after a failed resume count again).
 	BytesReceived int64
 	Coefficients  int64
 	ServerIO      int64
@@ -41,26 +69,103 @@ func Dial(addr string, mapSpeed retrieval.MapSpeedToResolution) (*Client, error)
 // NewClient performs the handshake over an established connection.
 func NewClient(conn net.Conn, mapSpeed retrieval.MapSpeedToResolution) (*Client, error) {
 	c := &Client{
-		conn:    conn,
-		r:       NewReader(conn),
-		w:       NewWriter(conn),
 		planner: retrieval.NewClient(nil, mapSpeed),
 		recons:  make(map[int32]*wavelet.Reconstructor),
 	}
-	tag, err := c.r.ReadTag()
-	if err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("proto: handshake read: %w", err)
-	}
-	if tag != TagHello {
-		conn.Close()
-		return nil, fmt.Errorf("proto: expected hello, got tag %d", tag)
-	}
-	if c.hello, err = c.r.ReadHello(); err != nil {
-		conn.Close()
+	if _, err := c.attach(conn, false); err != nil {
 		return nil, err
 	}
 	return c, nil
+}
+
+// Reconnect abandons the current connection and re-establishes the
+// session on a fresh one: it performs the hello handshake and then asks
+// the server to resume this client's previous session. resumed reports
+// whether the server still held the session; if not (cache miss or
+// expiry), the planner is reset so the next frame re-covers its whole
+// window — correct, just not incremental. On error the new connection is
+// closed and the client state is unchanged (call Reconnect again with
+// another connection).
+func (c *Client) Reconnect(conn net.Conn) (resumed bool, err error) {
+	return c.attach(conn, true)
+}
+
+// attach performs the handshake (and resume negotiation) on conn and, on
+// success, makes it the client's connection.
+func (c *Client) attach(conn net.Conn, resume bool) (resumed bool, err error) {
+	r, w := NewReader(conn), NewWriter(conn)
+	tag, err := r.ReadTag()
+	if err != nil {
+		conn.Close()
+		return false, fmt.Errorf("proto: handshake read: %w", err)
+	}
+	if tag == TagError {
+		msg, rerr := r.ReadError()
+		conn.Close()
+		if rerr != nil {
+			return false, fmt.Errorf("proto: server refused connection")
+		}
+		return false, fmt.Errorf("proto: server refused connection: %s", msg)
+	}
+	if tag != TagHello {
+		conn.Close()
+		return false, fmt.Errorf("proto: expected hello, got tag %d", tag)
+	}
+	hello, err := r.ReadHello()
+	if err != nil {
+		conn.Close()
+		return false, err
+	}
+	if resume && c.token != 0 {
+		if err := w.WriteResume(Resume{Token: c.token, AppliedSeq: c.appliedSeq}); err != nil {
+			conn.Close()
+			return false, err
+		}
+		tag, err := r.ReadTag()
+		if err != nil {
+			conn.Close()
+			return false, err
+		}
+		switch tag {
+		case TagResumeOK:
+			ok, err := r.ReadResumeOK()
+			if err != nil {
+				conn.Close()
+				return false, err
+			}
+			if ok.Seq != c.appliedSeq {
+				conn.Close()
+				return false, fmt.Errorf("proto: resume desync: server at seq %d, client applied %d",
+					ok.Seq, c.appliedSeq)
+			}
+			resumed = true
+		case TagResumeFail:
+			if _, err := r.ReadResumeFail(); err != nil {
+				conn.Close()
+				return false, err
+			}
+			c.resetLineage()
+		default:
+			conn.Close()
+			return false, fmt.Errorf("proto: unexpected resume reply tag %d", tag)
+		}
+	} else if resume {
+		c.resetLineage()
+	}
+	if c.conn != nil && c.conn != conn {
+		c.conn.Close()
+	}
+	c.conn, c.r, c.w, c.hello, c.token = conn, r, w, hello, hello.Token
+	return resumed, nil
+}
+
+// resetLineage abandons the resumable session: the next frame is planned
+// from scratch (non-incremental), which re-covers anything lost in the
+// gap; re-deliveries are filtered by the fresh server session and
+// re-applied idempotently here.
+func (c *Client) resetLineage() {
+	c.planner.Reset()
+	c.appliedSeq = 0
 }
 
 // Hello returns the dataset schema announced by the server.
@@ -69,9 +174,14 @@ func (c *Client) Hello() Hello { return c.hello }
 // Space returns the navigable data space.
 func (c *Client) Space() geom.Rect2 { return c.hello.Space }
 
+// AppliedSeq returns the sequence number of the last fully applied
+// response on the current session lineage.
+func (c *Client) AppliedSeq() int64 { return c.appliedSeq }
+
 // Frame issues one continuous-query frame: Algorithm 1 planning, one
 // round-trip, reconstruction state update. It returns the number of new
-// coefficients received.
+// coefficients received. On error the connection must be abandoned; see
+// the type comment for which states are safe to retry from.
 func (c *Client) Frame(q geom.Rect2, speed float64) (int, error) {
 	subs := c.planner.PlanFrame(q, speed)
 	if err := c.w.WriteRequest(Request{Speed: speed, Subs: subs}); err != nil {
@@ -87,9 +197,13 @@ func (c *Client) Frame(q geom.Rect2, speed float64) (int, error) {
 		if err != nil {
 			return 0, err
 		}
+		if resp.Seq != c.appliedSeq+1 {
+			return 0, fmt.Errorf("proto: response seq %d, expected %d", resp.Seq, c.appliedSeq+1)
+		}
 		for i := range resp.Coeffs {
 			c.apply(&resp.Coeffs[i])
 		}
+		c.appliedSeq = resp.Seq
 		c.BytesReceived += int64(len(resp.Coeffs)) * wavelet.WireBytes
 		c.Coefficients += int64(len(resp.Coeffs))
 		c.ServerIO += resp.IO
@@ -155,8 +269,10 @@ func (c *Client) CoeffCount(object int32) int {
 	return 0
 }
 
-// Close sends a goodbye and closes the connection.
+// Close sends a goodbye and closes the connection. A goodbye-write
+// failure is reported alongside the close error: the caller learns the
+// shutdown was not orderly (the server will park the session in its
+// resume cache rather than discard it).
 func (c *Client) Close() error {
-	c.w.WriteBye()
-	return c.conn.Close()
+	return errors.Join(c.w.WriteBye(), c.conn.Close())
 }

@@ -163,7 +163,7 @@ func TestServerRejectsOversizedRequest(t *testing.T) {
 // TestSanitizeWireError pins down the error-reflection contract: whatever
 // an internal decode error carries — control bytes, terminal escapes,
 // multi-line log-forgery text, unbounded length — the string sent to the
-// peer is printable ASCII capped at maxWireErrorLen.
+// peer is printable ASCII capped at MaxWireErrorLen.
 func TestSanitizeWireError(t *testing.T) {
 	cases := []struct {
 		in   string
@@ -175,19 +175,19 @@ func TestSanitizeWireError(t *testing.T) {
 		{"non-ascii café 世界", "non-ascii caf? ??"},
 	}
 	for _, c := range cases {
-		if got := sanitizeWireError(fmt.Errorf("%s", c.in)); got != c.want {
+		if got := SanitizeWireError(fmt.Errorf("%s", c.in)); got != c.want {
 			t.Errorf("sanitize(%q) = %q, want %q", c.in, got, c.want)
 		}
 	}
-	long := strings.Repeat("x", 10*maxWireErrorLen)
-	if got := sanitizeWireError(fmt.Errorf("%s", long)); len(got) != maxWireErrorLen {
-		t.Errorf("long error capped to %d bytes, want %d", len(got), maxWireErrorLen)
+	long := strings.Repeat("x", 10*MaxWireErrorLen)
+	if got := SanitizeWireError(fmt.Errorf("%s", long)); len(got) != MaxWireErrorLen {
+		t.Errorf("long error capped to %d bytes, want %d", len(got), MaxWireErrorLen)
 	}
 	// Truncation may split a multibyte rune; the torn tail must still come
 	// out as printable ASCII.
-	torn := strings.Repeat("y", maxWireErrorLen-1) + "é"
-	got := sanitizeWireError(fmt.Errorf("%s", torn))
-	if len(got) > maxWireErrorLen {
+	torn := strings.Repeat("y", MaxWireErrorLen-1) + "é"
+	got := SanitizeWireError(fmt.Errorf("%s", torn))
+	if len(got) > MaxWireErrorLen {
 		t.Errorf("torn-rune error is %d bytes", len(got))
 	}
 	for i := 0; i < len(got); i++ {
@@ -234,8 +234,8 @@ func TestServerErrorReplyIsSanitized(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(msg) == 0 || len(msg) > maxWireErrorLen {
-		t.Fatalf("error reply length %d outside (0, %d]", len(msg), maxWireErrorLen)
+	if len(msg) == 0 || len(msg) > MaxWireErrorLen {
+		t.Fatalf("error reply length %d outside (0, %d]", len(msg), MaxWireErrorLen)
 	}
 	for i := 0; i < len(msg); i++ {
 		if msg[i] < 0x20 || msg[i] > 0x7e {

@@ -28,6 +28,18 @@ func FuzzReader(f *testing.F) {
 	NewWriter(&errMsg).WriteError("nope")
 	f.Add(errMsg.Bytes())
 
+	var resume bytes.Buffer
+	NewWriter(&resume).WriteResume(Resume{Token: 7, AppliedSeq: 3})
+	f.Add(resume.Bytes())
+
+	var resumeOK bytes.Buffer
+	NewWriter(&resumeOK).WriteResumeOK(ResumeOK{Seq: 3, Delivered: 99})
+	f.Add(resumeOK.Bytes())
+
+	var resumeFail bytes.Buffer
+	NewWriter(&resumeFail).WriteResumeFail("gone")
+	f.Add(resumeFail.Bytes())
+
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
 
@@ -50,6 +62,120 @@ func FuzzReader(f *testing.F) {
 			}
 		case TagError:
 			r.ReadError()
+		case TagResume:
+			if res, err := r.ReadResume(); err == nil && res.AppliedSeq < 0 {
+				t.Fatalf("negative applied seq decoded: %d", res.AppliedSeq)
+			}
+		case TagResumeOK:
+			r.ReadResumeOK()
+		case TagResumeFail:
+			if msg, err := r.ReadResumeFail(); err == nil && len(msg) > MaxWireErrorLen {
+				t.Fatalf("oversized resume-fail reason decoded: %d bytes", len(msg))
+			}
+		}
+	})
+}
+
+// frameBody strips the tag byte from a written frame, giving the body a
+// per-message fuzzer consumes after its own ReadTag.
+func frameBody(f *testing.F, write func(*Writer) error) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	if err := write(NewWriter(&buf)); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()[1:]
+}
+
+// FuzzReadResponse targets the response decoder: the largest frame, the
+// incremental coefficient allocation, and the CRC trailer. The decoder
+// must never panic, never allocate unboundedly, and must reject any
+// body whose checksum does not match.
+func FuzzReadResponse(f *testing.F) {
+	f.Add(frameBody(f, func(w *Writer) error {
+		return w.WriteResponse(Response{IO: 3, Seq: 1, Coeffs: make([]Coeff, 2)})
+	}))
+	f.Add(frameBody(f, func(w *Writer) error {
+		return w.WriteResponse(Response{})
+	}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		if resp, err := r.ReadResponse(); err == nil && len(resp.Coeffs) > MaxCoeffs {
+			t.Fatalf("oversized response decoded: %d", len(resp.Coeffs))
+		}
+	})
+}
+
+// FuzzReadHello targets the handshake decoder — the one frame a client
+// parses before any trust is established.
+func FuzzReadHello(f *testing.F) {
+	f.Add(frameBody(f, func(w *Writer) error {
+		return w.WriteHello(Hello{Version: Version, Objects: 2, Levels: 3, BaseVerts: 6, Token: 42})
+	}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		if h, err := r.ReadHello(); err == nil && h.Version != Version {
+			t.Fatalf("foreign version %d accepted", h.Version)
+		}
+	})
+}
+
+// FuzzReadResume targets the three resume-handshake decoders (request,
+// ok, fail) — checksummed frames parsed while a session credential is
+// on the line.
+func FuzzReadResume(f *testing.F) {
+	f.Add(uint8(0), frameBody(f, func(w *Writer) error {
+		return w.WriteResume(Resume{Token: 7, AppliedSeq: 3})
+	}))
+	f.Add(uint8(1), frameBody(f, func(w *Writer) error {
+		return w.WriteResumeOK(ResumeOK{Seq: 3, Delivered: 99})
+	}))
+	f.Add(uint8(2), frameBody(f, func(w *Writer) error {
+		return w.WriteResumeFail("gone")
+	}))
+	f.Add(uint8(0), []byte{})
+	f.Fuzz(func(t *testing.T, which uint8, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		switch which % 3 {
+		case 0:
+			if res, err := r.ReadResume(); err == nil && res.AppliedSeq < 0 {
+				t.Fatalf("negative applied seq decoded: %d", res.AppliedSeq)
+			}
+		case 1:
+			r.ReadResumeOK()
+		case 2:
+			if msg, err := r.ReadResumeFail(); err == nil && len(msg) > MaxWireErrorLen {
+				t.Fatalf("oversized resume-fail reason decoded: %d bytes", len(msg))
+			}
+		}
+	})
+}
+
+// FuzzCRCRejectsFlips checks the integrity guarantee end to end: any
+// single-bit flip anywhere in a checksummed frame must be rejected.
+func FuzzCRCRejectsFlips(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteResponse(Response{IO: 7, Seq: 2, Coeffs: []Coeff{{Object: 1, Vertex: 9, Value: 0.5}}}); err != nil {
+		f.Fatal(err)
+	}
+	frame := buf.Bytes()
+	f.Add(1, uint8(0))
+	f.Add(len(frame)-1, uint8(7))
+	f.Fuzz(func(t *testing.T, pos int, bit uint8) {
+		if pos < 1 || pos >= len(frame) { // tag byte is not checksummed
+			return
+		}
+		mut := append([]byte(nil), frame...)
+		mut[pos] ^= 1 << (bit % 8)
+		r := NewReader(bytes.NewReader(mut))
+		if tag, err := r.ReadTag(); err != nil || tag != TagResponse {
+			return // flipped the length header into an invalid shape: fine
+		}
+		if _, err := r.ReadResponse(); err == nil {
+			t.Fatalf("bit flip at byte %d bit %d went undetected", pos, bit%8)
 		}
 	})
 }

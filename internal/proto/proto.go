@@ -1,18 +1,31 @@
 // Package proto defines the binary wire protocol between a mobile client
 // and the retrieval server for the networked demonstration: a hello
-// handshake carrying the dataset schema, window-query requests (the
-// sub-query sets Algorithm 1 produces), and streamed coefficient records.
+// handshake carrying the dataset schema and a session token, window-query
+// requests (the sub-query sets Algorithm 1 produces), streamed
+// coefficient records, and a session-resume exchange that lets a client
+// survive the link failures a wireless deployment treats as routine.
 // Framing is little-endian with explicit lengths, written through
 // bufio so each message costs one flush — mirroring the
 // one-connection-per-query cost model of the paper.
+//
+// Version 2 appends a CRC32-C trailer to every frame that carries
+// retrieval state (Request, Response, Resume, ResumeOK, ResumeFail), so
+// corruption on a degraded link is detected as ErrChecksum instead of
+// being misparsed into the index search path. Hello, Error, and Bye stay
+// trailer-free: they carry no state whose corruption could desync a
+// session, and keeping Hello plain lets a version mismatch be reported
+// before any v2 machinery engages.
 package proto
 
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
+	"strings"
 
 	"repro/internal/geom"
 	"repro/internal/retrieval"
@@ -21,15 +34,20 @@ import (
 
 // Message type tags.
 const (
-	TagHello    = byte(1)
-	TagRequest  = byte(2)
-	TagResponse = byte(3)
-	TagError    = byte(4)
-	TagBye      = byte(5)
+	TagHello      = byte(1)
+	TagRequest    = byte(2)
+	TagResponse   = byte(3)
+	TagError      = byte(4)
+	TagBye        = byte(5)
+	TagResume     = byte(6)
+	TagResumeOK   = byte(7)
+	TagResumeFail = byte(8)
 )
 
-// Version is bumped on incompatible wire changes.
-const Version = 1
+// Version is bumped on incompatible wire changes. Version 2 added CRC
+// frame trailers, the session token in Hello, the sequence number in
+// Response, and the resume exchange.
+const Version = 2
 
 // MaxSubQueries bounds one request; Algorithm 1 produces at most 5
 // sub-queries (overlap band + 4 difference rectangles), so anything
@@ -40,15 +58,52 @@ const MaxSubQueries = 64
 // prefixes).
 const MaxCoeffs = 1 << 24
 
+// MaxWireErrorLen caps error strings sent to clients: long enough for
+// any protocol diagnostic, short enough that an error reply can never
+// balloon into a payload (and always below the reader's own limit, so a
+// conforming writer can never emit an error frame the peer rejects).
+const MaxWireErrorLen = 256
+
+// ErrChecksum reports a frame whose CRC trailer did not match its body:
+// the bytes were delivered but damaged in transit. The connection is
+// desynchronized and must be abandoned (and, with a resumable session,
+// re-established).
+var ErrChecksum = errors.New("proto: frame checksum mismatch")
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on the
+// platforms that matter.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// SanitizeWireError prepares an internal error for the wire: the string
+// is capped at MaxWireErrorLen bytes and every non-printable or
+// non-ASCII byte is replaced, so a corrupted request can never reflect
+// binary garbage (or multi-line log-forgery text) back over the
+// protocol or into peers' logs. Every writer of error frames shares it.
+func SanitizeWireError(err error) string {
+	msg := err.Error()
+	if len(msg) > MaxWireErrorLen {
+		msg = msg[:MaxWireErrorLen]
+	}
+	return strings.Map(func(r rune) rune {
+		if r < 0x20 || r > 0x7e {
+			return '?'
+		}
+		return r
+	}, msg)
+}
+
 // Hello announces the dataset schema: the client needs the subdivision
 // depth, base-mesh vertex count, and object count to set up
-// reconstructors, and the space bounds to navigate.
+// reconstructors, and the space bounds to navigate. Token identifies the
+// session for a later resume (zero from non-resuming peers, e.g. tests
+// that frame messages into a buffer).
 type Hello struct {
 	Version   int32
 	Objects   int32
 	Levels    int32
 	BaseVerts int32 // vertices of the shared base mesh (octahedron: 6)
 	Space     geom.Rect2
+	Token     uint64
 }
 
 // Request carries the sub-queries of one query frame together with the
@@ -56,6 +111,24 @@ type Hello struct {
 type Request struct {
 	Speed float64
 	Subs  []retrieval.SubQuery
+}
+
+// Resume asks the server to adopt the delivered-set of a recently closed
+// session. AppliedSeq is the sequence number of the last response the
+// client fully applied; a server holding the session one frame ahead
+// (response sent but lost) rolls that frame's deliveries back so they
+// are re-sent rather than lost in the gap.
+type Resume struct {
+	Token      uint64
+	AppliedSeq int64
+}
+
+// ResumeOK confirms adoption: Seq echoes the (post-rollback) sequence
+// number, which always equals the client's AppliedSeq; Delivered is the
+// size of the adopted delivered-set, a cheap cross-check.
+type ResumeOK struct {
+	Seq       int64
+	Delivered int64
 }
 
 // Coeff is one coefficient on the wire: ids, the full-precision
@@ -82,24 +155,71 @@ func init() {
 	}
 }
 
-// Response streams the coefficients answering one request.
+// Response streams the coefficients answering one request. Seq numbers
+// the responses of one session lineage (1 for the first frame), letting
+// a resuming client prove how far it got.
 type Response struct {
 	Coeffs []Coeff
 	IO     int64 // server-side index node reads (for experiment parity)
+	Seq    int64
 }
 
 // Writer frames messages onto a stream.
 type Writer struct {
-	w *bufio.Writer
+	w       *bufio.Writer
+	scratch [8]byte
+	crc     uint32
+	hashing bool
 }
 
 // NewWriter wraps a connection.
 func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
 
-func (w *Writer) u8(v byte)     { w.w.WriteByte(v) }
-func (w *Writer) i32(v int32)   { binary.Write(w.w, binary.LittleEndian, v) }
-func (w *Writer) f64(v float64) { binary.Write(w.w, binary.LittleEndian, v) }
-func (w *Writer) f32(v float32) { binary.Write(w.w, binary.LittleEndian, v) }
+// beginCRC starts accumulating a frame-body checksum.
+func (w *Writer) beginCRC() { w.crc = 0; w.hashing = true }
+
+// endCRC stops accumulating and appends the trailer (excluded from its
+// own sum).
+func (w *Writer) endCRC() {
+	w.hashing = false
+	binary.LittleEndian.PutUint32(w.scratch[:4], w.crc)
+	w.w.Write(w.scratch[:4])
+}
+
+func (w *Writer) raw(b []byte) {
+	w.w.Write(b)
+	if w.hashing {
+		w.crc = crc32.Update(w.crc, crcTable, b)
+	}
+}
+
+func (w *Writer) u8(v byte) {
+	w.scratch[0] = v
+	w.raw(w.scratch[:1])
+}
+
+func (w *Writer) u32(v uint32) {
+	binary.LittleEndian.PutUint32(w.scratch[:4], v)
+	w.raw(w.scratch[:4])
+}
+
+func (w *Writer) u64(v uint64) {
+	binary.LittleEndian.PutUint64(w.scratch[:8], v)
+	w.raw(w.scratch[:8])
+}
+
+func (w *Writer) i32(v int32)   { w.u32(uint32(v)) }
+func (w *Writer) i64(v int64)   { w.u64(uint64(v)) }
+func (w *Writer) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *Writer) f32(v float32) { w.u32(math.Float32bits(v)) }
+
+func (w *Writer) str(s string) {
+	w.i32(int32(len(s)))
+	if w.hashing {
+		w.crc = crc32.Update(w.crc, crcTable, []byte(s))
+	}
+	w.w.WriteString(s)
+}
 
 // WriteHello sends the handshake.
 func (w *Writer) WriteHello(h Hello) error {
@@ -111,6 +231,7 @@ func (w *Writer) WriteHello(h Hello) error {
 	for _, f := range []float64{h.Space.Min.X, h.Space.Min.Y, h.Space.Max.X, h.Space.Max.Y} {
 		w.f64(f)
 	}
+	w.u64(h.Token)
 	return w.w.Flush()
 }
 
@@ -120,6 +241,7 @@ func (w *Writer) WriteRequest(r Request) error {
 		return fmt.Errorf("proto: %d sub-queries exceeds limit %d", len(r.Subs), MaxSubQueries)
 	}
 	w.u8(TagRequest)
+	w.beginCRC()
 	w.f64(r.Speed)
 	w.i32(int32(len(r.Subs)))
 	for _, s := range r.Subs {
@@ -130,6 +252,7 @@ func (w *Writer) WriteRequest(r Request) error {
 			w.f64(f)
 		}
 	}
+	w.endCRC()
 	return w.w.Flush()
 }
 
@@ -139,8 +262,10 @@ func (w *Writer) WriteResponse(r Response) error {
 		return fmt.Errorf("proto: response of %d coefficients exceeds limit", len(r.Coeffs))
 	}
 	w.u8(TagResponse)
+	w.beginCRC()
 	w.i32(int32(len(r.Coeffs)))
-	binary.Write(w.w, binary.LittleEndian, r.IO)
+	w.i64(r.IO)
+	w.i64(r.Seq)
 	for i := range r.Coeffs {
 		c := &r.Coeffs[i]
 		w.i32(c.Object)
@@ -153,17 +278,51 @@ func (w *Writer) WriteResponse(r Response) error {
 		w.f32(c.Pos[2])
 		w.f32(c.Value)
 	}
+	w.endCRC()
 	return w.w.Flush()
 }
 
-// WriteError sends an error message.
+// WriteResume asks to adopt a previous session.
+func (w *Writer) WriteResume(r Resume) error {
+	w.u8(TagResume)
+	w.beginCRC()
+	w.u64(r.Token)
+	w.i64(r.AppliedSeq)
+	w.endCRC()
+	return w.w.Flush()
+}
+
+// WriteResumeOK confirms a resume.
+func (w *Writer) WriteResumeOK(r ResumeOK) error {
+	w.u8(TagResumeOK)
+	w.beginCRC()
+	w.i64(r.Seq)
+	w.i64(r.Delivered)
+	w.endCRC()
+	return w.w.Flush()
+}
+
+// WriteResumeFail declines a resume; the reason is capped and expected
+// to be pre-sanitized (see SanitizeWireError).
+func (w *Writer) WriteResumeFail(reason string) error {
+	if len(reason) > MaxWireErrorLen {
+		reason = reason[:MaxWireErrorLen]
+	}
+	w.u8(TagResumeFail)
+	w.beginCRC()
+	w.str(reason)
+	w.endCRC()
+	return w.w.Flush()
+}
+
+// WriteError sends an error message, capped at MaxWireErrorLen so no
+// conforming writer can emit a frame the reader's length limit rejects.
 func (w *Writer) WriteError(msg string) error {
-	if len(msg) > math.MaxInt32 {
-		msg = msg[:1024]
+	if len(msg) > MaxWireErrorLen {
+		msg = msg[:MaxWireErrorLen]
 	}
 	w.u8(TagError)
-	w.i32(int32(len(msg)))
-	w.w.WriteString(msg)
+	w.str(msg)
 	return w.w.Flush()
 }
 
@@ -175,40 +334,89 @@ func (w *Writer) WriteBye() error {
 
 // Reader parses framed messages from a stream.
 type Reader struct {
-	r *bufio.Reader
+	r       *bufio.Reader
+	scratch [8]byte
+	crc     uint32
+	hashing bool
 }
 
 // NewReader wraps a connection.
 func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReader(r)} }
 
-func (r *Reader) u8() (byte, error) { return r.r.ReadByte() }
+// beginCRC starts accumulating a frame-body checksum.
+func (r *Reader) beginCRC() { r.crc = 0; r.hashing = true }
+
+// checkCRC reads the trailer and compares it against the accumulated
+// body sum.
+func (r *Reader) checkCRC() error {
+	r.hashing = false
+	want := r.crc
+	if _, err := io.ReadFull(r.r, r.scratch[:4]); err != nil {
+		return err
+	}
+	if got := binary.LittleEndian.Uint32(r.scratch[:4]); got != want {
+		return ErrChecksum
+	}
+	return nil
+}
+
+// fill reads into buf and folds it into the running checksum.
+func (r *Reader) fill(buf []byte) error {
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		return err
+	}
+	if r.hashing {
+		r.crc = crc32.Update(r.crc, crcTable, buf)
+	}
+	return nil
+}
+
+func (r *Reader) u8() (byte, error) {
+	if err := r.fill(r.scratch[:1]); err != nil {
+		return 0, err
+	}
+	return r.scratch[0], nil
+}
+
+func (r *Reader) u32() (uint32, error) {
+	if err := r.fill(r.scratch[:4]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(r.scratch[:4]), nil
+}
+
+func (r *Reader) u64() (uint64, error) {
+	if err := r.fill(r.scratch[:8]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(r.scratch[:8]), nil
+}
 
 func (r *Reader) i32() (int32, error) {
-	var v int32
-	err := binary.Read(r.r, binary.LittleEndian, &v)
-	return v, err
+	v, err := r.u32()
+	return int32(v), err
 }
 
 func (r *Reader) i64() (int64, error) {
-	var v int64
-	err := binary.Read(r.r, binary.LittleEndian, &v)
-	return v, err
+	v, err := r.u64()
+	return int64(v), err
 }
 
 func (r *Reader) f64() (float64, error) {
-	var v float64
-	err := binary.Read(r.r, binary.LittleEndian, &v)
-	return v, err
+	v, err := r.u64()
+	return math.Float64frombits(v), err
 }
 
 func (r *Reader) f32() (float32, error) {
-	var v float32
-	err := binary.Read(r.r, binary.LittleEndian, &v)
-	return v, err
+	v, err := r.u32()
+	return math.Float32frombits(v), err
 }
 
 // ReadTag returns the next message tag.
-func (r *Reader) ReadTag() (byte, error) { return r.u8() }
+func (r *Reader) ReadTag() (byte, error) {
+	r.hashing = false
+	return r.u8()
+}
 
 // ReadHello parses a hello body (after its tag).
 func (r *Reader) ReadHello() (Hello, error) {
@@ -233,16 +441,33 @@ func (r *Reader) ReadHello() (Hello, error) {
 		}
 	}
 	h.Space = geom.Rect2{Min: geom.V2(fs[0], fs[1]), Max: geom.V2(fs[2], fs[3])}
+	if h.Token, err = r.u64(); err != nil {
+		return h, err
+	}
 	if h.Version != Version {
 		return h, fmt.Errorf("proto: version %d, want %d", h.Version, Version)
 	}
 	return h, nil
 }
 
-// ReadRequest parses a request body (after its tag).
+// finite rejects the NaN/Inf values a corrupted or hostile frame could
+// otherwise push into the index search path.
+func finite(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadRequest parses and validates a request body (after its tag): the
+// checksum must match, the speed must be finite, and every sub-query
+// rectangle must be finite and non-inverted with WMin ≤ WMax.
 func (r *Reader) ReadRequest() (Request, error) {
 	var req Request
 	var err error
+	r.beginCRC()
 	if req.Speed, err = r.f64(); err != nil {
 		return req, err
 	}
@@ -267,12 +492,33 @@ func (r *Reader) ReadRequest() (Request, error) {
 			WMax:   fs[5],
 		}
 	}
+	if err := r.checkCRC(); err != nil {
+		return req, err
+	}
+	// Validate only after the checksum: a corrupted frame should be
+	// reported as corruption, not as whatever garbage field it tore.
+	if !finite(req.Speed) {
+		return req, fmt.Errorf("proto: non-finite speed")
+	}
+	for i, s := range req.Subs {
+		if !finite(s.Region.Min.X, s.Region.Min.Y, s.Region.Max.X, s.Region.Max.Y, s.WMin, s.WMax) {
+			return req, fmt.Errorf("proto: sub-query %d has non-finite bounds", i)
+		}
+		if s.Region.Max.X < s.Region.Min.X || s.Region.Max.Y < s.Region.Min.Y {
+			return req, fmt.Errorf("proto: sub-query %d has an inverted rectangle", i)
+		}
+		if s.WMin > s.WMax {
+			return req, fmt.Errorf("proto: sub-query %d has wmin %g > wmax %g", i, s.WMin, s.WMax)
+		}
+	}
 	return req, nil
 }
 
-// ReadResponse parses a response body (after its tag).
+// ReadResponse parses a response body (after its tag) and verifies its
+// checksum.
 func (r *Reader) ReadResponse() (Response, error) {
 	var resp Response
+	r.beginCRC()
 	n, err := r.i32()
 	if err != nil {
 		return resp, err
@@ -283,9 +529,18 @@ func (r *Reader) ReadResponse() (Response, error) {
 	if resp.IO, err = r.i64(); err != nil {
 		return resp, err
 	}
-	resp.Coeffs = make([]Coeff, n)
-	for i := range resp.Coeffs {
-		c := &resp.Coeffs[i]
+	if resp.Seq, err = r.i64(); err != nil {
+		return resp, err
+	}
+	// Grow incrementally: a corrupted-but-in-range count must not
+	// pre-allocate gigabytes before the stream runs dry.
+	alloc := int(n)
+	if alloc > 4096 {
+		alloc = 4096
+	}
+	resp.Coeffs = make([]Coeff, 0, alloc)
+	for i := 0; i < int(n); i++ {
+		var c Coeff
 		if c.Object, err = r.i32(); err != nil {
 			return resp, err
 		}
@@ -309,12 +564,73 @@ func (r *Reader) ReadResponse() (Response, error) {
 		if c.Value, err = r.f32(); err != nil {
 			return resp, err
 		}
+		resp.Coeffs = append(resp.Coeffs, c)
+	}
+	if err := r.checkCRC(); err != nil {
+		return resp, err
 	}
 	return resp, nil
 }
 
+// ReadResume parses a resume body (after its tag) and verifies its
+// checksum.
+func (r *Reader) ReadResume() (Resume, error) {
+	var res Resume
+	var err error
+	r.beginCRC()
+	if res.Token, err = r.u64(); err != nil {
+		return res, err
+	}
+	if res.AppliedSeq, err = r.i64(); err != nil {
+		return res, err
+	}
+	if err := r.checkCRC(); err != nil {
+		return res, err
+	}
+	if res.AppliedSeq < 0 {
+		return res, fmt.Errorf("proto: negative resume sequence %d", res.AppliedSeq)
+	}
+	return res, nil
+}
+
+// ReadResumeOK parses a resume confirmation (after its tag) and verifies
+// its checksum.
+func (r *Reader) ReadResumeOK() (ResumeOK, error) {
+	var ok ResumeOK
+	var err error
+	r.beginCRC()
+	if ok.Seq, err = r.i64(); err != nil {
+		return ok, err
+	}
+	if ok.Delivered, err = r.i64(); err != nil {
+		return ok, err
+	}
+	if err := r.checkCRC(); err != nil {
+		return ok, err
+	}
+	return ok, nil
+}
+
+// ReadResumeFail parses a resume rejection (after its tag) and verifies
+// its checksum.
+func (r *Reader) ReadResumeFail() (string, error) {
+	r.beginCRC()
+	msg, err := r.readString()
+	if err != nil {
+		return "", err
+	}
+	if err := r.checkCRC(); err != nil {
+		return "", err
+	}
+	return msg, nil
+}
+
 // ReadError parses an error body (after its tag).
 func (r *Reader) ReadError() (string, error) {
+	return r.readString()
+}
+
+func (r *Reader) readString() (string, error) {
 	n, err := r.i32()
 	if err != nil {
 		return "", err
@@ -323,7 +639,7 @@ func (r *Reader) ReadError() (string, error) {
 		return "", fmt.Errorf("proto: bad error length %d", n)
 	}
 	buf := make([]byte, n)
-	if _, err := io.ReadFull(r.r, buf); err != nil {
+	if err := r.fill(buf); err != nil {
 		return "", err
 	}
 	return string(buf), nil

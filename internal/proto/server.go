@@ -4,8 +4,8 @@ import (
 	"errors"
 	"io"
 	"net"
-	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/retrieval"
 	"repro/internal/stats"
@@ -18,17 +18,42 @@ import (
 // Concurrency: every accepted connection runs on its own goroutine. The
 // per-connection state (reader, writer, session) is goroutine-local;
 // the shared retrieval.Server, store, and index are concurrent-read-safe
-// (see the index.Index contract), and the stats collector is wait-free.
+// (see the index.Index contract), the stats collector is wait-free, and
+// the resume cache is mutex-guarded off the request hot path.
+//
+// Lifecycle hardening (see DESIGN.md "Fault tolerance"): per-connection
+// idle and frame deadlines bound how long a silent or trickling peer can
+// pin a goroutine, a max-sessions limit sheds excess connections with a
+// sanitized "server busy" error, and Close drains in-flight handlers for
+// a bounded interval before force-closing stragglers. Sessions that end
+// abnormally are parked in a bounded TTL resume cache so a reconnecting
+// client can continue incrementally (see Client.Reconnect).
 type Server struct {
 	srv    *retrieval.Server
 	levels int
 	logf   func(format string, args ...any)
 	st     *stats.Stats
 
+	maxSessions  int           // 0 = unlimited
+	idleTimeout  time.Duration // max silence between frames; 0 = none
+	frameTimeout time.Duration // per-frame read/write deadline; 0 = none
+	drainTimeout time.Duration // graceful-close bound
+	resume       *resumeCache
+
 	mu     sync.Mutex
 	closed bool
 	lis    net.Listener
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
 }
+
+// Resume-cache and drain defaults; override with SetResumeCache and
+// SetDrainTimeout.
+const (
+	defaultResumeCap    = 1024
+	defaultResumeTTL    = 2 * time.Minute
+	defaultDrainTimeout = 5 * time.Second
+)
 
 // NewServer wraps a retrieval server for network access. levels is the
 // dataset's subdivision depth, announced in the hello. logf may be nil.
@@ -38,12 +63,41 @@ func NewServer(srv *retrieval.Server, levels int, logf func(string, ...any)) *Se
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Server{srv: srv, levels: levels, logf: logf, st: stats.Default}
+	return &Server{
+		srv:          srv,
+		levels:       levels,
+		logf:         logf,
+		st:           stats.Default,
+		drainTimeout: defaultDrainTimeout,
+		resume:       newResumeCache(defaultResumeCap, defaultResumeTTL),
+		conns:        make(map[net.Conn]struct{}),
+	}
 }
 
 // SetStats redirects the server's session/error counters (nil disables
 // recording). Call before Serve.
 func (s *Server) SetStats(st *stats.Stats) { s.st = st }
+
+// SetLimits configures resource bounds: maxSessions concurrent
+// connections (0 = unlimited; excess connections are shed with a
+// "server busy" error), idle is the maximum silence between frames, and
+// frame bounds each frame's body read and response write (0 disables
+// either deadline). Call before Serve.
+func (s *Server) SetLimits(maxSessions int, idle, frame time.Duration) {
+	s.maxSessions = maxSessions
+	s.idleTimeout = idle
+	s.frameTimeout = frame
+}
+
+// SetResumeCache bounds the closed-session cache: capacity entries (0
+// disables resumption) kept for at most ttl. Call before Serve.
+func (s *Server) SetResumeCache(capacity int, ttl time.Duration) {
+	s.resume = newResumeCache(capacity, ttl)
+}
+
+// SetDrainTimeout bounds how long Close waits for in-flight handlers
+// before force-closing their connections. Call before Serve.
+func (s *Server) SetDrainTimeout(d time.Duration) { s.drainTimeout = d }
 
 // Serve accepts connections until the listener closes. It returns nil
 // after Close.
@@ -62,45 +116,78 @@ func (s *Server) Serve(lis net.Listener) error {
 			}
 			return err
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		if s.maxSessions > 0 && len(s.conns) >= s.maxSessions {
+			s.mu.Unlock()
+			go s.shed(conn)
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
 		go s.handle(conn)
 	}
 }
 
-// Close stops the accept loop.
+// shed refuses a connection over the session limit with a bounded-time,
+// sanitized error so well-behaved clients can back off and retry.
+func (s *Server) shed(conn net.Conn) {
+	defer conn.Close()
+	s.st.RecordShed()
+	s.logf("proto: shedding %v at session limit %d", conn.RemoteAddr(), s.maxSessions)
+	conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	NewWriter(conn).WriteError("server busy: session limit reached")
+}
+
+// Close stops the accept loop, wakes idle handlers, waits up to the
+// drain timeout for in-flight frames to finish, then force-closes any
+// stragglers. It is safe to call more than once.
 func (s *Server) Close() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.closed = true
 	if s.lis != nil {
 		s.lis.Close()
 	}
-}
-
-// maxWireErrorLen caps error strings sent to clients: long enough for
-// any protocol diagnostic, short enough that an error reply can never
-// balloon into a payload.
-const maxWireErrorLen = 256
-
-// sanitizeWireError prepares an internal error for the wire: the string
-// is capped at maxWireErrorLen bytes and every non-printable or
-// non-ASCII byte is replaced, so a corrupted request can never reflect
-// binary garbage (or multi-line log-forgery text) back over the
-// protocol or into peers' logs.
-func sanitizeWireError(err error) string {
-	msg := err.Error()
-	if len(msg) > maxWireErrorLen {
-		msg = msg[:maxWireErrorLen]
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
 	}
-	return strings.Map(func(r rune) rune {
-		if r < 0x20 || r > 0x7e {
-			return '?'
-		}
-		return r
-	}, msg)
+	s.mu.Unlock()
+
+	// Waking blocked readers lets idle handlers exit immediately while a
+	// handler mid-frame still finishes its write.
+	now := time.Now()
+	for _, c := range conns {
+		c.SetReadDeadline(now)
+	}
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return
+	case <-time.After(s.drainTimeout):
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	<-done
 }
 
 func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
 	s.st.SessionOpened()
 	defer s.st.SessionClosed()
 	w := NewWriter(conn)
@@ -112,20 +199,37 @@ func (s *Server) handle(conn net.Conn) {
 	if store.NumObjects() > 0 {
 		baseVerts = store.Objects[0].Base.NumVerts()
 	}
+	token := newToken()
+	s.setWriteDeadline(conn)
 	if err := w.WriteHello(Hello{
 		Version:   Version,
 		Objects:   int32(store.NumObjects()),
 		Levels:    int32(s.levels),
 		BaseVerts: int32(baseVerts),
 		Space:     bounds,
+		Token:     token,
 	}); err != nil {
 		s.st.RecordError()
 		s.logf("proto: hello to %v failed: %v", conn.RemoteAddr(), err)
 		return
 	}
 
-	session := retrieval.NewSession(s.srv)
+	// The session lineage this connection serves. A successful resume
+	// swaps in a cached predecessor; on abnormal exit the lineage is
+	// parked under this connection's token (the client always resumes
+	// with the newest token it completed a handshake for).
+	sess := &resumeEntry{sess: retrieval.NewSession(s.srv)}
+	orderly := false
+	defer func() {
+		if !orderly {
+			s.resume.put(token, sess)
+		}
+	}()
+
 	for {
+		if s.idleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+		}
 		tag, err := r.ReadTag()
 		if err != nil {
 			if !errors.Is(err, io.EOF) {
@@ -134,19 +238,65 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			return
 		}
+		// The frame deadline bounds the body read and the reply write; the
+		// next loop iteration resets it to the (longer) idle timeout.
+		if s.frameTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.frameTimeout))
+		}
 		switch tag {
+		case TagResume:
+			res, err := r.ReadResume()
+			if err != nil {
+				s.st.RecordError()
+				s.logf("proto: bad resume from %v: %v", conn.RemoteAddr(), err)
+				return
+			}
+			s.setWriteDeadline(conn)
+			prev, ok := s.resume.take(res.Token)
+			if ok {
+				// Roll back an un-applied final response: the server counted
+				// those coefficients as delivered, but the client never saw
+				// them; forgetting them lets the retry re-send.
+				switch res.AppliedSeq {
+				case prev.seq:
+					// In sync; nothing to roll back.
+				case prev.seq - 1:
+					prev.sess.Forget(prev.lastIDs)
+					prev.seq--
+				default:
+					ok = false
+				}
+			}
+			if !ok {
+				s.st.RecordResume(false)
+				if err := w.WriteResumeFail("no resumable session"); err != nil {
+					s.logf("proto: resume reply to %v failed: %v", conn.RemoteAddr(), err)
+					return
+				}
+				continue
+			}
+			prev.lastIDs = nil
+			sess = prev
+			s.st.RecordResume(true)
+			if err := w.WriteResumeOK(ResumeOK{Seq: sess.seq, Delivered: int64(sess.sess.Delivered())}); err != nil {
+				s.logf("proto: resume reply to %v failed: %v", conn.RemoteAddr(), err)
+				return
+			}
 		case TagRequest:
 			req, err := r.ReadRequest()
 			if err != nil {
 				s.st.RecordError()
 				s.logf("proto: bad request from %v: %v", conn.RemoteAddr(), err)
-				if werr := w.WriteError(sanitizeWireError(err)); werr != nil {
+				s.setWriteDeadline(conn)
+				if werr := w.WriteError(SanitizeWireError(err)); werr != nil {
 					s.logf("proto: error reply to %v failed: %v", conn.RemoteAddr(), werr)
 				}
 				return
 			}
-			resp := session.Retrieve(req.Subs)
-			out := Response{IO: resp.IO, Coeffs: make([]Coeff, 0, len(resp.IDs))}
+			resp := sess.sess.Retrieve(req.Subs)
+			sess.seq++
+			sess.lastIDs = resp.IDs
+			out := Response{IO: resp.IO, Seq: sess.seq, Coeffs: make([]Coeff, 0, len(resp.IDs))}
 			for _, id := range resp.IDs {
 				c := store.Coeff(id)
 				out.Coeffs = append(out.Coeffs, Coeff{
@@ -157,16 +307,19 @@ func (s *Server) handle(conn net.Conn) {
 					Value:  float32(c.Value),
 				})
 			}
+			s.setWriteDeadline(conn)
 			if err := w.WriteResponse(out); err != nil {
 				s.st.RecordError()
 				s.logf("proto: response to %v failed: %v", conn.RemoteAddr(), err)
 				return
 			}
 		case TagBye:
+			orderly = true
 			return
 		default:
 			s.st.RecordError()
 			s.logf("proto: unexpected tag %d from %v", tag, conn.RemoteAddr())
+			s.setWriteDeadline(conn)
 			if werr := w.WriteError("unexpected message"); werr != nil {
 				s.logf("proto: error reply to %v failed: %v", conn.RemoteAddr(), werr)
 			}
@@ -174,6 +327,16 @@ func (s *Server) handle(conn net.Conn) {
 		}
 	}
 }
+
+func (s *Server) setWriteDeadline(conn net.Conn) {
+	if s.frameTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.frameTimeout))
+	}
+}
+
+// ResumeCacheLen reports the number of parked sessions (observability
+// and tests).
+func (s *Server) ResumeCacheLen() int { return s.resume.len() }
 
 // ListenAndServe binds addr and serves until Close. It logs the bound
 // address through logf (useful with ":0").

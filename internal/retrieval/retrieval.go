@@ -275,6 +275,17 @@ func (s *Session) Retrieve(subs []SubQuery) Response {
 // Delivered returns the number of coefficients this client holds.
 func (s *Session) Delivered() int { return len(s.delivered) }
 
+// Forget removes ids from the delivered set so they become retrievable
+// again. The wire server uses it for resume rollback: when a response
+// was sent but the client never applied it (connection lost mid-reply),
+// the frame's deliveries are forgotten so the retry re-sends them
+// instead of leaving permanent holes in the client's meshes.
+func (s *Session) Forget(ids []int64) {
+	for _, id := range ids {
+		delete(s.delivered, id)
+	}
+}
+
 // Has reports whether a coefficient has been delivered to this client.
 func (s *Session) Has(id int64) bool { return s.delivered[id] }
 

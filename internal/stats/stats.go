@@ -133,8 +133,21 @@ type Stats struct {
 	demandBytes   atomic.Int64
 	prefetchBytes atomic.Int64
 
+	// Fault-tolerance counters (see DESIGN.md "Fault tolerance"): client
+	// retries and timeouts, session resume attempts split by cache
+	// outcome, degraded-mode activations, connections shed at the
+	// session limit, and faults injected by the faultnet link model.
+	retries      atomic.Int64
+	timeouts     atomic.Int64
+	resumeHits   atomic.Int64
+	resumeMisses atomic.Int64
+	degraded     atomic.Int64
+	shed         atomic.Int64
+	faults       atomic.Int64
+
 	latency   Histogram // per-request latency in nanoseconds
 	requestIO Histogram // index node reads per request
+	backoff   Histogram // client backoff sleeps in nanoseconds
 }
 
 // Default is the process-wide collector. Components record into it
@@ -195,6 +208,64 @@ func (s *Stats) RecordError() {
 	s.errors.Add(1)
 }
 
+// RecordRetry counts one client-side frame retry, observing the backoff
+// sleep that preceded it.
+func (s *Stats) RecordRetry(backoff time.Duration) {
+	if s == nil {
+		return
+	}
+	s.retries.Add(1)
+	s.backoff.Observe(int64(backoff))
+}
+
+// RecordTimeout counts one frame attempt that exceeded its deadline.
+func (s *Stats) RecordTimeout() {
+	if s == nil {
+		return
+	}
+	s.timeouts.Add(1)
+}
+
+// RecordResume counts one session-resume attempt by its outcome: hit
+// means the peer still held the session state, miss means the client had
+// to fall back to a full re-plan.
+func (s *Stats) RecordResume(hit bool) {
+	if s == nil {
+		return
+	}
+	if hit {
+		s.resumeHits.Add(1)
+	} else {
+		s.resumeMisses.Add(1)
+	}
+}
+
+// RecordDegraded counts one degraded-mode activation (the client raised
+// its effective resolution cutoff after repeated timeouts).
+func (s *Stats) RecordDegraded() {
+	if s == nil {
+		return
+	}
+	s.degraded.Add(1)
+}
+
+// RecordShed counts one connection refused at the max-sessions limit.
+func (s *Stats) RecordShed() {
+	if s == nil {
+		return
+	}
+	s.shed.Add(1)
+}
+
+// RecordFault counts one fault injected by the simulated wireless link
+// (drop, corruption, or forced short write).
+func (s *Stats) RecordFault() {
+	if s == nil {
+		return
+	}
+	s.faults.Add(1)
+}
+
 // RecordBuffer accounts one buffer-manager step: blocks found in the
 // buffer, blocks fetched on demand, and the bytes moved over the link.
 func (s *Stats) RecordBuffer(hits, misses int, demandBytes, prefetchBytes int64) {
@@ -224,8 +295,17 @@ type Snapshot struct {
 	DemandBytes   int64
 	PrefetchBytes int64
 
+	Retries      int64
+	Timeouts     int64
+	ResumeHits   int64
+	ResumeMisses int64
+	Degraded     int64
+	Shed         int64
+	Faults       int64
+
 	Latency   HistogramSnapshot
 	RequestIO HistogramSnapshot
+	Backoff   HistogramSnapshot
 }
 
 // Snapshot copies the current counter values.
@@ -246,8 +326,16 @@ func (s *Stats) Snapshot() Snapshot {
 		BufferMisses:   s.bufferMisses.Load(),
 		DemandBytes:    s.demandBytes.Load(),
 		PrefetchBytes:  s.prefetchBytes.Load(),
+		Retries:        s.retries.Load(),
+		Timeouts:       s.timeouts.Load(),
+		ResumeHits:     s.resumeHits.Load(),
+		ResumeMisses:   s.resumeMisses.Load(),
+		Degraded:       s.degraded.Load(),
+		Shed:           s.shed.Load(),
+		Faults:         s.faults.Load(),
 		Latency:        s.latency.Snapshot(),
 		RequestIO:      s.requestIO.Snapshot(),
+		Backoff:        s.backoff.Snapshot(),
 	}
 }
 
@@ -255,13 +343,15 @@ func (s Snapshot) String() string {
 	return fmt.Sprintf(
 		"sessions %d/%d active/opened · requests %d (%d errors) · sub-queries %d · "+
 			"index io %d · delivered %d coeffs / %s · latency mean %v p50 ≤%v p99 ≤%v · "+
-			"buffer %d/%d hit/miss · link %s demand + %s prefetch",
+			"buffer %d/%d hit/miss · link %s demand + %s prefetch · "+
+			"retries %d (%d timeouts) · resume %d/%d hit/miss · degraded %d · shed %d · faults %d",
 		s.SessionsActive, s.SessionsOpened, s.Requests, s.Errors, s.SubQueries,
 		s.IndexIO, s.Coeffs, fmtBytes(s.Bytes),
 		time.Duration(int64(s.Latency.Mean())).Round(time.Microsecond),
 		time.Duration(s.Latency.Quantile(0.50)).Round(time.Microsecond),
 		time.Duration(s.Latency.Quantile(0.99)).Round(time.Microsecond),
-		s.BufferHits, s.BufferMisses, fmtBytes(s.DemandBytes), fmtBytes(s.PrefetchBytes))
+		s.BufferHits, s.BufferMisses, fmtBytes(s.DemandBytes), fmtBytes(s.PrefetchBytes),
+		s.Retries, s.Timeouts, s.ResumeHits, s.ResumeMisses, s.Degraded, s.Shed, s.Faults)
 }
 
 func fmtBytes(b int64) string {

@@ -14,6 +14,13 @@ func TestNilStatsIsSafe(t *testing.T) {
 	s.RecordRequest(3, 10, 5, 240, time.Millisecond)
 	s.RecordError()
 	s.RecordBuffer(1, 2, 100, 200)
+	s.RecordRetry(time.Millisecond)
+	s.RecordTimeout()
+	s.RecordResume(true)
+	s.RecordResume(false)
+	s.RecordDegraded()
+	s.RecordShed()
+	s.RecordFault()
 	if got := s.Snapshot(); got != (Snapshot{}) {
 		t.Fatalf("nil snapshot = %+v", got)
 	}
@@ -146,6 +153,45 @@ func TestConcurrentRecording(t *testing.T) {
 	}
 	if bucketSum != total {
 		t.Errorf("bucket sum %d != count %d", bucketSum, total)
+	}
+}
+
+// TestResilienceCounters covers the fault-tolerance counters: retries
+// (with their backoff histogram), timeouts, resume hits/misses,
+// degraded-mode activations, shed connections, and injected faults.
+func TestResilienceCounters(t *testing.T) {
+	s := New()
+	s.RecordRetry(10 * time.Millisecond)
+	s.RecordRetry(80 * time.Millisecond)
+	s.RecordTimeout()
+	s.RecordResume(true)
+	s.RecordResume(true)
+	s.RecordResume(false)
+	s.RecordDegraded()
+	s.RecordShed()
+	s.RecordFault()
+	s.RecordFault()
+	s.RecordFault()
+
+	got := s.Snapshot()
+	if got.Retries != 2 || got.Timeouts != 1 {
+		t.Errorf("retries %d timeouts %d", got.Retries, got.Timeouts)
+	}
+	if got.ResumeHits != 2 || got.ResumeMisses != 1 {
+		t.Errorf("resume = %d/%d hit/miss", got.ResumeHits, got.ResumeMisses)
+	}
+	if got.Degraded != 1 || got.Shed != 1 || got.Faults != 3 {
+		t.Errorf("degraded %d shed %d faults %d", got.Degraded, got.Shed, got.Faults)
+	}
+	if got.Backoff.Count != 2 || got.Backoff.Max != int64(80*time.Millisecond) {
+		t.Errorf("backoff histogram = %+v", got.Backoff)
+	}
+
+	line := got.String()
+	for _, want := range []string{"retries 2", "resume 2/1 hit/miss", "shed 1", "faults 3"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("summary %q missing %q", line, want)
+		}
 	}
 }
 
