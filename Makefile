@@ -4,18 +4,18 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench soak fault fuzz ci
+.PHONY: build test race vet bench bench-shards soak fault fuzz ci
 
 build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # The race gate: the full suite under the race detector, including the
-# multi-client soak (internal/proto), the concurrent-search property
-# tests (internal/index), and the parallel-execution tests
-# (internal/retrieval).
+# multi-client soak (internal/proto), the sharded-index equivalence and
+# churn property tests (internal/index), and the parallel-execution
+# tests (internal/retrieval).
 race:
 	$(GO) test -race ./...
 
@@ -24,6 +24,12 @@ vet:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# Shard-scaling sweep: fixed concurrent read/write workload against the
+# single-lock baseline and Sharded at K in {1,2,4,8,16}; emits the JSON
+# artifact the README's engine section discusses.
+bench-shards: build
+	$(GO) run ./cmd/experiments -bench-shards BENCH_shards.json -objects 60
 
 # Just the concurrency-focused tests, verbosely.
 soak:
@@ -46,6 +52,7 @@ fuzz:
 	$(GO) test -fuzz 'FuzzReadResponse$$' -fuzztime 10s -run '^$$' ./internal/proto/
 	$(GO) test -fuzz 'FuzzReadHello$$' -fuzztime 10s -run '^$$' ./internal/proto/
 	$(GO) test -fuzz 'FuzzReadResume$$' -fuzztime 10s -run '^$$' ./internal/proto/
+	$(GO) test -fuzz 'FuzzReadSceneSelect$$' -fuzztime 10s -run '^$$' ./internal/proto/
 	$(GO) test -fuzz 'FuzzCRCRejectsFlips$$' -fuzztime 10s -run '^$$' ./internal/proto/
 
 ci: build vet test race fuzz

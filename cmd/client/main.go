@@ -6,8 +6,8 @@
 //
 // Usage:
 //
-//	client [-addr localhost:7333] [-kind tram|walk] [-speed 0.5]
-//	       [-steps 200] [-query 0.1] [-seed 1]
+//	client [-addr localhost:7333] [-scene name] [-kind tram|walk]
+//	       [-speed 0.5] [-steps 200] [-query 0.1] [-seed 1]
 package main
 
 import (
@@ -27,6 +27,7 @@ import (
 func main() {
 	var (
 		addr  = flag.String("addr", "localhost:7333", "server address")
+		scene = flag.String("scene", "", "scene to bind to (empty = server default)")
 		kind  = flag.String("kind", "tram", "tour kind: tram or walk")
 		speed = flag.Float64("speed", 0.5, "normalized speed in (0,1]")
 		steps = flag.Int("steps", 200, "tour length in frames")
@@ -35,14 +36,14 @@ func main() {
 	)
 	flag.Parse()
 
-	c, err := proto.Dial(*addr, nil)
+	c, err := proto.DialScene(*addr, *scene, nil)
 	if err != nil {
 		log.Fatalf("client: %v", err)
 	}
 	defer c.Close()
 	hello := c.Hello()
-	log.Printf("connected: %d objects, %d levels, space %v",
-		hello.Objects, hello.Levels, hello.Space)
+	log.Printf("connected: scene %q, %d objects, %d levels, space %v",
+		hello.Scene, hello.Objects, hello.Levels, hello.Space)
 
 	tourKind := motion.Tram
 	if *kind == "walk" {

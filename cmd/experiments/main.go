@@ -6,13 +6,15 @@
 // Usage:
 //
 //	experiments [-quick] [-fig fig8,fig12] [-objects N] [-tours N]
-//	            [-steps N] [-seed N] [-o out.txt] [-stats]
+//	            [-steps N] [-seed N] [-o out.txt] [-stats 0] [-stats-dump]
+//	            [-fault] [-shards N] [-bench-shards out.json]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"strings"
 	"time"
@@ -31,7 +33,7 @@ func main() {
 		steps     = flag.Int("steps", 0, "override steps per tour")
 		seed      = flag.Int64("seed", 1, "base random seed")
 		out       = flag.String("o", "", "also write output to this file")
-		showStats = flag.Bool("stats", false, "print accumulated retrieval/buffer stats after the run")
+		shards    = flag.Int("shards", 0, "index shard count where applicable (0/1 = unsharded)")
 
 		fault        = flag.Bool("fault", false, "run the fault-injection experiment instead of the figures")
 		faultSeed    = flag.Int64("fault-seed", 1, "seed for the injected fault schedule")
@@ -39,7 +41,11 @@ func main() {
 		faultCorrupt = flag.Int64("fault-corrupt", 0, "mean read bytes between bit flips (0 = default 40 KB)")
 		faultLatency = flag.Duration("fault-latency", 0, "injected round-trip latency")
 		faultBW      = flag.Int64("fault-bw", 0, "link throughput in bytes/second (0 = unthrottled)")
+
+		benchShards = flag.String("bench-shards", "", "run the shard-scaling benchmark and write its JSON result to this file")
+		benchDur    = flag.Duration("bench-duration", 300*time.Millisecond, "measurement window per shard-bench configuration")
 	)
+	statsFlags := stats.RegisterFlags(flag.CommandLine, 0)
 	flag.Parse()
 
 	cfg := experiment.Config{
@@ -60,12 +66,28 @@ func main() {
 		defer f.Close()
 		w = io.MultiWriter(os.Stdout, f)
 	}
+	stopStats := statsFlags.Start(stats.Default, log.Printf)
+	defer stopStats()
+
+	if *benchShards != "" {
+		spec := experiment.ShardBenchSpec{
+			Seed:     *seed,
+			Objects:  *objects,
+			Duration: *benchDur,
+		}
+		if _, err := experiment.RunShardBench(spec, *benchShards, w); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *fault {
 		spec := experiment.FaultSpec{
 			Seed:           *faultSeed,
 			Objects:        *objects,
 			Steps:          *steps,
+			Shards:         *shards,
 			DropMeanBytes:  *faultDrop,
 			CorruptBytes:   *faultCorrupt,
 			Latency:        *faultLatency,
@@ -103,10 +125,5 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "experiments: no figures matched %q\n", *figs)
 		os.Exit(1)
-	}
-	if *showStats {
-		// Every retrieval server and buffer manager the figures construct
-		// records into the process-wide collector.
-		fmt.Fprintf(w, "stats: %v\n", stats.Default.Snapshot())
 	}
 }

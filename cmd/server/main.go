@@ -1,26 +1,27 @@
 // Command server runs the motion-aware 3D object retrieval server over
-// TCP: it generates a reproducible city dataset, indexes it with the
-// support-region (x, y, w) R*-tree, and serves continuous window queries
-// with per-client duplicate filtering using the binary protocol in
-// internal/proto.
+// TCP: it generates a reproducible city dataset, indexes it with a
+// sharded support-region (x, y, w) R*-tree, and serves continuous window
+// queries with per-client duplicate filtering using the binary protocol
+// in internal/proto. Additional named scenes can be served from saved
+// dataset files; clients bind to one with a scene-select frame.
 //
 // Usage:
 //
 //	server [-addr :7333] [-objects 100] [-levels 5] [-zipf] [-seed 1]
-//	       [-stats 30s] [-workers 0] [-max-sessions 0] [-idle-timeout 2m]
-//	       [-frame-timeout 30s] [-drain-timeout 5s] [-resume-cache 1024]
-//	       [-resume-ttl 2m]
+//	       [-shards 1] [-scene default] [-scenes name=file,name2=file2]
+//	       [-stats 30s] [-stats-dump] [-workers 0] [-max-sessions 0]
+//	       [-idle-timeout 2m] [-frame-timeout 30s] [-drain-timeout 5s]
+//	       [-resume-cache 1024] [-resume-ttl 2m]
 package main
 
 import (
 	"flag"
 	"log"
+	"strings"
 	"time"
 
-	"repro/internal/index"
+	"repro/internal/engine"
 	"repro/internal/proto"
-	"repro/internal/retrieval"
-	"repro/internal/rtree"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -34,16 +35,19 @@ func main() {
 		seed    = flag.Int64("seed", 1, "dataset seed")
 		save    = flag.String("save", "", "write the generated dataset to this file and continue")
 		load    = flag.String("load", "", "serve a previously saved dataset instead of generating")
-		statsIv = flag.Duration("stats", 0, "dump serving stats at this interval (0 disables, e.g. 30s)")
+		shards  = flag.Int("shards", 1, "grid shards per scene index (1 = single shard)")
+		scene   = flag.String("scene", proto.DefaultSceneName, "name of the primary scene")
+		scenes  = flag.String("scenes", "", "extra scenes as comma-separated name=file pairs")
 		workers = flag.Int("workers", 0, "per-request sub-query parallelism (0 = auto, 1 = serial)")
 
 		maxSessions  = flag.Int("max-sessions", 0, "shed connections beyond this many concurrent sessions (0 = unlimited)")
 		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "disconnect a session silent for this long (0 disables)")
 		frameTimeout = flag.Duration("frame-timeout", 30*time.Second, "per-frame read/write deadline (0 disables)")
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain bound")
-		resumeCache  = flag.Int("resume-cache", 1024, "dropped sessions kept resumable (0 disables resumption)")
+		resumeCache  = flag.Int("resume-cache", 1024, "dropped sessions kept resumable per scene (0 disables resumption)")
 		resumeTTL    = flag.Duration("resume-ttl", 2*time.Minute, "how long a dropped session stays resumable")
 	)
+	statsFlags := stats.RegisterFlags(flag.CommandLine, 0)
 	flag.Parse()
 
 	var d *workload.Dataset
@@ -77,21 +81,48 @@ func main() {
 	}
 	log.Printf("dataset ready: %v", d)
 
-	log.Printf("building motion-aware (x,y,w) R*-tree over %d coefficients...",
-		d.Store.NumCoeffs())
-	idx := index.NewMotionAware(d.Store, index.XYW, rtree.Config{})
-	rsrv := retrieval.NewServer(d.Store, idx)
-	if *workers > 0 {
-		rsrv.SetParallelism(*workers)
+	reg := engine.NewRegistry()
+	build := func(name string, d *workload.Dataset) *engine.Scene {
+		sc, err := reg.Build(engine.SceneConfig{
+			Name:   name,
+			Source: d.Store,
+			Levels: d.Spec.Levels,
+			Shards: *shards,
+			Stats:  stats.Default,
+		})
+		if err != nil {
+			log.Fatalf("scene %q: %v", name, err)
+		}
+		if *workers > 0 {
+			sc.Server.SetParallelism(*workers)
+		}
+		log.Printf("scene %q: %s over %d coefficients", name, sc.Index.Name(), d.Store.NumCoeffs())
+		return sc
 	}
-	srv := proto.NewServer(rsrv, d.Spec.Levels, log.Printf)
+	build(*scene, d)
+	if *scenes != "" {
+		for _, pair := range strings.Split(*scenes, ",") {
+			name, file, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok || name == "" || file == "" {
+				log.Fatalf("bad -scenes entry %q (want name=file)", pair)
+			}
+			log.Printf("loading scene %q from %s...", name, file)
+			sd, err := workload.LoadFile(file, false)
+			if err != nil {
+				log.Fatalf("scene %q: %v", name, err)
+			}
+			build(name, sd)
+		}
+	}
+
+	srv := proto.NewMultiServer(reg, log.Printf)
+	srv.SetStats(stats.Default)
 	srv.SetLimits(*maxSessions, *idleTimeout, *frameTimeout)
 	srv.SetResumeCache(*resumeCache, *resumeTTL)
 	srv.SetDrainTimeout(*drainTimeout)
-	if *statsIv > 0 {
-		stop := stats.Default.StartLogging(*statsIv, log.Printf)
-		defer stop()
-	}
+	stop := statsFlags.Start(stats.Default, log.Printf)
+	defer stop()
+	log.Printf("serving %d scene(s) %v on %s", reg.Len(), reg.Names(), *addr)
 	if err := srv.ListenAndServe(*addr); err != nil {
 		log.Fatal(err)
 	}

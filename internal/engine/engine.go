@@ -1,0 +1,200 @@
+// Package engine is the multi-scene serving layer extracted from the
+// formerly monolithic store/index/server stack: a registry of named
+// scenes, each owning its coefficient source, its (sharded) index, its
+// retrieval server, and its session-resume cache. The wire protocol
+// layer routes connections to scenes by name; everything below the
+// registry stays scene-oblivious.
+//
+// Dependency direction: engine imports index/retrieval/stats; proto
+// imports engine. The index layer sees only the CoefficientSource
+// interface, never a scene.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/retrieval"
+	"repro/internal/stats"
+)
+
+// MaxSceneName bounds scene names on the wire and in the registry.
+const MaxSceneName = 64
+
+// ValidateSceneName checks a scene name for registry and wire use:
+// non-empty, at most MaxSceneName bytes, ASCII letters, digits, and
+// ._- only (no separators or control bytes that could smuggle structure
+// into logs or file paths derived from the name).
+func ValidateSceneName(name string) error {
+	if name == "" {
+		return fmt.Errorf("engine: empty scene name")
+	}
+	if len(name) > MaxSceneName {
+		return fmt.Errorf("engine: scene name longer than %d bytes", MaxSceneName)
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("engine: scene name contains invalid byte %q", c)
+		}
+	}
+	return nil
+}
+
+// Scene bundles everything the serving stack needs for one named data
+// set: the coefficient source, the index over it, the retrieval server
+// executing sub-queries, the subdivision depth announced to clients, and
+// the resume cache parking this scene's interrupted sessions.
+type Scene struct {
+	Name   string
+	Source index.CoefficientSource
+	Index  index.Index
+	Server *retrieval.Server
+	Levels int
+	Resume *ResumeCache
+}
+
+// SceneConfig describes a scene for Registry.Build.
+type SceneConfig struct {
+	Name   string
+	Source index.CoefficientSource
+	Levels int
+	// Layout selects the index dimensionality (default XYW, as the
+	// paper's experiments use).
+	Layout index.Layout
+	// Shards partitions the scene's index; ≤ 1 builds a single shard
+	// (still internally locked, so background updates are safe).
+	Shards int
+	// Stats receives this scene's counters (nil → stats.Default).
+	Stats *stats.Stats
+}
+
+// Registry owns the scenes of one serving process. The first scene added
+// is the default — the one a connection lands on before (or without)
+// selecting a name. Adding scenes is expected at startup; Get runs on
+// every connection handshake and scene switch, so lookups take a read
+// lock only.
+type Registry struct {
+	mu     sync.RWMutex
+	scenes map[string]*Scene
+	order  []string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{scenes: make(map[string]*Scene)}
+}
+
+// AddScene registers a scene built from an existing retrieval server
+// (the single-scene servers predating the registry wrap themselves this
+// way). The scene gets a default-sized resume cache, and the retrieval
+// server is tagged with the scene name so executed requests land in the
+// per-scene stats breakdown.
+func (r *Registry) AddScene(name string, srv *retrieval.Server, levels int) (*Scene, error) {
+	if err := ValidateSceneName(name); err != nil {
+		return nil, err
+	}
+	sc := &Scene{
+		Name:   name,
+		Source: srv.Store(),
+		Index:  srv.Index(),
+		Server: srv,
+		Levels: levels,
+		Resume: NewResumeCache(DefaultResumeCapacity, DefaultResumeTTL),
+	}
+	srv.SetScene(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.scenes[name]; dup {
+		return nil, fmt.Errorf("engine: scene %q already registered", name)
+	}
+	r.scenes[name] = sc
+	r.order = append(r.order, name)
+	return sc, nil
+}
+
+// Build constructs a scene from a coefficient source — sharded index,
+// retrieval server, stats wiring — and registers it.
+func (r *Registry) Build(cfg SceneConfig) (*Scene, error) {
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("engine: scene %q has no source", cfg.Name)
+	}
+	st := cfg.Stats
+	if st == nil {
+		st = stats.Default
+	}
+	idx := index.NewSharded(cfg.Source, cfg.Layout, index.ShardedConfig{Shards: cfg.Shards})
+	idx.SetStats(st)
+	srv := retrieval.NewServer(cfg.Source, idx)
+	srv.SetStats(st)
+	return r.AddScene(cfg.Name, srv, cfg.Levels)
+}
+
+// Get returns the scene by name; the empty name resolves to the default
+// scene.
+func (r *Registry) Get(name string) (*Scene, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if name == "" {
+		if len(r.order) == 0 {
+			return nil, false
+		}
+		return r.scenes[r.order[0]], true
+	}
+	sc, ok := r.scenes[name]
+	return sc, ok
+}
+
+// Default returns the default scene (nil for an empty registry).
+func (r *Registry) Default() *Scene {
+	sc, _ := r.Get("")
+	return sc
+}
+
+// Names returns the registered scene names, default first, the rest
+// sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	if len(out) > 1 {
+		sort.Strings(out[1:])
+	}
+	return out
+}
+
+// Len returns the number of registered scenes.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.scenes)
+}
+
+// SetResumeCache replaces every scene's resume cache with one of the
+// given bounds (capacity 0 disables resumption). Call before serving.
+func (r *Registry) SetResumeCache(capacity int, ttl time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, sc := range r.scenes {
+		sc.Resume = NewResumeCache(capacity, ttl)
+	}
+}
+
+// ResumeLen sums the parked sessions across every scene's resume cache
+// (observability and tests).
+func (r *Registry) ResumeLen() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, sc := range r.scenes {
+		n += sc.Resume.Len()
+	}
+	return n
+}

@@ -1,0 +1,157 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/index"
+	"repro/internal/mesh"
+	"repro/internal/retrieval"
+	"repro/internal/stats"
+	"repro/internal/wavelet"
+)
+
+func testStore(t testing.TB, n int, seed int64) *index.Store {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	objs := make([]*wavelet.Decomposition, n)
+	for i := 0; i < n; i++ {
+		ground := geom.V2(rng.Float64()*900+50, rng.Float64()*900+50)
+		s := mesh.RandomBuilding(rng, ground, mesh.DefaultBuildingSpec())
+		objs[i] = wavelet.Decompose(int32(i), mesh.BaseMeshFor(s), s, 3)
+	}
+	return index.NewStore(objs)
+}
+
+func TestValidateSceneName(t *testing.T) {
+	for _, ok := range []string{"a", "city-01", "A.B_c", "x"} {
+		if err := ValidateSceneName(ok); err != nil {
+			t.Errorf("ValidateSceneName(%q) = %v", ok, err)
+		}
+	}
+	long := make([]byte, MaxSceneName+1)
+	for i := range long {
+		long[i] = 'a'
+	}
+	for _, bad := range []string{"", "has space", "sl/ash", "new\nline", string(long), "ü"} {
+		if err := ValidateSceneName(bad); err == nil {
+			t.Errorf("ValidateSceneName(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRegistryBuildAndRouting(t *testing.T) {
+	st := stats.New()
+	reg := NewRegistry()
+	city, err := reg.Build(SceneConfig{
+		Name: "city", Source: testStore(t, 4, 1), Levels: 3, Shards: 4, Stats: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	park, err := reg.Build(SceneConfig{
+		Name: "park", Source: testStore(t, 2, 2), Levels: 3, Shards: 1, Stats: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if reg.Len() != 2 {
+		t.Fatalf("Len = %d", reg.Len())
+	}
+	if got := reg.Default(); got != city {
+		t.Fatalf("Default = %v, want first-added scene", got)
+	}
+	if sc, ok := reg.Get(""); !ok || sc != city {
+		t.Fatal(`Get("") did not resolve to the default scene`)
+	}
+	if sc, ok := reg.Get("park"); !ok || sc != park {
+		t.Fatal(`Get("park") failed`)
+	}
+	if _, ok := reg.Get("nope"); ok {
+		t.Fatal("unknown scene resolved")
+	}
+	if names := reg.Names(); len(names) != 2 || names[0] != "city" || names[1] != "park" {
+		t.Fatalf("Names = %v", names)
+	}
+
+	// Duplicate and invalid names are rejected.
+	if _, err := reg.Build(SceneConfig{Name: "city", Source: city.Source}); err == nil {
+		t.Fatal("duplicate scene accepted")
+	}
+	if _, err := reg.Build(SceneConfig{Name: "bad name", Source: city.Source}); err == nil {
+		t.Fatal("invalid name accepted")
+	}
+	if _, err := reg.Build(SceneConfig{Name: "nosrc"}); err == nil {
+		t.Fatal("nil source accepted")
+	}
+
+	// A scene's requests land in its own stats breakdown.
+	sess := retrieval.NewSession(park.Server)
+	sess.Retrieve([]retrieval.SubQuery{{Region: park.Source.Bounds().XY(), WMin: 0, WMax: 1}})
+	snap := st.Snapshot()
+	if snap.Scenes["park"].Requests != 1 || snap.Scenes["park"].Coeffs == 0 {
+		t.Fatalf("park breakdown = %+v", snap.Scenes["park"])
+	}
+	if _, ok := snap.Scenes["city"]; ok {
+		t.Fatal("city recorded a request it never served")
+	}
+
+	// Each scene has an independent resume cache.
+	city.Resume.Put(1, &ResumeEntry{})
+	park.Resume.Put(2, &ResumeEntry{})
+	if reg.ResumeLen() != 2 {
+		t.Fatalf("ResumeLen = %d", reg.ResumeLen())
+	}
+	if _, ok := park.Resume.Take(1); ok {
+		t.Fatal("park resumed a city token")
+	}
+	reg.SetResumeCache(0, time.Minute) // disables resumption everywhere
+	city.Resume.Put(3, &ResumeEntry{})
+	if reg.ResumeLen() != 0 {
+		t.Fatalf("ResumeLen after disable = %d", reg.ResumeLen())
+	}
+}
+
+// TestResumeCacheBounds pins the cache's capacity and TTL behavior.
+func TestResumeCacheBounds(t *testing.T) {
+	entry := func() *ResumeEntry { return &ResumeEntry{} }
+
+	c := NewResumeCache(2, time.Minute)
+	c.Put(1, entry())
+	c.Put(2, entry())
+	c.Put(3, entry()) // evicts token 1 (oldest)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Take(1); ok {
+		t.Fatal("evicted token still resumable")
+	}
+	if _, ok := c.Take(3); !ok {
+		t.Fatal("fresh token not resumable")
+	}
+	if _, ok := c.Take(3); ok {
+		t.Fatal("token resumable twice")
+	}
+
+	// TTL expiry.
+	c = NewResumeCache(2, 10*time.Millisecond)
+	c.Put(7, entry())
+	time.Sleep(20 * time.Millisecond)
+	if _, ok := c.Take(7); ok {
+		t.Fatal("expired session resumed")
+	}
+
+	// Disabled cache, zero tokens, nil receiver.
+	c = NewResumeCache(0, time.Minute)
+	c.Put(9, entry())
+	if c.Len() != 0 {
+		t.Fatal("disabled cache stored an entry")
+	}
+	c.Put(0, entry())
+	var nilCache *ResumeCache
+	nilCache.Put(1, entry())
+	if _, ok := nilCache.Take(1); ok || nilCache.Len() != 0 {
+		t.Fatal("nil cache misbehaved")
+	}
+}

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/retrieval"
+)
+
+// Resume-cache defaults a Registry gives each scene; override with
+// Registry.SetResumeCache.
+const (
+	DefaultResumeCapacity = 1024
+	DefaultResumeTTL      = 2 * time.Minute
+)
+
+// ResumeEntry is the state of a recently closed session, held so a
+// reconnecting client can continue incremental retrieval instead of
+// re-fetching its whole window. Seq counts the responses sent over the
+// session's lifetime; LastIDs are the deliveries of response Seq, the
+// candidates a resume handshake may roll back when the client never
+// applied that final frame.
+type ResumeEntry struct {
+	Session *retrieval.Session
+	Seq     int64
+	LastIDs []int64
+	expires time.Time
+}
+
+// ResumeCache is a bounded TTL cache of closed sessions keyed by token.
+// Each scene owns one: a token minted while a client was attached to
+// scene A can only resume scene A's delivered-set. Put and Take are
+// mutex-guarded; both run off the request hot path (connection teardown
+// and handshake respectively).
+type ResumeCache struct {
+	mu       sync.Mutex
+	capacity int
+	ttl      time.Duration
+	entries  map[uint64]*ResumeEntry
+	order    []uint64 // insertion (≈ close-time) order for eviction
+}
+
+// NewResumeCache creates a cache holding at most capacity sessions
+// (0 disables resumption) for at most ttl.
+func NewResumeCache(capacity int, ttl time.Duration) *ResumeCache {
+	return &ResumeCache{
+		capacity: capacity,
+		ttl:      ttl,
+		entries:  make(map[uint64]*ResumeEntry),
+	}
+}
+
+// Put stashes a closed session. With capacity 0 (or a zero token) the
+// entry is dropped.
+func (c *ResumeCache) Put(token uint64, e *ResumeEntry) {
+	if c == nil || c.capacity <= 0 || token == 0 {
+		return
+	}
+	e.expires = time.Now().Add(c.ttl)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Evict expired entries first, then the oldest live one if still full.
+	// order may hold tokens already consumed by Take; skip them.
+	for len(c.order) > 0 {
+		t := c.order[0]
+		old, ok := c.entries[t]
+		if ok && time.Now().Before(old.expires) && len(c.entries) < c.capacity {
+			break
+		}
+		c.order = c.order[1:]
+		delete(c.entries, t)
+	}
+	c.entries[token] = e
+	c.order = append(c.order, token)
+}
+
+// Take removes and returns the session for token, if present and fresh.
+func (c *ResumeCache) Take(token uint64) (*ResumeEntry, bool) {
+	if c == nil || token == 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[token]
+	if !ok {
+		return nil, false
+	}
+	delete(c.entries, token)
+	if time.Now().After(e.expires) {
+		return nil, false
+	}
+	return e, true
+}
+
+// Len reports the number of cached sessions (expired entries included
+// until evicted).
+func (c *ResumeCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

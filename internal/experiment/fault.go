@@ -27,6 +27,7 @@ type FaultSpec struct {
 	Objects int // dataset size (default 40)
 	Levels  int // subdivision depth (default 3)
 	Steps   int // tour length (default 120)
+	Shards  int // index shard count (≤ 1 = unsharded MotionAware)
 
 	DropMeanBytes  int64 // mean traffic between connection drops (default 16 KB)
 	CorruptBytes   int64 // mean read bytes between bit flips (default 12 KB)
@@ -57,7 +58,10 @@ func RunFault(spec FaultSpec, w io.Writer) error {
 	spec = spec.fill()
 
 	d := workload.Generate(workload.Spec{NumObjects: spec.Objects, Levels: spec.Levels, Seed: spec.Seed + 5})
-	idx := index.NewMotionAware(d.Store, index.XYW, rtree.Config{})
+	var idx index.Index = index.NewMotionAware(d.Store, index.XYW, rtree.Config{})
+	if spec.Shards > 1 {
+		idx = index.NewSharded(d.Store, index.XYW, index.ShardedConfig{Shards: spec.Shards})
+	}
 	stServer := stats.New()
 	srv := proto.NewServer(retrieval.NewServer(d.Store, idx), d.Spec.Levels, nil)
 	srv.SetStats(stServer)

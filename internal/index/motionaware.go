@@ -1,6 +1,8 @@
 package index
 
 import (
+	"slices"
+
 	"repro/internal/rtree"
 )
 
@@ -11,31 +13,30 @@ import (
 // intersects R with value in band — the minimal sufficient set — with no
 // neighbor-expansion re-query.
 type MotionAware struct {
-	store  *Store
+	src    CoefficientSource
 	layout Layout
 	tree   *rtree.Tree
 }
 
-// NewMotionAware builds the index over every coefficient in the store.
-// A zero-valued cfg.Dims is filled in from the layout.
-func NewMotionAware(store *Store, layout Layout, cfg rtree.Config) *MotionAware {
+// NewMotionAware builds the index over every coefficient in the source
+// (global ids are dense, so the source is enumerated directly). A
+// zero-valued cfg.Dims is filled in from the layout.
+func NewMotionAware(src CoefficientSource, layout Layout, cfg rtree.Config) *MotionAware {
 	if cfg.Dims == 0 {
 		cfg = rtree.DefaultConfig(layout.Dims())
 	}
-	items := make([]rtree.Item, 0, store.NumCoeffs())
-	for _, d := range store.Objects {
-		for i := range d.Coeffs {
-			c := &d.Coeffs[i]
-			items = append(items, rtree.Item{
-				Rect: layout.supportRect(c),
-				Data: store.ID(c.Object, c.Vertex),
-			})
-		}
+	total := src.NumCoeffs()
+	items := make([]rtree.Item, 0, total)
+	for id := int64(0); id < total; id++ {
+		items = append(items, rtree.Item{
+			Rect: layout.supportRect(src.Coeff(id)),
+			Data: id,
+		})
 	}
 	// The coefficient set is static, so STR bulk loading builds the tree
 	// in seconds where repeated R* insertion takes minutes at the paper's
 	// dataset sizes, with equal-or-better query I/O.
-	return &MotionAware{store: store, layout: layout, tree: rtree.BulkLoad(cfg, items)}
+	return &MotionAware{src: src, layout: layout, tree: rtree.BulkLoad(cfg, items)}
 }
 
 // Name identifies the access method in experiment output.
@@ -48,32 +49,38 @@ func (m *MotionAware) Len() int { return m.tree.Len() }
 func (m *MotionAware) Tree() *rtree.Tree { return m.tree }
 
 // Search returns the global ids of all coefficients whose support region
-// intersects the query region with value in [WMin, WMax], plus the node
-// I/O spent. It is safe for any number of concurrent callers as long as
-// no mutation (Insert/Delete) runs — see the Index contract.
+// intersects the query region with value in [WMin, WMax] — ascending, per
+// the Index determinism contract — plus the node I/O spent. It is safe
+// for any number of concurrent callers as long as no mutation
+// (Insert/Delete) runs — see the Index contract.
 func (m *MotionAware) Search(q Query) ([]int64, int64) {
+	qr, ok := m.layout.queryRect(q)
+	if !ok {
+		return nil, 0
+	}
 	var ids []int64
-	io := m.tree.SearchCounted(m.layout.queryRect(q), func(_ rtree.Rect, data int64) bool {
+	io := m.tree.SearchCounted(qr, func(_ rtree.Rect, data int64) bool {
 		ids = append(ids, data)
 		return true
 	})
+	slices.Sort(ids)
 	return ids, io
 }
 
-// Insert indexes the store coefficient with the given global id (e.g.
+// Insert indexes the source coefficient with the given global id (e.g.
 // after a background update changed its support region or value —
-// Delete, mutate the store, Insert). Not safe concurrently with Search;
+// Delete, mutate the source, Insert). Not safe concurrently with Search;
 // wrap the index in a Concurrent to serve readers across updates.
 func (m *MotionAware) Insert(id int64) {
-	c := m.store.Coeff(id)
+	c := m.src.Coeff(id)
 	m.tree.Insert(m.layout.supportRect(c), id)
 }
 
 // Delete removes the coefficient with the given global id from the
 // index, reporting whether it was present. The coefficient's current
-// store state must match its indexed rectangle (delete before mutating
-// the store). Not safe concurrently with Search.
+// source state must match its indexed rectangle (delete before mutating
+// the source). Not safe concurrently with Search.
 func (m *MotionAware) Delete(id int64) bool {
-	c := m.store.Coeff(id)
+	c := m.src.Coeff(id)
 	return m.tree.Delete(m.layout.supportRect(c), id)
 }

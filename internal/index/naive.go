@@ -1,6 +1,8 @@
 package index
 
 import (
+	"slices"
+
 	"repro/internal/geom"
 	"repro/internal/rtree"
 )
@@ -15,14 +17,16 @@ import (
 // neighbors. The double traversal over an enlarged region is what costs
 // it the extra I/O reported in Figures 12–13.
 type Naive struct {
-	store  *Store
+	store  CoefficientSource
 	layout Layout
 	tree   *rtree.Tree
 }
 
 // NewNaive builds the naive point index. It materializes the per-object
 // neighbor lists (the "additional information" §VI says this method must
-// store), so the store's final meshes must still be present.
+// store), so the store's final meshes must still be present. The concrete
+// Store is required here (not a CoefficientSource): only the slab can run
+// the EnsureNeighbors build step.
 func NewNaive(store *Store, layout Layout, cfg rtree.Config) *Naive {
 	if cfg.Dims == 0 {
 		cfg = rtree.DefaultConfig(layout.Dims())
@@ -52,9 +56,13 @@ func (n *Naive) Tree() *rtree.Tree { return n.tree }
 
 // Search runs the two-phase naive retrieval and returns the union of
 // in-window coefficients and their connected neighbors (within the value
-// band), plus the total node I/O of both traversals.
+// band) in ascending id order, plus the total node I/O of both
+// traversals.
 func (n *Naive) Search(q Query) ([]int64, int64) {
-	qr := n.layout.queryRect(q)
+	qr, qok := n.layout.queryRect(q)
+	if !qok {
+		return nil, 0
+	}
 	var phase1 []int64
 	io := n.tree.SearchCounted(qr, func(_ rtree.Rect, data int64) bool {
 		phase1 = append(phase1, data)
@@ -93,12 +101,21 @@ func (n *Naive) Search(q Query) ([]int64, int64) {
 		inWindow[id] = true
 	}
 	ids := append([]int64(nil), phase1...)
-	io += n.tree.SearchCounted(n.layout.queryRect(extQuery), func(_ rtree.Rect, data int64) bool {
+	// The extended region grows phase 1's valid window, so it can only be
+	// valid too; searching it unconditionally would repeat the inverted-
+	// rectangle hazard queryRect guards against.
+	extRect, ok := n.layout.queryRect(extQuery)
+	if !ok {
+		slices.Sort(ids)
+		return ids, io
+	}
+	io += n.tree.SearchCounted(extRect, func(_ rtree.Rect, data int64) bool {
 		if wanted[data] && !inWindow[data] {
 			ids = append(ids, data)
 			inWindow[data] = true
 		}
 		return true
 	})
+	slices.Sort(ids)
 	return ids, io
 }

@@ -1,6 +1,8 @@
 package index
 
 import (
+	"slices"
+
 	"repro/internal/geom"
 	"repro/internal/rtree"
 )
@@ -40,8 +42,12 @@ func (o *ObjectIndex) Len() int { return o.tree.Len() }
 func (o *ObjectIndex) Tree() *rtree.Tree { return o.tree }
 
 // SearchObjects returns the ids of objects whose bounding boxes intersect
-// the region, plus node I/O.
+// the region, plus node I/O. An empty (inverted) region matches nothing —
+// rtree.Box would panic on it.
 func (o *ObjectIndex) SearchObjects(region geom.Rect2) ([]int32, int64) {
+	if region.Empty() {
+		return nil, 0
+	}
 	var ids []int32
 	io := o.tree.SearchCounted(
 		rtree.Box(region.Min.X, region.Max.X, region.Min.Y, region.Max.Y),
@@ -53,8 +59,9 @@ func (o *ObjectIndex) SearchObjects(region geom.Rect2) ([]int32, int64) {
 }
 
 // Search adapts the object index to the Index interface: it expands each
-// hit object into all of its coefficient ids, ignoring the value band
-// (the baseline has no notion of resolution).
+// hit object into all of its coefficient ids (ascending, per the Index
+// determinism contract), ignoring the value band (the baseline has no
+// notion of resolution).
 func (o *ObjectIndex) Search(q Query) ([]int64, int64) {
 	objs, io := o.SearchObjects(q.Region)
 	var ids []int64
@@ -64,5 +71,6 @@ func (o *ObjectIndex) Search(q Query) ([]int64, int64) {
 			ids = append(ids, o.store.ID(obj, int32(v)))
 		}
 	}
+	slices.Sort(ids)
 	return ids, io
 }

@@ -1,0 +1,355 @@
+package index
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+
+	"repro/internal/rtree"
+	"repro/internal/stats"
+)
+
+// ShardedConfig parameterizes a Sharded index.
+type ShardedConfig struct {
+	// Shards is the number of grid cells K the scene's XY bounds are
+	// partitioned into (≤ 0 → 1). The grid is the factor pair r×c = K
+	// closest to square, so K = 7 degrades to a 1×7 slab partition.
+	Shards int
+	// Workers bounds the pool fanning one Search out across shards
+	// (0 → min(GOMAXPROCS, 8); 1 runs shard searches serially).
+	Workers int
+	// Tree configures the per-shard R*-trees. Zero Dims is filled in from
+	// the layout, as everywhere else in this package.
+	Tree rtree.Config
+}
+
+// shard is one grid cell's index: its own R*-tree guarded by its own
+// RWMutex, so a mutation drains readers of this cell only while searches
+// over the rest of the scene proceed untouched.
+type shard struct {
+	mu   sync.RWMutex
+	tree *rtree.Tree
+	// bounds is the conservative content MBR: the union of every rectangle
+	// ever inserted. It grows on Insert and deliberately never shrinks on
+	// Delete, so the overlap test can only err toward searching a shard —
+	// never toward skipping one that holds a matching coefficient.
+	bounds   rtree.Rect
+	nonempty bool
+}
+
+// grow widens the shard's content MBR to cover r. Callers hold the write
+// lock.
+func (s *shard) grow(r rtree.Rect, dims int) {
+	if !s.nonempty {
+		s.bounds = r
+		s.nonempty = true
+		return
+	}
+	for d := 0; d < dims; d++ {
+		if r.Lo[d] < s.bounds.Lo[d] {
+			s.bounds.Lo[d] = r.Lo[d]
+		}
+		if r.Hi[d] > s.bounds.Hi[d] {
+			s.bounds.Hi[d] = r.Hi[d]
+		}
+	}
+}
+
+// overlaps reports whether the query rectangle can intersect anything in
+// this shard. Callers hold at least the read lock.
+func (s *shard) overlaps(q *rtree.Rect, dims int) bool {
+	if !s.nonempty {
+		return false
+	}
+	for d := 0; d < dims; d++ {
+		if q.Lo[d] > s.bounds.Hi[d] || s.bounds.Lo[d] > q.Hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Sharded is the spatially partitioned motion-aware index: the scene's XY
+// bounds are cut into a K-cell grid, each cell holding its own R*-tree
+// over the coefficients whose vertex position falls inside it, guarded by
+// its own RWMutex. Search fans sub-queries out to the overlapping shards
+// on a bounded worker pool and merges the hits into ascending id order,
+// so responses are byte-identical to the serial MotionAware oracle
+// (support regions may straddle cell borders; the per-shard content MBRs
+// keep the fan-out exact). Insert/Delete lock only the owning shard, so
+// a background update drains readers of one grid cell instead of the
+// world — the scaling property the coarse Concurrent wrapper lacks.
+//
+// Concurrency: Search/Len are safe concurrently with Insert/Delete and
+// with each other. A multi-shard Search is atomic per shard, not across
+// shards (exactly as a batch of Concurrent.Search calls would be); tests
+// comparing against a serial oracle must quiesce writers first.
+type Sharded struct {
+	src    CoefficientSource
+	layout Layout
+	shards []*shard
+	rows   int
+	cols   int
+	// Grid geometry over the source's XY bounds at build time.
+	x0, y0 float64
+	dx, dy float64
+
+	workers int
+	st      *stats.Stats
+}
+
+// NewSharded partitions the source into cfg.Shards grid cells and bulk
+// loads one R*-tree per cell. K = 1 is the degenerate single-shard case:
+// the same tree a MotionAware build produces, behind one RWMutex — an
+// in-family replacement for Concurrent(MotionAware).
+func NewSharded(src CoefficientSource, layout Layout, cfg ShardedConfig) *Sharded {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	tcfg := cfg.Tree
+	if tcfg.Dims == 0 {
+		tcfg = rtree.DefaultConfig(layout.Dims())
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > 8 {
+			workers = 8
+		}
+	}
+	rows, cols := gridShape(cfg.Shards)
+	b := src.Bounds().XY()
+	s := &Sharded{
+		src:     src,
+		layout:  layout,
+		shards:  make([]*shard, cfg.Shards),
+		rows:    rows,
+		cols:    cols,
+		x0:      b.Min.X,
+		y0:      b.Min.Y,
+		dx:      b.Width() / float64(cols),
+		dy:      b.Height() / float64(rows),
+		workers: workers,
+	}
+	dims := tcfg.Dims
+	total := src.NumCoeffs()
+	items := make([][]rtree.Item, cfg.Shards)
+	for id := int64(0); id < total; id++ {
+		c := src.Coeff(id)
+		k := s.shardOf(c.Pos.X, c.Pos.Y)
+		items[k] = append(items[k], rtree.Item{Rect: layout.supportRect(c), Data: id})
+	}
+	for k := range s.shards {
+		sh := &shard{tree: rtree.BulkLoad(tcfg, items[k])}
+		for i := range items[k] {
+			sh.grow(items[k][i].Rect, dims)
+		}
+		s.shards[k] = sh
+	}
+	return s
+}
+
+// gridShape returns the factor pair rows×cols = k with the smallest
+// aspect skew, cols ≥ rows (7 → 1×7, 16 → 4×4).
+func gridShape(k int) (rows, cols int) {
+	rows = 1
+	for r := 1; r*r <= k; r++ {
+		if k%r == 0 {
+			rows = r
+		}
+	}
+	return rows, k / rows
+}
+
+// shardOf maps a vertex position to its owning shard. Positions on (or
+// outside) the partition's edge clamp into the border cells, so every
+// coefficient — including ones appearing beyond the build-time bounds
+// after a mutation — has exactly one owner.
+func (s *Sharded) shardOf(x, y float64) int {
+	col, row := 0, 0
+	if s.dx > 0 {
+		col = int((x - s.x0) / s.dx)
+	}
+	if s.dy > 0 {
+		row = int((y - s.y0) / s.dy)
+	}
+	if col < 0 {
+		col = 0
+	}
+	if col >= s.cols {
+		col = s.cols - 1
+	}
+	if row < 0 {
+		row = 0
+	}
+	if row >= s.rows {
+		row = s.rows - 1
+	}
+	return row*s.cols + col
+}
+
+// SetStats wires the per-shard search counters into a collector (nil
+// disables recording). Call before serving; not safe mid-flight.
+func (s *Sharded) SetStats(st *stats.Stats) {
+	s.st = st
+	st.EnsureShards(len(s.shards))
+}
+
+// SetParallelism bounds the shard fan-out pool; 1 (or less) searches the
+// shards serially on the calling goroutine. Parallelism never changes
+// results: the merge sorts into ascending id order either way. Not safe
+// to call while searches are in flight.
+func (s *Sharded) SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.workers = n
+}
+
+// NumShards returns the shard count K.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Name identifies the access method in experiment output.
+func (s *Sharded) Name() string {
+	return fmt.Sprintf("sharded(%dx%d %s)", s.rows, s.cols, "motion-aware("+s.layout.String()+")")
+}
+
+// Len returns the number of indexed coefficients across all shards.
+func (s *Sharded) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += sh.tree.Len()
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// ShardLens returns the per-shard coefficient counts (observability).
+func (s *Sharded) ShardLens() []int {
+	out := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		out[i] = sh.tree.Len()
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// shardHit is one shard's raw search output.
+type shardHit struct {
+	ids []int64
+	io  int64
+}
+
+// Search answers the window query by fanning it out to every shard whose
+// content MBR overlaps the query rectangle, each searched under that
+// shard's read lock on the bounded worker pool, then merging the hits
+// into ascending id order (the Index determinism contract — byte-
+// identical to the serial MotionAware oracle). The reported I/O is the
+// sum over the searched shards' node reads.
+func (s *Sharded) Search(q Query) ([]int64, int64) {
+	qr, ok := s.layout.queryRect(q)
+	if !ok {
+		return nil, 0
+	}
+	dims := s.layout.Dims()
+	// Pre-filter under read locks: the overlap test is a few float
+	// compares, not worth a pool dispatch per non-overlapping shard.
+	cand := make([]int, 0, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		hit := sh.overlaps(&qr, dims)
+		sh.mu.RUnlock()
+		if hit {
+			cand = append(cand, i)
+		}
+	}
+	results := make([]shardHit, len(cand))
+	workers := s.workers
+	if workers > len(cand) {
+		workers = len(cand)
+	}
+	if workers <= 1 {
+		for j, i := range cand {
+			s.searchShard(i, &qr, &results[j])
+		}
+	} else {
+		work := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range work {
+					s.searchShard(cand[j], &qr, &results[j])
+				}
+			}()
+		}
+		for j := range results {
+			work <- j
+		}
+		close(work)
+		wg.Wait()
+	}
+	var total int
+	var io int64
+	for j := range results {
+		total += len(results[j].ids)
+		io += results[j].io
+	}
+	ids := make([]int64, 0, total)
+	for j := range results {
+		ids = append(ids, results[j].ids...)
+	}
+	if len(ids) == 0 {
+		ids = nil
+	}
+	slices.Sort(ids)
+	return ids, io
+}
+
+// searchShard runs the query against one shard under its read lock.
+func (s *Sharded) searchShard(i int, qr *rtree.Rect, out *shardHit) {
+	sh := s.shards[i]
+	sh.mu.RLock()
+	out.io = sh.tree.SearchCounted(*qr, func(_ rtree.Rect, data int64) bool {
+		out.ids = append(out.ids, data)
+		return true
+	})
+	sh.mu.RUnlock()
+	s.st.RecordShard(i, out.io)
+}
+
+// Insert indexes the source coefficient with the given global id,
+// locking only its owning shard: readers and writers of every other grid
+// cell proceed undisturbed.
+func (s *Sharded) Insert(id int64) {
+	c := s.src.Coeff(id)
+	r := s.layout.supportRect(c)
+	sh := s.shards[s.shardOf(c.Pos.X, c.Pos.Y)]
+	sh.mu.Lock()
+	sh.tree.Insert(r, id)
+	sh.grow(r, s.layout.Dims())
+	sh.mu.Unlock()
+}
+
+// Delete removes the coefficient with the given global id from its
+// owning shard, reporting whether it was present. As with MotionAware,
+// the coefficient's current source state must match its indexed
+// rectangle (delete before mutating the source); the owning-shard rule
+// depends on it — a position mutated before the Delete would route the
+// removal to the wrong grid cell.
+func (s *Sharded) Delete(id int64) bool {
+	c := s.src.Coeff(id)
+	r := s.layout.supportRect(c)
+	sh := s.shards[s.shardOf(c.Pos.X, c.Pos.Y)]
+	sh.mu.Lock()
+	ok := sh.tree.Delete(r, id)
+	sh.mu.Unlock()
+	return ok
+}
+
+// Sharded is a drop-in Mutable: Insert/Delete are internally locked.
+var _ Mutable = (*Sharded)(nil)

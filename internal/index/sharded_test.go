@@ -1,0 +1,270 @@
+package index
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/stats"
+)
+
+// randQuery draws a query over the store's space, mixing generic windows
+// with the degenerate shapes that have bitten queryRect before:
+// point-sized regions and point value bands.
+func randQuery(rng *rand.Rand, b geom.Rect3) Query {
+	q := Query{WMin: 0, WMax: rng.Float64()}
+	switch rng.Intn(4) {
+	case 0: // point-sized window
+		p := geom.V2(
+			b.Min.X+rng.Float64()*(b.Max.X-b.Min.X),
+			b.Min.Y+rng.Float64()*(b.Max.Y-b.Min.Y))
+		q.Region = geom.Rect2{Min: p, Max: p}
+	case 1: // thin sliver
+		x := b.Min.X + rng.Float64()*(b.Max.X-b.Min.X)
+		q.Region = geom.Rect2{
+			Min: geom.V2(x, b.Min.Y),
+			Max: geom.V2(x+1e-6, b.Max.Y)}
+	default: // generic window
+		x0 := b.Min.X + rng.Float64()*(b.Max.X-b.Min.X)
+		y0 := b.Min.Y + rng.Float64()*(b.Max.Y-b.Min.Y)
+		q.Region = geom.Rect2{
+			Min: geom.V2(x0, y0),
+			Max: geom.V2(x0+rng.Float64()*400, y0+rng.Float64()*400)}
+	}
+	if rng.Intn(8) == 0 {
+		q.WMin = q.WMax // point value band
+	}
+	q.ZMin, q.ZMax = 0, 100
+	return q
+}
+
+func equalIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShardedMatchesMotionAware is the property pinning the tentpole:
+// for every shard count, Sharded returns the byte-identical id stream the
+// serial MotionAware oracle returns — across random queries interleaved
+// with Insert/Delete churn applied to both sides. (I/O counts are NOT
+// compared: a partitioned index legitimately reads different node sets.)
+func TestShardedMatchesMotionAware(t *testing.T) {
+	for _, layout := range []Layout{XYW, XYZW} {
+		for _, k := range []int{1, 2, 7, 16} {
+			store := testStore(t, 12, 42)
+			oracle := NewMotionAware(store, layout, rtree.Config{})
+			sharded := NewSharded(store, layout, ShardedConfig{Shards: k})
+			if sharded.NumShards() != k {
+				t.Fatalf("NumShards = %d, want %d", sharded.NumShards(), k)
+			}
+			if sharded.Len() != oracle.Len() {
+				t.Fatalf("k=%d: Len %d != oracle %d", k, sharded.Len(), oracle.Len())
+			}
+
+			rng := rand.New(rand.NewSource(int64(k) * 7))
+			bounds := store.Bounds()
+			gone := make(map[int64]bool)
+			for step := 0; step < 300; step++ {
+				switch rng.Intn(5) {
+				case 0: // delete a random live coefficient from both indexes
+					id := rng.Int63n(store.NumCoeffs())
+					if !gone[id] {
+						if !oracle.Delete(id) || !sharded.Delete(id) {
+							t.Fatalf("k=%d step %d: delete %d not found", k, step, id)
+						}
+						gone[id] = true
+					}
+				case 1: // re-insert a previously deleted coefficient
+					for id := range gone {
+						oracle.Insert(id)
+						sharded.Insert(id)
+						delete(gone, id)
+						break
+					}
+				default:
+					q := randQuery(rng, bounds)
+					want, _ := oracle.Search(q)
+					got, _ := sharded.Search(q)
+					if !equalIDs(got, want) {
+						t.Fatalf("layout=%v k=%d step %d: %d ids != oracle %d ids (query %+v)",
+							layout, k, step, len(got), len(want), q)
+					}
+				}
+			}
+			if sharded.Len() != oracle.Len() {
+				t.Fatalf("k=%d after churn: Len %d != oracle %d", k, sharded.Len(), oracle.Len())
+			}
+		}
+	}
+}
+
+// TestShardedSerialAndParallelAgree pins that the worker-pool fan-out is
+// invisible in the results.
+func TestShardedSerialAndParallelAgree(t *testing.T) {
+	store := testStore(t, 10, 7)
+	idx := NewSharded(store, XYW, ShardedConfig{Shards: 8})
+	rng := rand.New(rand.NewSource(9))
+	bounds := store.Bounds()
+	for i := 0; i < 50; i++ {
+		q := randQuery(rng, bounds)
+		idx.SetParallelism(8)
+		par, pio := idx.Search(q)
+		idx.SetParallelism(1)
+		ser, sio := idx.Search(q)
+		if !equalIDs(par, ser) || pio != sio {
+			t.Fatalf("parallel (%d ids, io %d) != serial (%d ids, io %d)",
+				len(par), pio, len(ser), sio)
+		}
+	}
+}
+
+// TestShardedConcurrentChurn races readers against per-shard writers; the
+// race detector is the assertion, plus every search staying a subset of
+// the full id space and the final Len reconciling.
+func TestShardedConcurrentChurn(t *testing.T) {
+	store := testStore(t, 10, 11)
+	idx := NewSharded(store, XYW, ShardedConfig{Shards: 8})
+	before := idx.Len()
+	bounds := store.Bounds()
+	stop := make(chan struct{})
+	var readers, writers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(seed int64) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := randQuery(rng, bounds)
+				ids, _ := idx.Search(q)
+				for _, id := range ids {
+					if id < 0 || id >= store.NumCoeffs() {
+						panic("id out of range")
+					}
+				}
+			}
+		}(int64(r))
+	}
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(seed int64) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				id := rng.Int63n(store.NumCoeffs())
+				if idx.Delete(id) {
+					idx.Insert(id)
+				}
+			}
+		}(int64(100 + w))
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if idx.Len() != before {
+		t.Fatalf("Len %d != %d after delete/insert churn", idx.Len(), before)
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	cases := map[int][2]int{1: {1, 1}, 2: {1, 2}, 4: {2, 2}, 6: {2, 3}, 7: {1, 7}, 12: {3, 4}, 16: {4, 4}}
+	for k, want := range cases {
+		r, c := gridShape(k)
+		if r != want[0] || c != want[1] {
+			t.Errorf("gridShape(%d) = %d×%d, want %d×%d", k, r, c, want[0], want[1])
+		}
+		if r*c != k {
+			t.Errorf("gridShape(%d) = %d×%d does not multiply back", k, r, c)
+		}
+	}
+}
+
+func TestShardedStatsWiring(t *testing.T) {
+	store := testStore(t, 6, 13)
+	idx := NewSharded(store, XYW, ShardedConfig{Shards: 4})
+	st := stats.New()
+	idx.SetStats(st)
+	q := Query{Region: store.Bounds().XY(), WMin: 0, WMax: 1}
+	ids, io := idx.Search(q)
+	if len(ids) == 0 {
+		t.Fatal("full-space query returned nothing")
+	}
+	snap := st.Snapshot()
+	if len(snap.Shards) != 4 {
+		t.Fatalf("shard table = %d entries", len(snap.Shards))
+	}
+	var searches, sumIO int64
+	for _, sh := range snap.Shards {
+		searches += sh.Searches
+		sumIO += sh.IO
+	}
+	if searches == 0 || sumIO != io {
+		t.Fatalf("recorded %d searches io %d, Search reported io %d", searches, sumIO, io)
+	}
+	if lens := idx.ShardLens(); len(lens) != 4 {
+		t.Fatalf("ShardLens = %v", lens)
+	}
+}
+
+// TestQueryRectDegenerateWindows is the regression test for the
+// queryRect fix: a point-sized window must still return every coefficient
+// whose support contains the point (closed-interval semantics), while a
+// provably empty (inverted) window must return nothing instead of the
+// spurious hits an inverted rtree.Rect used to produce.
+func TestQueryRectDegenerateWindows(t *testing.T) {
+	store := testStore(t, 6, 17)
+	for _, idx := range []Index{
+		NewMotionAware(store, XYW, rtree.Config{}),
+		NewSharded(store, XYW, ShardedConfig{Shards: 4}),
+	} {
+		// A point at a known coefficient's support center must hit it.
+		c := store.Coeff(0)
+		p := c.Support.XY().Min
+		q := Query{Region: geom.Rect2{Min: p, Max: p}, WMin: 0, WMax: 1}
+		ids, _ := idx.Search(q)
+		found := false
+		for _, id := range ids {
+			if id == 0 {
+				found = true
+			}
+			s := store.Coeff(id).Support.XY()
+			if p.X < s.Min.X || p.X > s.Max.X || p.Y < s.Min.Y || p.Y > s.Max.Y {
+				t.Fatalf("%s: hit %d whose support %v excludes the point %v", idx.Name(), id, s, p)
+			}
+		}
+		if !found {
+			t.Fatalf("%s: point window at coefficient 0's support corner missed it", idx.Name())
+		}
+
+		// Inverted region: provably empty, must not search.
+		inv := Query{Region: geom.Rect2{Min: geom.V2(900, 900), Max: geom.V2(100, 100)}, WMin: 0, WMax: 1}
+		if ids, io := idx.Search(inv); len(ids) != 0 || io != 0 {
+			t.Fatalf("%s: inverted window returned %d ids, io %d", idx.Name(), len(ids), io)
+		}
+		// Inverted value band: likewise.
+		invW := Query{Region: store.Bounds().XY(), WMin: 1, WMax: 0}
+		if ids, _ := idx.Search(invW); len(ids) != 0 {
+			t.Fatalf("%s: inverted value band returned %d ids", idx.Name(), len(ids))
+		}
+	}
+
+	// The XYZW layout additionally rejects inverted height bands.
+	ma := NewMotionAware(store, XYZW, rtree.Config{})
+	invZ := Query{Region: store.Bounds().XY(), ZMin: 50, ZMax: -50, WMin: 0, WMax: 1}
+	if ids, _ := ma.Search(invZ); len(ids) != 0 {
+		t.Fatalf("inverted height band returned %d ids", len(ids))
+	}
+}

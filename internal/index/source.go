@@ -1,0 +1,46 @@
+package index
+
+import (
+	"repro/internal/geom"
+	"repro/internal/wavelet"
+)
+
+// CoefficientSource is the storage abstraction the access methods and the
+// serving layers (retrieval, proto, engine) are written against. It is
+// extracted from the in-memory Store so the coefficient slab can be
+// swapped for other backings (disk/mmap segments, remote shards) without
+// touching the index or server code.
+//
+// Identity contract: global coefficient ids are dense — every id in
+// [0, NumCoeffs()) resolves through Coeff, and ID(c.Object, c.Vertex) == id
+// for the coefficient Coeff(id) returns. Index builders rely on this to
+// enumerate a source without knowing its layout.
+//
+// Concurrency contract: all methods must be safe for concurrent readers
+// once the source is published (the Store satisfies this after
+// construction plus any EnsureNeighbors call). Mutating a source's
+// coefficients is only legal under the owning index's write exclusion
+// (delete from the index, mutate, re-insert).
+type CoefficientSource interface {
+	// ID returns the global id of a coefficient.
+	ID(object, vertex int32) int64
+	// Coeff resolves a global id to its coefficient.
+	Coeff(id int64) *wavelet.Coefficient
+	// Neighbors returns the final-mesh neighbor vertex ids of one
+	// coefficient (the naive index's "additional information").
+	Neighbors(object, vertex int32) []int32
+	// Bounds returns the bounding box of all objects.
+	Bounds() geom.Rect3
+	// NumCoeffs returns the total coefficient count across all objects.
+	NumCoeffs() int64
+	// NumObjects returns the number of stored objects.
+	NumObjects() int
+	// BaseVerts returns the base-mesh vertex count shared by the objects
+	// (0 for an empty source); the wire handshake announces it.
+	BaseVerts() int
+	// SizeBytes returns the total serialized payload of the source.
+	SizeBytes() int64
+}
+
+// Store implements CoefficientSource; keep the compiler honest.
+var _ CoefficientSource = (*Store)(nil)

@@ -51,6 +51,15 @@ func NewStore(objects []*wavelet.Decomposition) *Store {
 // NumObjects returns the number of stored objects.
 func (s *Store) NumObjects() int { return len(s.Objects) }
 
+// BaseVerts returns the vertex count of the shared base mesh (0 for an
+// empty store). Clients need it to set up reconstructors.
+func (s *Store) BaseVerts() int {
+	if len(s.Objects) == 0 {
+		return 0
+	}
+	return s.Objects[0].Base.NumVerts()
+}
+
 // NumCoeffs returns the total coefficient count across all objects.
 func (s *Store) NumCoeffs() int64 { return s.total }
 
@@ -191,17 +200,39 @@ type Query struct {
 	WMax   float64
 }
 
-// rect converts the query into an index rectangle.
-func (l Layout) queryRect(q Query) rtree.Rect {
-	if l == XYW {
-		return rtree.FromXYW(q.Region, q.WMin, q.WMax)
+// queryRect converts the query into an index rectangle. ok is false for a
+// provably empty query — an inverted region, value band, or (for XYZW)
+// height band — which must not be searched: an inverted interval does not
+// encode "no points" in rtree.Rect, and feeding one to Search can return
+// spurious hits (intersects() only rejects on Lo > other.Hi per axis,
+// which an inverted query rectangle can fail to trigger against items it
+// does not contain). Degenerate-but-valid windows (a point-sized region,
+// or WMin == WMax) are NOT empty: closed-interval intersection must still
+// return every coefficient whose support contains the point.
+func (l Layout) queryRect(q Query) (r rtree.Rect, ok bool) {
+	if q.Region.Max.X < q.Region.Min.X || q.Region.Max.Y < q.Region.Min.Y || q.WMin > q.WMax {
+		return r, false
 	}
-	return rtree.From3D(geom.Prism(q.Region, q.ZMin, q.ZMax), q.WMin, q.WMax)
+	if l == XYW {
+		return rtree.FromXYW(q.Region, q.WMin, q.WMax), true
+	}
+	if q.ZMax < q.ZMin {
+		return r, false
+	}
+	return rtree.From3D(geom.Prism(q.Region, q.ZMin, q.ZMax), q.WMin, q.WMax), true
 }
 
-// Index is a queryable access method over a Store. Search returns the
-// global coefficient ids satisfying the query and the number of index
-// nodes (pages) read.
+// Index is a queryable access method over a CoefficientSource. Search
+// returns the global coefficient ids satisfying the query and the number
+// of index nodes (pages) read.
+//
+// Determinism contract: Search returns ids in ascending global-id order.
+// Tree traversal order is an implementation detail (it differs between a
+// bulk-loaded and an incrementally grown tree, and between shards of a
+// partitioned index); sorting pins the response bytes of every access
+// method to the query alone, so a sharded index is byte-identical to the
+// serial motion-aware oracle and cross-implementation property tests can
+// compare slices directly.
 //
 // Concurrency contract: after construction (and, for Naive, the
 // EnsureNeighbors call its constructor performs), Search must be safe

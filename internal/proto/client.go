@@ -41,6 +41,7 @@ type Client struct {
 	r     *Reader
 	w     *Writer
 	hello Hello
+	scene string // requested scene; "" accepts the server's default
 
 	planner *retrieval.Client
 	recons  map[int32]*wavelet.Reconstructor
@@ -57,18 +58,34 @@ type Client struct {
 	ServerIO      int64
 }
 
-// Dial connects to a protocol server and performs the handshake.
+// Dial connects to a protocol server and performs the handshake against
+// the server's default scene.
 func Dial(addr string, mapSpeed retrieval.MapSpeedToResolution) (*Client, error) {
+	return DialScene(addr, "", mapSpeed)
+}
+
+// DialScene connects to a protocol server and binds the session to the
+// named scene ("" accepts the default). Reconnect re-selects the same
+// scene before resuming, so the lineage never crosses scenes.
+func DialScene(addr, scene string, mapSpeed retrieval.MapSpeedToResolution) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn, mapSpeed)
+	return NewSceneClient(conn, scene, mapSpeed)
 }
 
-// NewClient performs the handshake over an established connection.
+// NewClient performs the handshake over an established connection,
+// accepting the server's default scene.
 func NewClient(conn net.Conn, mapSpeed retrieval.MapSpeedToResolution) (*Client, error) {
+	return NewSceneClient(conn, "", mapSpeed)
+}
+
+// NewSceneClient performs the handshake over an established connection
+// and binds the session to the named scene ("" accepts the default).
+func NewSceneClient(conn net.Conn, scene string, mapSpeed retrieval.MapSpeedToResolution) (*Client, error) {
 	c := &Client{
+		scene:   scene,
 		planner: retrieval.NewClient(nil, mapSpeed),
 		recons:  make(map[int32]*wavelet.Reconstructor),
 	}
@@ -90,31 +107,28 @@ func (c *Client) Reconnect(conn net.Conn) (resumed bool, err error) {
 	return c.attach(conn, true)
 }
 
-// attach performs the handshake (and resume negotiation) on conn and, on
-// success, makes it the client's connection.
+// attach performs the handshake (scene selection, then resume
+// negotiation — in that order, so a resume token is always presented to
+// the scene that minted the lineage) on conn and, on success, makes it
+// the client's connection.
 func (c *Client) attach(conn net.Conn, resume bool) (resumed bool, err error) {
 	r, w := NewReader(conn), NewWriter(conn)
-	tag, err := r.ReadTag()
+	hello, err := c.readHello(conn, r)
 	if err != nil {
-		conn.Close()
-		return false, fmt.Errorf("proto: handshake read: %w", err)
-	}
-	if tag == TagError {
-		msg, rerr := r.ReadError()
-		conn.Close()
-		if rerr != nil {
-			return false, fmt.Errorf("proto: server refused connection")
-		}
-		return false, fmt.Errorf("proto: server refused connection: %s", msg)
-	}
-	if tag != TagHello {
-		conn.Close()
-		return false, fmt.Errorf("proto: expected hello, got tag %d", tag)
-	}
-	hello, err := r.ReadHello()
-	if err != nil {
-		conn.Close()
 		return false, err
+	}
+	if c.scene != "" && hello.Scene != c.scene {
+		if err := w.WriteSceneSelect(c.scene); err != nil {
+			conn.Close()
+			return false, err
+		}
+		if hello, err = c.readHello(conn, r); err != nil {
+			return false, err
+		}
+		if hello.Scene != c.scene {
+			conn.Close()
+			return false, fmt.Errorf("proto: server bound scene %q, requested %q", hello.Scene, c.scene)
+		}
 	}
 	if resume && c.token != 0 {
 		if err := w.WriteResume(Resume{Token: c.token, AppliedSeq: c.appliedSeq}); err != nil {
@@ -159,6 +173,34 @@ func (c *Client) attach(conn net.Conn, resume bool) (resumed bool, err error) {
 	return resumed, nil
 }
 
+// readHello consumes one hello frame (or a server error refusing the
+// connection), closing conn on failure.
+func (c *Client) readHello(conn net.Conn, r *Reader) (Hello, error) {
+	tag, err := r.ReadTag()
+	if err != nil {
+		conn.Close()
+		return Hello{}, fmt.Errorf("proto: handshake read: %w", err)
+	}
+	if tag == TagError {
+		msg, rerr := r.ReadError()
+		conn.Close()
+		if rerr != nil {
+			return Hello{}, fmt.Errorf("proto: server refused connection")
+		}
+		return Hello{}, fmt.Errorf("proto: server refused connection: %s", msg)
+	}
+	if tag != TagHello {
+		conn.Close()
+		return Hello{}, fmt.Errorf("proto: expected hello, got tag %d", tag)
+	}
+	hello, err := r.ReadHello()
+	if err != nil {
+		conn.Close()
+		return Hello{}, err
+	}
+	return hello, nil
+}
+
 // resetLineage abandons the resumable session: the next frame is planned
 // from scratch (non-incremental), which re-covers anything lost in the
 // gap; re-deliveries are filtered by the fresh server session and
@@ -170,6 +212,10 @@ func (c *Client) resetLineage() {
 
 // Hello returns the dataset schema announced by the server.
 func (c *Client) Hello() Hello { return c.hello }
+
+// Scene returns the scene the session is bound to (the server's answer,
+// so a default-accepting client learns the actual name).
+func (c *Client) Scene() string { return c.hello.Scene }
 
 // Space returns the navigable data space.
 func (c *Client) Space() geom.Rect2 { return c.hello.Space }

@@ -3,6 +3,8 @@ package proto
 import (
 	"bytes"
 	"testing"
+
+	"repro/internal/engine"
 )
 
 // FuzzReader throws arbitrary bytes at every message decoder. The
@@ -40,6 +42,10 @@ func FuzzReader(f *testing.F) {
 	NewWriter(&resumeFail).WriteResumeFail("gone")
 	f.Add(resumeFail.Bytes())
 
+	var scene bytes.Buffer
+	NewWriter(&scene).WriteSceneSelect("city")
+	f.Add(scene.Bytes())
+
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
 
@@ -71,6 +77,12 @@ func FuzzReader(f *testing.F) {
 		case TagResumeFail:
 			if msg, err := r.ReadResumeFail(); err == nil && len(msg) > MaxWireErrorLen {
 				t.Fatalf("oversized resume-fail reason decoded: %d bytes", len(msg))
+			}
+		case TagScene:
+			if scene, err := r.ReadSceneSelect(); err == nil {
+				if err := engine.ValidateSceneName(scene); err != nil {
+					t.Fatalf("invalid scene name decoded: %v", err)
+				}
 			}
 		}
 	})
@@ -113,11 +125,43 @@ func FuzzReadHello(f *testing.F) {
 	f.Add(frameBody(f, func(w *Writer) error {
 		return w.WriteHello(Hello{Version: Version, Objects: 2, Levels: 3, BaseVerts: 6, Token: 42})
 	}))
+	f.Add(frameBody(f, func(w *Writer) error {
+		return w.WriteHello(Hello{Version: Version, Objects: 2, Levels: 3, BaseVerts: 6,
+			Token: 42, Scene: "city-01"})
+	}))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(bytes.NewReader(data))
-		if h, err := r.ReadHello(); err == nil && h.Version != Version {
-			t.Fatalf("foreign version %d accepted", h.Version)
+		if h, err := r.ReadHello(); err == nil {
+			if h.Version != Version {
+				t.Fatalf("foreign version %d accepted", h.Version)
+			}
+			if len(h.Scene) > engine.MaxSceneName {
+				t.Fatalf("oversized scene name decoded: %d bytes", len(h.Scene))
+			}
+		}
+	})
+}
+
+// FuzzReadSceneSelect targets the scene-select decoder: a checksummed
+// frame that binds a session to a data set, parsed before the session
+// has served anything. A decode that succeeds must yield a valid,
+// bounded scene name.
+func FuzzReadSceneSelect(f *testing.F) {
+	f.Add(frameBody(f, func(w *Writer) error {
+		return w.WriteSceneSelect("city")
+	}))
+	f.Add(frameBody(f, func(w *Writer) error {
+		return w.WriteSceneSelect("a")
+	}))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		if scene, err := r.ReadSceneSelect(); err == nil {
+			if err := engine.ValidateSceneName(scene); err != nil {
+				t.Fatalf("invalid scene name decoded: %v", err)
+			}
 		}
 	})
 }

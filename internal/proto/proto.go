@@ -27,6 +27,7 @@ import (
 	"math"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/retrieval"
 	"repro/internal/wavelet"
@@ -42,12 +43,15 @@ const (
 	TagResume     = byte(6)
 	TagResumeOK   = byte(7)
 	TagResumeFail = byte(8)
+	TagScene      = byte(9)
 )
 
 // Version is bumped on incompatible wire changes. Version 2 added CRC
 // frame trailers, the session token in Hello, the sequence number in
-// Response, and the resume exchange.
-const Version = 2
+// Response, and the resume exchange. Version 3 added the scene name to
+// Hello and the scene-select exchange (TagScene) for multi-scene
+// engines.
+const Version = 3
 
 // MaxSubQueries bounds one request; Algorithm 1 produces at most 5
 // sub-queries (overlap band + 4 difference rectangles), so anything
@@ -96,7 +100,9 @@ func SanitizeWireError(err error) string {
 // depth, base-mesh vertex count, and object count to set up
 // reconstructors, and the space bounds to navigate. Token identifies the
 // session for a later resume (zero from non-resuming peers, e.g. tests
-// that frame messages into a buffer).
+// that frame messages into a buffer). Scene names the engine scene the
+// parameters describe; a server re-sends a hello (same token) after a
+// successful scene-select exchange.
 type Hello struct {
 	Version   int32
 	Objects   int32
@@ -104,6 +110,7 @@ type Hello struct {
 	BaseVerts int32 // vertices of the shared base mesh (octahedron: 6)
 	Space     geom.Rect2
 	Token     uint64
+	Scene     string
 }
 
 // Request carries the sub-queries of one query frame together with the
@@ -223,6 +230,10 @@ func (w *Writer) str(s string) {
 
 // WriteHello sends the handshake.
 func (w *Writer) WriteHello(h Hello) error {
+	if len(h.Scene) > engine.MaxSceneName {
+		return fmt.Errorf("proto: scene name of %d bytes exceeds limit %d",
+			len(h.Scene), engine.MaxSceneName)
+	}
 	w.u8(TagHello)
 	w.i32(h.Version)
 	w.i32(h.Objects)
@@ -232,6 +243,23 @@ func (w *Writer) WriteHello(h Hello) error {
 		w.f64(f)
 	}
 	w.u64(h.Token)
+	w.str(h.Scene)
+	return w.w.Flush()
+}
+
+// WriteSceneSelect asks the server to switch this connection to a named
+// scene; the server answers with a fresh hello for it (or an error).
+// Valid only before the first request or resume of a connection. The
+// frame carries a CRC trailer: serving a corrupted name would bind the
+// session to the wrong data set.
+func (w *Writer) WriteSceneSelect(scene string) error {
+	if err := engine.ValidateSceneName(scene); err != nil {
+		return err
+	}
+	w.u8(TagScene)
+	w.beginCRC()
+	w.str(scene)
+	w.endCRC()
 	return w.w.Flush()
 }
 
@@ -444,10 +472,49 @@ func (r *Reader) ReadHello() (Hello, error) {
 	if h.Token, err = r.u64(); err != nil {
 		return h, err
 	}
+	if h.Scene, err = r.readSceneName(); err != nil {
+		return h, err
+	}
 	if h.Version != Version {
 		return h, fmt.Errorf("proto: version %d, want %d", h.Version, Version)
 	}
 	return h, nil
+}
+
+// readSceneName reads a length-prefixed scene name bounded by
+// engine.MaxSceneName (empty = unnamed/default scene).
+func (r *Reader) readSceneName() (string, error) {
+	n, err := r.i32()
+	if err != nil {
+		return "", err
+	}
+	if n < 0 || n > engine.MaxSceneName {
+		return "", fmt.Errorf("proto: bad scene name length %d", n)
+	}
+	buf := make([]byte, n)
+	if err := r.fill(buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// ReadSceneSelect parses a scene-select body (after its tag), verifies
+// its checksum, then validates the name.
+func (r *Reader) ReadSceneSelect() (string, error) {
+	r.beginCRC()
+	scene, err := r.readSceneName()
+	if err != nil {
+		return "", err
+	}
+	if err := r.checkCRC(); err != nil {
+		return "", err
+	}
+	// Validate only after the checksum: a corrupted frame should be
+	// reported as corruption, not as an invalid name.
+	if err := engine.ValidateSceneName(scene); err != nil {
+		return "", err
+	}
+	return scene, nil
 }
 
 // finite rejects the NaN/Inf values a corrupted or hostile frame could

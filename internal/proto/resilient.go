@@ -21,6 +21,9 @@ type ResilientConfig struct {
 	// MapSpeed is the speed→resolution mapping of §IV (nil = Identity).
 	// Degraded mode composes on top of it.
 	MapSpeed retrieval.MapSpeedToResolution
+	// Scene binds the session to a named engine scene ("" accepts the
+	// server's default). Reconnects re-select it before resuming.
+	Scene string
 	// FrameTimeout bounds one frame attempt (write + round-trip + read).
 	// Default 10s.
 	FrameTimeout time.Duration
@@ -140,7 +143,7 @@ func (rc *ResilientClient) connect() error {
 	}()
 	if rc.c == nil {
 		var c *Client
-		if c, err = NewClient(conn, rc.mapSpeed); err != nil {
+		if c, err = NewSceneClient(conn, rc.cfg.Scene, rc.mapSpeed); err != nil {
 			return err
 		}
 		rc.c = c

@@ -3,90 +3,11 @@ package proto
 import (
 	"crypto/rand"
 	"encoding/binary"
-	"sync"
 	"sync/atomic"
-	"time"
-
-	"repro/internal/retrieval"
 )
 
-// resumeEntry is the state of a recently closed session, held so a
-// reconnecting client can continue incremental retrieval instead of
-// re-fetching its whole window.
-type resumeEntry struct {
-	sess    *retrieval.Session
-	seq     int64   // responses sent over the session's lifetime
-	lastIDs []int64 // deliveries of response seq (rollback candidates)
-	expires time.Time
-}
-
-// resumeCache is a bounded TTL cache of closed sessions keyed by token.
-// Put and take are mutex-guarded: both run off the request hot path
-// (connection teardown and handshake respectively).
-type resumeCache struct {
-	mu       sync.Mutex
-	capacity int
-	ttl      time.Duration
-	entries  map[uint64]*resumeEntry
-	order    []uint64 // insertion (≈ close-time) order for eviction
-}
-
-func newResumeCache(capacity int, ttl time.Duration) *resumeCache {
-	return &resumeCache{
-		capacity: capacity,
-		ttl:      ttl,
-		entries:  make(map[uint64]*resumeEntry),
-	}
-}
-
-// put stashes a closed session. With capacity 0 the cache is disabled.
-func (c *resumeCache) put(token uint64, e *resumeEntry) {
-	if c == nil || c.capacity <= 0 || token == 0 {
-		return
-	}
-	e.expires = time.Now().Add(c.ttl)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	// Evict expired entries first, then the oldest live one if still full.
-	// order may hold tokens already consumed by take; skip them.
-	for len(c.order) > 0 {
-		t := c.order[0]
-		old, ok := c.entries[t]
-		if ok && time.Now().Before(old.expires) && len(c.entries) < c.capacity {
-			break
-		}
-		c.order = c.order[1:]
-		delete(c.entries, t)
-	}
-	c.entries[token] = e
-	c.order = append(c.order, token)
-}
-
-// take removes and returns the session for token, if present and fresh.
-func (c *resumeCache) take(token uint64) (*resumeEntry, bool) {
-	if c == nil || token == 0 {
-		return nil, false
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[token]
-	if !ok {
-		return nil, false
-	}
-	delete(c.entries, token)
-	if time.Now().After(e.expires) {
-		return nil, false
-	}
-	return e, true
-}
-
-// len reports the number of cached sessions (expired entries included
-// until evicted).
-func (c *resumeCache) len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
-}
+// The resume cache itself lives in the engine package (one per scene,
+// owned by the registry); this file only mints the tokens that key it.
 
 // tokenCounter de-duplicates tokens if the system's entropy source ever
 // fails; colliding resume tokens would merge two clients' sessions.

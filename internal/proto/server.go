@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/retrieval"
 	"repro/internal/stats"
 )
@@ -15,30 +16,34 @@ import (
 // Each connection is one client session with its own delivered-set
 // filtering, exactly like the in-process retrieval.Session.
 //
+// Scenes: the server fronts an engine.Registry. A connection lands on
+// the default scene (announced in the hello) and may switch once to any
+// registered scene with a scene-select frame — but only before its first
+// request or resume, so a session's delivered-set never spans scenes.
+// Each scene parks its interrupted sessions in its own resume cache; a
+// resuming client re-selects its scene first, then presents its token.
+//
 // Concurrency: every accepted connection runs on its own goroutine. The
 // per-connection state (reader, writer, session) is goroutine-local;
-// the shared retrieval.Server, store, and index are concurrent-read-safe
-// (see the index.Index contract), the stats collector is wait-free, and
-// the resume cache is mutex-guarded off the request hot path.
+// the shared retrieval servers, sources, and indexes are
+// concurrent-read-safe (see the index.Index contract), the stats
+// collector is wait-free, and the resume caches are mutex-guarded off
+// the request hot path.
 //
 // Lifecycle hardening (see DESIGN.md "Fault tolerance"): per-connection
 // idle and frame deadlines bound how long a silent or trickling peer can
 // pin a goroutine, a max-sessions limit sheds excess connections with a
 // sanitized "server busy" error, and Close drains in-flight handlers for
-// a bounded interval before force-closing stragglers. Sessions that end
-// abnormally are parked in a bounded TTL resume cache so a reconnecting
-// client can continue incrementally (see Client.Reconnect).
+// a bounded interval before force-closing stragglers.
 type Server struct {
-	srv    *retrieval.Server
-	levels int
-	logf   func(format string, args ...any)
-	st     *stats.Stats
+	reg  *engine.Registry
+	logf func(format string, args ...any)
+	st   *stats.Stats
 
 	maxSessions  int           // 0 = unlimited
 	idleTimeout  time.Duration // max silence between frames; 0 = none
 	frameTimeout time.Duration // per-frame read/write deadline; 0 = none
 	drainTimeout time.Duration // graceful-close bound
-	resume       *resumeCache
 
 	mu     sync.Mutex
 	closed bool
@@ -47,32 +52,46 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
-// Resume-cache and drain defaults; override with SetResumeCache and
+// defaultDrainTimeout bounds graceful Close; override with
 // SetDrainTimeout.
-const (
-	defaultResumeCap    = 1024
-	defaultResumeTTL    = 2 * time.Minute
-	defaultDrainTimeout = 5 * time.Second
-)
+const defaultDrainTimeout = 5 * time.Second
 
-// NewServer wraps a retrieval server for network access. levels is the
-// dataset's subdivision depth, announced in the hello. logf may be nil.
+// DefaultSceneName is the name NewServer registers its single scene
+// under; clients that never send a scene-select get it implicitly.
+const DefaultSceneName = "default"
+
+// NewServer wraps a single retrieval server for network access — the
+// pre-registry constructor, kept as the one-scene special case: the
+// scene is registered under DefaultSceneName. levels is the dataset's
+// subdivision depth, announced in the hello. logf may be nil.
 // Session and error counts are recorded into stats.Default; SetStats
 // overrides.
 func NewServer(srv *retrieval.Server, levels int, logf func(string, ...any)) *Server {
+	reg := engine.NewRegistry()
+	if _, err := reg.AddScene(DefaultSceneName, srv, levels); err != nil {
+		panic(err) // DefaultSceneName is statically valid
+	}
+	return NewMultiServer(reg, logf)
+}
+
+// NewMultiServer serves every scene in the registry. The registry must
+// hold at least one scene before Serve (the default scene greets new
+// connections).
+func NewMultiServer(reg *engine.Registry, logf func(string, ...any)) *Server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
 	return &Server{
-		srv:          srv,
-		levels:       levels,
+		reg:          reg,
 		logf:         logf,
 		st:           stats.Default,
 		drainTimeout: defaultDrainTimeout,
-		resume:       newResumeCache(defaultResumeCap, defaultResumeTTL),
 		conns:        make(map[net.Conn]struct{}),
 	}
 }
+
+// Registry returns the scene registry this server fronts.
+func (s *Server) Registry() *engine.Registry { return s.reg }
 
 // SetStats redirects the server's session/error counters (nil disables
 // recording). Call before Serve.
@@ -89,10 +108,11 @@ func (s *Server) SetLimits(maxSessions int, idle, frame time.Duration) {
 	s.frameTimeout = frame
 }
 
-// SetResumeCache bounds the closed-session cache: capacity entries (0
-// disables resumption) kept for at most ttl. Call before Serve.
+// SetResumeCache bounds every scene's closed-session cache: capacity
+// entries (0 disables resumption) kept for at most ttl. Call before
+// Serve.
 func (s *Server) SetResumeCache(capacity int, ttl time.Duration) {
-	s.resume = newResumeCache(capacity, ttl)
+	s.reg.SetResumeCache(capacity, ttl)
 }
 
 // SetDrainTimeout bounds how long Close waits for in-flight handlers
@@ -180,6 +200,21 @@ func (s *Server) Close() {
 	<-done
 }
 
+// sendHello announces a scene's schema under the connection's token.
+func (s *Server) sendHello(conn net.Conn, w *Writer, scene *engine.Scene, token uint64) error {
+	src := scene.Source
+	s.setWriteDeadline(conn)
+	return w.WriteHello(Hello{
+		Version:   Version,
+		Objects:   int32(src.NumObjects()),
+		Levels:    int32(scene.Levels),
+		BaseVerts: int32(src.BaseVerts()),
+		Space:     src.Bounds().XY(),
+		Token:     token,
+		Scene:     scene.Name,
+	})
+}
+
 func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -192,23 +227,17 @@ func (s *Server) handle(conn net.Conn) {
 	defer s.st.SessionClosed()
 	w := NewWriter(conn)
 	r := NewReader(conn)
-	store := s.srv.Store()
 
-	bounds := store.Bounds().XY()
-	baseVerts := 0
-	if store.NumObjects() > 0 {
-		baseVerts = store.Objects[0].Base.NumVerts()
+	scene := s.reg.Default()
+	if scene == nil {
+		s.setWriteDeadline(conn)
+		if err := w.WriteError("no scenes registered"); err != nil {
+			s.logf("proto: error reply to %v failed: %v", conn.RemoteAddr(), err)
+		}
+		return
 	}
 	token := newToken()
-	s.setWriteDeadline(conn)
-	if err := w.WriteHello(Hello{
-		Version:   Version,
-		Objects:   int32(store.NumObjects()),
-		Levels:    int32(s.levels),
-		BaseVerts: int32(baseVerts),
-		Space:     bounds,
-		Token:     token,
-	}); err != nil {
+	if err := s.sendHello(conn, w, scene, token); err != nil {
 		s.st.RecordError()
 		s.logf("proto: hello to %v failed: %v", conn.RemoteAddr(), err)
 		return
@@ -216,13 +245,15 @@ func (s *Server) handle(conn net.Conn) {
 
 	// The session lineage this connection serves. A successful resume
 	// swaps in a cached predecessor; on abnormal exit the lineage is
-	// parked under this connection's token (the client always resumes
-	// with the newest token it completed a handshake for).
-	sess := &resumeEntry{sess: retrieval.NewSession(s.srv)}
+	// parked in the *current* scene's cache under this connection's token
+	// (the client always resumes with the newest token it completed a
+	// handshake for, after re-selecting the same scene).
+	sess := &engine.ResumeEntry{Session: retrieval.NewSession(scene.Server)}
+	started := false // a request or resume has bound the session to its scene
 	orderly := false
 	defer func() {
 		if !orderly {
-			s.resume.put(token, sess)
+			scene.Resume.Put(token, sess)
 		}
 	}()
 
@@ -244,6 +275,44 @@ func (s *Server) handle(conn net.Conn) {
 			conn.SetReadDeadline(time.Now().Add(s.frameTimeout))
 		}
 		switch tag {
+		case TagScene:
+			name, err := r.ReadSceneSelect()
+			if err != nil {
+				s.st.RecordError()
+				s.logf("proto: bad scene select from %v: %v", conn.RemoteAddr(), err)
+				s.setWriteDeadline(conn)
+				if werr := w.WriteError(SanitizeWireError(err)); werr != nil {
+					s.logf("proto: error reply to %v failed: %v", conn.RemoteAddr(), werr)
+				}
+				return
+			}
+			if started {
+				// Switching scenes would graft one scene's delivered-set onto
+				// another's id space; refuse and drop the connection.
+				s.st.RecordError()
+				s.logf("proto: %v selected scene %q after session start", conn.RemoteAddr(), name)
+				s.setWriteDeadline(conn)
+				if werr := w.WriteError("scene select after session start"); werr != nil {
+					s.logf("proto: error reply to %v failed: %v", conn.RemoteAddr(), werr)
+				}
+				return
+			}
+			next, ok := s.reg.Get(name)
+			if !ok {
+				s.st.RecordError()
+				s.setWriteDeadline(conn)
+				if werr := w.WriteError("unknown scene: " + name); werr != nil {
+					s.logf("proto: error reply to %v failed: %v", conn.RemoteAddr(), werr)
+				}
+				return
+			}
+			scene = next
+			sess = &engine.ResumeEntry{Session: retrieval.NewSession(scene.Server)}
+			if err := s.sendHello(conn, w, scene, token); err != nil {
+				s.st.RecordError()
+				s.logf("proto: hello to %v failed: %v", conn.RemoteAddr(), err)
+				return
+			}
 		case TagResume:
 			res, err := r.ReadResume()
 			if err != nil {
@@ -252,17 +321,17 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 			s.setWriteDeadline(conn)
-			prev, ok := s.resume.take(res.Token)
+			prev, ok := scene.Resume.Take(res.Token)
 			if ok {
 				// Roll back an un-applied final response: the server counted
 				// those coefficients as delivered, but the client never saw
 				// them; forgetting them lets the retry re-send.
 				switch res.AppliedSeq {
-				case prev.seq:
+				case prev.Seq:
 					// In sync; nothing to roll back.
-				case prev.seq - 1:
-					prev.sess.Forget(prev.lastIDs)
-					prev.seq--
+				case prev.Seq - 1:
+					prev.Session.Forget(prev.LastIDs)
+					prev.Seq--
 				default:
 					ok = false
 				}
@@ -275,10 +344,11 @@ func (s *Server) handle(conn net.Conn) {
 				}
 				continue
 			}
-			prev.lastIDs = nil
+			prev.LastIDs = nil
 			sess = prev
+			started = true
 			s.st.RecordResume(true)
-			if err := w.WriteResumeOK(ResumeOK{Seq: sess.seq, Delivered: int64(sess.sess.Delivered())}); err != nil {
+			if err := w.WriteResumeOK(ResumeOK{Seq: sess.Seq, Delivered: int64(sess.Session.Delivered())}); err != nil {
 				s.logf("proto: resume reply to %v failed: %v", conn.RemoteAddr(), err)
 				return
 			}
@@ -293,12 +363,13 @@ func (s *Server) handle(conn net.Conn) {
 				}
 				return
 			}
-			resp := sess.sess.Retrieve(req.Subs)
-			sess.seq++
-			sess.lastIDs = resp.IDs
-			out := Response{IO: resp.IO, Seq: sess.seq, Coeffs: make([]Coeff, 0, len(resp.IDs))}
+			started = true
+			resp := sess.Session.Retrieve(req.Subs)
+			sess.Seq++
+			sess.LastIDs = resp.IDs
+			out := Response{IO: resp.IO, Seq: sess.Seq, Coeffs: make([]Coeff, 0, len(resp.IDs))}
 			for _, id := range resp.IDs {
-				c := store.Coeff(id)
+				c := scene.Source.Coeff(id)
 				out.Coeffs = append(out.Coeffs, Coeff{
 					Object: c.Object,
 					Vertex: c.Vertex,
@@ -334,9 +405,9 @@ func (s *Server) setWriteDeadline(conn net.Conn) {
 	}
 }
 
-// ResumeCacheLen reports the number of parked sessions (observability
-// and tests).
-func (s *Server) ResumeCacheLen() int { return s.resume.len() }
+// ResumeCacheLen reports the number of parked sessions across all scenes
+// (observability and tests).
+func (s *Server) ResumeCacheLen() int { return s.reg.ResumeLen() }
 
 // ListenAndServe binds addr and serves until Close. It logs the bound
 // address through logf (useful with ":0").

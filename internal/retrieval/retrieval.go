@@ -64,21 +64,23 @@ func Identity(speed float64) float64 {
 // concurrent-safe per the index.Index contract) and touches no shared
 // mutable state beyond the wait-free stats collector.
 type Server struct {
-	store   *index.Store
+	store   index.CoefficientSource
 	idx     index.Index
 	zMin    float64
 	zMax    float64
 	workers int
 	st      *stats.Stats
+	scene   string
 }
 
-// NewServer creates a server over the store using the given index. The
-// vertical query band is derived from the store's bounds (queries are
-// ground-plane windows; the z band always spans every object). The
-// server records into stats.Default and executes a request's sub-queries
-// on a bounded worker pool sized to the machine; SetStats and
-// SetParallelism override both.
-func NewServer(store *index.Store, idx index.Index) *Server {
+// NewServer creates a server over a coefficient source using the given
+// index (the in-memory index.Store is the first source implementation;
+// the server never needs the concrete slab). The vertical query band is
+// derived from the source's bounds (queries are ground-plane windows;
+// the z band always spans every object). The server records into
+// stats.Default and executes a request's sub-queries on a bounded worker
+// pool sized to the machine; SetStats and SetParallelism override both.
+func NewServer(store index.CoefficientSource, idx index.Index) *Server {
 	b := store.Bounds()
 	workers := runtime.GOMAXPROCS(0)
 	if workers > 8 {
@@ -94,6 +96,15 @@ func NewServer(store *index.Store, idx index.Index) *Server {
 // recording). Not safe to call while requests are in flight.
 func (s *Server) SetStats(st *stats.Stats) { s.st = st }
 
+// SetScene names the scene this server serves; executed requests are then
+// attributed to it in the per-scene stats breakdown (empty = no
+// attribution). The engine registry sets it when a scene is added. Not
+// safe to call while requests are in flight.
+func (s *Server) SetScene(name string) { s.scene = name }
+
+// Scene returns the scene name set via SetScene ("" for unnamed).
+func (s *Server) Scene() string { return s.scene }
+
 // SetParallelism bounds the worker pool that executes one request's
 // sub-queries; 1 (or less) runs them serially on the calling goroutine.
 // Parallelism never changes results: sub-query searches are independent
@@ -106,8 +117,8 @@ func (s *Server) SetParallelism(n int) {
 	s.workers = n
 }
 
-// Store returns the underlying coefficient store.
-func (s *Server) Store() *index.Store { return s.store }
+// Store returns the underlying coefficient source.
+func (s *Server) Store() index.CoefficientSource { return s.store }
 
 // Index returns the access method in use.
 func (s *Server) Index() index.Index { return s.idx }
@@ -157,6 +168,7 @@ func (s *Server) Execute(subs []SubQuery, delivered map[int64]bool) Response {
 	if s.st != nil {
 		s.st.RecordRequest(resp.Queries, resp.IO, int64(len(resp.IDs)),
 			resp.Bytes, time.Since(start))
+		s.st.RecordScene(s.scene, resp.IO, int64(len(resp.IDs)), resp.Bytes)
 	}
 	return resp
 }

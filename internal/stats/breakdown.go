@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// sceneCounter holds one scene's request accounting. Fields mirror the
+// request counters of Stats; recording is wait-free once the counter
+// exists (creation takes one LoadOrStore on the scene map).
+type sceneCounter struct {
+	requests atomic.Int64
+	indexIO  atomic.Int64
+	coeffs   atomic.Int64
+	bytes    atomic.Int64
+}
+
+// shardCounter holds one index shard's search accounting.
+type shardCounter struct {
+	searches atomic.Int64
+	io       atomic.Int64
+}
+
+// RecordScene attributes one executed request to a named scene. The
+// aggregate counters are recorded separately via RecordRequest; this adds
+// the per-scene breakdown a multi-scene engine reports in Snapshot.Scenes.
+func (s *Stats) RecordScene(scene string, io, coeffs, bytes int64) {
+	if s == nil || scene == "" {
+		return
+	}
+	v, ok := s.scenes.Load(scene)
+	if !ok {
+		v, _ = s.scenes.LoadOrStore(scene, &sceneCounter{})
+	}
+	c := v.(*sceneCounter)
+	c.requests.Add(1)
+	c.indexIO.Add(io)
+	c.coeffs.Add(coeffs)
+	c.bytes.Add(bytes)
+}
+
+// EnsureShards grows the per-shard counter table to at least n entries.
+// Call it at index-build time (Sharded.SetStats does); RecordShard on an
+// index this collector was never sized for drops the sample rather than
+// racing a growth.
+func (s *Stats) EnsureShards(n int) {
+	if s == nil || n <= 0 {
+		return
+	}
+	s.shardMu.Lock()
+	defer s.shardMu.Unlock()
+	cur := s.shards.Load()
+	if cur != nil && len(*cur) >= n {
+		return
+	}
+	grown := make([]*shardCounter, n)
+	if cur != nil {
+		copy(grown, *cur)
+	}
+	for i := range grown {
+		if grown[i] == nil {
+			grown[i] = &shardCounter{}
+		}
+	}
+	s.shards.Store(&grown)
+}
+
+// RecordShard accounts one shard search: the shard's index and the node
+// reads it cost. Out-of-range shards (EnsureShards never sized the table)
+// are dropped.
+func (s *Stats) RecordShard(shard int, io int64) {
+	if s == nil {
+		return
+	}
+	tab := s.shards.Load()
+	if tab == nil || shard < 0 || shard >= len(*tab) {
+		return
+	}
+	c := (*tab)[shard]
+	c.searches.Add(1)
+	c.io.Add(io)
+}
+
+// SceneSnapshot is one scene's share of the request counters.
+type SceneSnapshot struct {
+	Requests int64
+	IndexIO  int64
+	Coeffs   int64
+	Bytes    int64
+}
+
+// ShardSnapshot is one index shard's search totals.
+type ShardSnapshot struct {
+	Searches int64
+	IO       int64
+}
+
+// sceneSnapshots copies the per-scene breakdown (nil when no scene has
+// recorded anything).
+func (s *Stats) sceneSnapshots() map[string]SceneSnapshot {
+	if s == nil {
+		return nil
+	}
+	var out map[string]SceneSnapshot
+	s.scenes.Range(func(k, v any) bool {
+		if out == nil {
+			out = make(map[string]SceneSnapshot)
+		}
+		c := v.(*sceneCounter)
+		out[k.(string)] = SceneSnapshot{
+			Requests: c.requests.Load(),
+			IndexIO:  c.indexIO.Load(),
+			Coeffs:   c.coeffs.Load(),
+			Bytes:    c.bytes.Load(),
+		}
+		return true
+	})
+	return out
+}
+
+// shardSnapshots copies the per-shard breakdown (nil when unsized).
+func (s *Stats) shardSnapshots() []ShardSnapshot {
+	if s == nil {
+		return nil
+	}
+	tab := s.shards.Load()
+	if tab == nil {
+		return nil
+	}
+	out := make([]ShardSnapshot, len(*tab))
+	for i, c := range *tab {
+		out[i] = ShardSnapshot{Searches: c.searches.Load(), IO: c.io.Load()}
+	}
+	return out
+}
+
+// breakdownString renders the optional scene/shard sections of
+// Snapshot.String (empty when neither breakdown has data).
+func (s Snapshot) breakdownString() string {
+	var b strings.Builder
+	if len(s.Scenes) > 0 {
+		names := make([]string, 0, len(s.Scenes))
+		for name := range s.Scenes {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		b.WriteString(" · scenes")
+		for _, name := range names {
+			sc := s.Scenes[name]
+			fmt.Fprintf(&b, " %s[req %d io %d %s]", name, sc.Requests, sc.IndexIO, fmtBytes(sc.Bytes))
+		}
+	}
+	if len(s.Shards) > 0 {
+		var searches, io int64
+		hot, hotIO := 0, int64(-1)
+		for i, sh := range s.Shards {
+			searches += sh.Searches
+			io += sh.IO
+			if sh.IO > hotIO {
+				hot, hotIO = i, sh.IO
+			}
+		}
+		fmt.Fprintf(&b, " · shards %d (searches %d io %d hottest #%d io %d)",
+			len(s.Shards), searches, io, hot, hotIO)
+	}
+	return b.String()
+}
+
+// shardMu/shards/scenes live here rather than in Stats's declaration file
+// to keep the breakdown layer self-contained; see stats.go for the
+// embedding.
+type breakdowns struct {
+	scenes  sync.Map // string -> *sceneCounter
+	shardMu sync.Mutex
+	shards  atomic.Pointer[[]*shardCounter]
+}

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"flag"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSceneBreakdown(t *testing.T) {
+	s := New()
+	s.RecordScene("", 1, 1, 1) // unnamed scene: dropped
+	s.RecordScene("city", 10, 5, 500)
+	s.RecordScene("city", 2, 1, 100)
+	s.RecordScene("park", 7, 3, 300)
+	snap := s.Snapshot()
+	city := snap.Scenes["city"]
+	if city.Requests != 2 || city.IndexIO != 12 || city.Coeffs != 6 || city.Bytes != 600 {
+		t.Fatalf("city = %+v", city)
+	}
+	if park := snap.Scenes["park"]; park.Requests != 1 || park.IndexIO != 7 {
+		t.Fatalf("park = %+v", park)
+	}
+	if len(snap.Scenes) != 2 {
+		t.Fatalf("scenes = %v", snap.Scenes)
+	}
+	if str := snap.String(); !strings.Contains(str, "scenes") || !strings.Contains(str, "city") {
+		t.Fatalf("String() missing scene section: %s", str)
+	}
+}
+
+func TestShardBreakdown(t *testing.T) {
+	s := New()
+	s.RecordShard(0, 5) // before EnsureShards: dropped
+	s.EnsureShards(4)
+	s.EnsureShards(2) // shrinking is a no-op
+	s.RecordShard(1, 10)
+	s.RecordShard(1, 4)
+	s.RecordShard(3, 7)
+	s.RecordShard(9, 99) // out of range: dropped
+	snap := s.Snapshot()
+	if len(snap.Shards) != 4 {
+		t.Fatalf("shards = %v", snap.Shards)
+	}
+	if sh := snap.Shards[1]; sh.Searches != 2 || sh.IO != 14 {
+		t.Fatalf("shard 1 = %+v", sh)
+	}
+	if sh := snap.Shards[3]; sh.Searches != 1 || sh.IO != 7 {
+		t.Fatalf("shard 3 = %+v", sh)
+	}
+	if sh := snap.Shards[0]; sh.Searches != 0 {
+		t.Fatalf("shard 0 = %+v", sh)
+	}
+	if str := snap.String(); !strings.Contains(str, "shards 4") {
+		t.Fatalf("String() missing shard section: %s", str)
+	}
+}
+
+func TestShardGrowthKeepsCounts(t *testing.T) {
+	s := New()
+	s.EnsureShards(2)
+	s.RecordShard(1, 3)
+	s.EnsureShards(8)
+	s.RecordShard(1, 2)
+	s.RecordShard(7, 1)
+	snap := s.Snapshot()
+	if sh := snap.Shards[1]; sh.Searches != 2 || sh.IO != 5 {
+		t.Fatalf("counts lost across growth: %+v", sh)
+	}
+	if sh := snap.Shards[7]; sh.IO != 1 {
+		t.Fatalf("shard 7 = %+v", sh)
+	}
+}
+
+func TestBreakdownConcurrent(t *testing.T) {
+	s := New()
+	s.EnsureShards(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.RecordScene("s", 1, 1, 1)
+				s.RecordShard(g, 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	if sc := snap.Scenes["s"]; sc.Requests != 8000 {
+		t.Fatalf("scene requests = %d", sc.Requests)
+	}
+	var total int64
+	for _, sh := range snap.Shards {
+		total += sh.Searches
+	}
+	if total != 8000 {
+		t.Fatalf("shard searches = %d", total)
+	}
+}
+
+func TestFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f := RegisterFlags(fs, 0)
+	if err := fs.Parse([]string{"-stats", "1h", "-stats-dump"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Interval != time.Hour || !f.Dump {
+		t.Fatalf("flags = %+v", f)
+	}
+
+	var lines []string
+	var mu sync.Mutex
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, format)
+		mu.Unlock()
+	}
+	s := New()
+	stop := f.Start(s, logf)
+	stop()
+	mu.Lock()
+	n := len(lines)
+	mu.Unlock()
+	if n != 1 { // final dump only; 1h ticker never fired
+		t.Fatalf("dump lines = %d", n)
+	}
+
+	var nilf *Flags
+	nilf.Start(s, logf)() // must not panic
+	f.Start(nil, logf)()
+}

@@ -1,0 +1,48 @@
+package stats
+
+import (
+	"flag"
+	"time"
+)
+
+// Flags is the command-line surface the server and experiment binaries
+// share for wiring a Stats collector, deduplicating the copy-pasted
+// interval/logging setup they used to carry separately.
+type Flags struct {
+	// Interval is the periodic snapshot-logging cadence (0 disables the
+	// logging goroutine; a final dump still happens if Dump is set).
+	Interval time.Duration
+	// Dump requests one snapshot line at shutdown even without periodic
+	// logging.
+	Dump bool
+}
+
+// RegisterFlags installs the shared stats flags on a FlagSet under the
+// conventional names (-stats, -stats-dump) and returns the destination
+// the parsed values land in.
+func RegisterFlags(fs *flag.FlagSet, defaultInterval time.Duration) *Flags {
+	f := &Flags{}
+	fs.DurationVar(&f.Interval, "stats", defaultInterval,
+		"periodic stats logging interval (0 disables)")
+	fs.BoolVar(&f.Dump, "stats-dump", false,
+		"log one final stats snapshot at shutdown")
+	return f
+}
+
+// Start launches periodic logging per the flags and returns a stop
+// function that halts the logger and, when -stats-dump (or a nonzero
+// interval) was given, emits one final snapshot. Safe with a nil
+// receiver or collector (returns a no-op).
+func (f *Flags) Start(s *Stats, logf func(format string, args ...any)) (stop func()) {
+	if f == nil || s == nil || logf == nil {
+		return func() {}
+	}
+	stopLog := s.StartLogging(f.Interval, logf)
+	dump := f.Dump || f.Interval > 0
+	return func() {
+		stopLog()
+		if dump {
+			logf("stats: %v", s.Snapshot())
+		}
+	}
+}

@@ -148,6 +148,8 @@ type Stats struct {
 	latency   Histogram // per-request latency in nanoseconds
 	requestIO Histogram // index node reads per request
 	backoff   Histogram // client backoff sleeps in nanoseconds
+
+	breakdowns // per-scene and per-shard attribution (breakdown.go)
 }
 
 // Default is the process-wide collector. Components record into it
@@ -306,6 +308,12 @@ type Snapshot struct {
 	Latency   HistogramSnapshot
 	RequestIO HistogramSnapshot
 	Backoff   HistogramSnapshot
+
+	// Scenes breaks the request counters down by engine scene (nil unless
+	// RecordScene ran); Shards breaks index search I/O down by shard (nil
+	// unless a sharded index was wired via EnsureShards).
+	Scenes map[string]SceneSnapshot
+	Shards []ShardSnapshot
 }
 
 // Snapshot copies the current counter values.
@@ -336,6 +344,8 @@ func (s *Stats) Snapshot() Snapshot {
 		Latency:        s.latency.Snapshot(),
 		RequestIO:      s.requestIO.Snapshot(),
 		Backoff:        s.backoff.Snapshot(),
+		Scenes:         s.sceneSnapshots(),
+		Shards:         s.shardSnapshots(),
 	}
 }
 
@@ -351,7 +361,8 @@ func (s Snapshot) String() string {
 		time.Duration(s.Latency.Quantile(0.50)).Round(time.Microsecond),
 		time.Duration(s.Latency.Quantile(0.99)).Round(time.Microsecond),
 		s.BufferHits, s.BufferMisses, fmtBytes(s.DemandBytes), fmtBytes(s.PrefetchBytes),
-		s.Retries, s.Timeouts, s.ResumeHits, s.ResumeMisses, s.Degraded, s.Shed, s.Faults)
+		s.Retries, s.Timeouts, s.ResumeHits, s.ResumeMisses, s.Degraded, s.Shed, s.Faults) +
+		s.breakdownString()
 }
 
 func fmtBytes(b int64) string {

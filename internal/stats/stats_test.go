@@ -21,7 +21,10 @@ func TestNilStatsIsSafe(t *testing.T) {
 	s.RecordDegraded()
 	s.RecordShed()
 	s.RecordFault()
-	if got := s.Snapshot(); got != (Snapshot{}) {
+	s.RecordScene("a", 1, 2, 3)
+	s.EnsureShards(4)
+	s.RecordShard(0, 9)
+	if got := s.Snapshot(); got.Requests != 0 || got.Scenes != nil || got.Shards != nil {
 		t.Fatalf("nil snapshot = %+v", got)
 	}
 	if s.ActiveSessions() != 0 {
