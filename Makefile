@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-shards soak fault fuzz ci
+.PHONY: build test race vet bench bench-shards soak fault crash fuzz ci
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,16 @@ fault:
 	$(GO) test -race -run 'TestApplyIdempotent' ./internal/wavelet/
 	$(GO) test -race -run 'TestRunFault' ./internal/experiment/
 
+# The crash-safety gate, verbosely, under the race detector: the
+# kill-restart acceptance test (server killed mid-tour, restarted from
+# checkpoints + session journal, meshes byte-identical to a crash-free
+# oracle), the cold-journal regression, and the persist-layer recovery
+# unit tests (torn tails, quarantine, failpoints, atomic writes).
+crash:
+	$(GO) test -race -v -run 'TestRunCrash' ./internal/experiment/
+	$(GO) test -race ./internal/persist/
+	$(GO) test -race -run 'TestSaveAll|TestLoadAll|TestCheckpointer|TestSessionJournal|TestSceneWithoutDataset' ./internal/engine/
+
 # Short coverage-guided exploration of every wire-protocol decoder. Each
 # fuzz target needs its own invocation (go test allows one -fuzz at a
 # time); seeds alone also run in `make test`.
@@ -54,5 +64,6 @@ fuzz:
 	$(GO) test -fuzz 'FuzzReadResume$$' -fuzztime 10s -run '^$$' ./internal/proto/
 	$(GO) test -fuzz 'FuzzReadSceneSelect$$' -fuzztime 10s -run '^$$' ./internal/proto/
 	$(GO) test -fuzz 'FuzzCRCRejectsFlips$$' -fuzztime 10s -run '^$$' ./internal/proto/
+	$(GO) test -fuzz 'FuzzScan$$' -fuzztime 10s -run '^$$' ./internal/persist/
 
-ci: build vet test race fuzz
+ci: build vet test race crash fuzz

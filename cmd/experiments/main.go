@@ -7,10 +7,11 @@
 //
 //	experiments [-quick] [-fig fig8,fig12] [-objects N] [-tours N]
 //	            [-steps N] [-seed N] [-o out.txt] [-stats 0] [-stats-dump]
-//	            [-fault] [-shards N] [-bench-shards out.json]
+//	            [-fault] [-crash] [-shards N] [-bench-shards out.json]
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/persist"
 	"repro/internal/stats"
 )
 
@@ -42,6 +44,11 @@ func main() {
 		faultLatency = flag.Duration("fault-latency", 0, "injected round-trip latency")
 		faultBW      = flag.Int64("fault-bw", 0, "link throughput in bytes/second (0 = unthrottled)")
 
+		crash      = flag.Bool("crash", false, "run the kill-restart crash experiment instead of the figures")
+		crashKills = flag.Int("crash-kills", 0, "mid-tour server kills (0 = default 3)")
+		crashCold  = flag.Bool("crash-cold", false, "delete the session journal at each restart (forces full re-plans)")
+		crashDir   = flag.String("crash-dir", "", "durable state directory for the crash experiment (default: fresh temp dir)")
+
 		benchShards = flag.String("bench-shards", "", "run the shard-scaling benchmark and write its JSON result to this file")
 		benchDur    = flag.Duration("bench-duration", 300*time.Millisecond, "measurement window per shard-bench configuration")
 	)
@@ -58,13 +65,16 @@ func main() {
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = io.MultiWriter(os.Stdout, f)
+		// Buffer the tee and write the file atomically at exit: an
+		// interrupted or failed run leaves the previous output intact
+		// instead of a truncated file.
+		var outBuf bytes.Buffer
+		w = io.MultiWriter(os.Stdout, &outBuf)
+		defer func() {
+			if err := persist.WriteBytesAtomic(*out, outBuf.Bytes()); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: write %s: %v\n", *out, err)
+			}
+		}()
 	}
 	stopStats := statsFlags.Start(stats.Default, log.Printf)
 	defer stopStats()
@@ -76,6 +86,25 @@ func main() {
 			Duration: *benchDur,
 		}
 		if _, err := experiment.RunShardBench(spec, *benchShards, w); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *crash {
+		spec := experiment.CrashSpec{
+			Seed:          *faultSeed,
+			Objects:       *objects,
+			Steps:         *steps,
+			Shards:        *shards,
+			Kills:         *crashKills,
+			ColdJournal:   *crashCold,
+			DropMeanBytes: *faultDrop,
+			CorruptBytes:  *faultCorrupt,
+			DataDir:       *crashDir,
+		}
+		if err := experiment.RunCrash(spec, w); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}

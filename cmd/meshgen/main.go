@@ -14,11 +14,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"io"
 	"math/rand"
-	"os"
 
 	"repro/internal/geom"
 	"repro/internal/mesh"
+	"repro/internal/persist"
 	"repro/internal/wavelet"
 )
 
@@ -82,12 +83,10 @@ func main() {
 	}
 }
 
-// writeOBJ dumps a mesh via the library's OBJ writer.
+// writeOBJ dumps a mesh via the library's OBJ writer, atomically, so an
+// interrupted run never leaves a half-written file behind.
 func writeOBJ(path string, m *mesh.Mesh) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return mesh.WriteOBJ(f, m)
+	return persist.WriteToAtomic(path, func(w io.Writer) error {
+		return mesh.WriteOBJ(w, m)
+	})
 }

@@ -5,10 +5,17 @@
 // in internal/proto. Additional named scenes can be served from saved
 // dataset files; clients bind to one with a scene-select frame.
 //
+// With -data-dir the server is crash-safe: scenes are checkpointed to
+// the directory (atomically, on a -checkpoint-interval cadence and at
+// shutdown), interrupted sessions are mirrored into a durable journal,
+// and a restart restores both — checkpointed scenes are served again and
+// journaled sessions resume where they left off.
+//
 // Usage:
 //
 //	server [-addr :7333] [-objects 100] [-levels 5] [-zipf] [-seed 1]
 //	       [-shards 1] [-scene default] [-scenes name=file,name2=file2]
+//	       [-data-dir dir] [-checkpoint-interval 1m]
 //	       [-stats 30s] [-stats-dump] [-workers 0] [-max-sessions 0]
 //	       [-idle-timeout 2m] [-frame-timeout 30s] [-drain-timeout 5s]
 //	       [-resume-cache 1024] [-resume-ttl 2m]
@@ -17,7 +24,11 @@ package main
 import (
 	"flag"
 	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/engine"
@@ -40,6 +51,9 @@ func main() {
 		scenes  = flag.String("scenes", "", "extra scenes as comma-separated name=file pairs")
 		workers = flag.Int("workers", 0, "per-request sub-query parallelism (0 = auto, 1 = serial)")
 
+		dataDir      = flag.String("data-dir", "", "durable state directory (scene checkpoints + session journal); empty disables persistence")
+		ckptInterval = flag.Duration("checkpoint-interval", time.Minute, "how often scenes are checkpointed into -data-dir")
+
 		maxSessions  = flag.Int("max-sessions", 0, "shed connections beyond this many concurrent sessions (0 = unlimited)")
 		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "disconnect a session silent for this long (0 disables)")
 		frameTimeout = flag.Duration("frame-timeout", 30*time.Second, "per-frame read/write deadline (0 disables)")
@@ -50,68 +64,94 @@ func main() {
 	statsFlags := stats.RegisterFlags(flag.CommandLine, 0)
 	flag.Parse()
 
-	var d *workload.Dataset
-	if *load != "" {
-		log.Printf("loading dataset from %s...", *load)
+	reg := engine.NewRegistry()
+
+	// With a data directory, checkpoints take precedence: a restart
+	// serves exactly what the dying process had checkpointed, and the
+	// generation flags only apply to a first (empty-directory) boot.
+	restored := 0
+	if *dataDir != "" {
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			log.Fatalf("data-dir: %v", err)
+		}
 		var err error
-		d, err = workload.LoadFile(*load, false)
+		restored, err = reg.LoadAll(*dataDir, stats.Default)
 		if err != nil {
-			log.Fatalf("load: %v", err)
+			log.Fatalf("data-dir: %v", err)
+		}
+	}
+	if restored > 0 {
+		log.Printf("restored %d scene(s) from %s", restored, *dataDir)
+		if *workers > 0 {
+			for _, name := range reg.Names() {
+				if sc, ok := reg.Get(name); ok {
+					sc.Server.SetParallelism(*workers)
+				}
+			}
 		}
 	} else {
-		placement := workload.Uniform
-		if *zipf {
-			placement = workload.Zipf
-		}
-		log.Printf("generating %d objects at %d levels (%v placement)...",
-			*objects, *levels, placement)
-		d = workload.Generate(workload.Spec{
-			NumObjects: *objects,
-			Levels:     *levels,
-			Placement:  placement,
-			Seed:       *seed,
-			DropFinals: true,
-		})
-		if *save != "" {
-			if err := d.SaveFile(*save); err != nil {
-				log.Fatalf("save: %v", err)
+		var d *workload.Dataset
+		if *load != "" {
+			log.Printf("loading dataset from %s...", *load)
+			var err error
+			d, err = workload.LoadFile(*load, false)
+			if err != nil {
+				log.Fatalf("load: %v", err)
 			}
-			log.Printf("saved dataset to %s", *save)
+		} else {
+			placement := workload.Uniform
+			if *zipf {
+				placement = workload.Zipf
+			}
+			log.Printf("generating %d objects at %d levels (%v placement)...",
+				*objects, *levels, placement)
+			d = workload.Generate(workload.Spec{
+				NumObjects: *objects,
+				Levels:     *levels,
+				Placement:  placement,
+				Seed:       *seed,
+				DropFinals: true,
+			})
+			if *save != "" {
+				if err := d.SaveFile(*save); err != nil {
+					log.Fatalf("save: %v", err)
+				}
+				log.Printf("saved dataset to %s", *save)
+			}
 		}
-	}
-	log.Printf("dataset ready: %v", d)
+		log.Printf("dataset ready: %v", d)
 
-	reg := engine.NewRegistry()
-	build := func(name string, d *workload.Dataset) *engine.Scene {
-		sc, err := reg.Build(engine.SceneConfig{
-			Name:   name,
-			Source: d.Store,
-			Levels: d.Spec.Levels,
-			Shards: *shards,
-			Stats:  stats.Default,
-		})
-		if err != nil {
-			log.Fatalf("scene %q: %v", name, err)
-		}
-		if *workers > 0 {
-			sc.Server.SetParallelism(*workers)
-		}
-		log.Printf("scene %q: %s over %d coefficients", name, sc.Index.Name(), d.Store.NumCoeffs())
-		return sc
-	}
-	build(*scene, d)
-	if *scenes != "" {
-		for _, pair := range strings.Split(*scenes, ",") {
-			name, file, ok := strings.Cut(strings.TrimSpace(pair), "=")
-			if !ok || name == "" || file == "" {
-				log.Fatalf("bad -scenes entry %q (want name=file)", pair)
-			}
-			log.Printf("loading scene %q from %s...", name, file)
-			sd, err := workload.LoadFile(file, false)
+		build := func(name string, d *workload.Dataset) *engine.Scene {
+			sc, err := reg.Build(engine.SceneConfig{
+				Name:    name,
+				Dataset: d,
+				Levels:  d.Spec.Levels,
+				Shards:  *shards,
+				Stats:   stats.Default,
+			})
 			if err != nil {
 				log.Fatalf("scene %q: %v", name, err)
 			}
-			build(name, sd)
+			if *workers > 0 {
+				sc.Server.SetParallelism(*workers)
+			}
+			log.Printf("scene %q: %s over %d coefficients", name, sc.Index.Name(), d.Store.NumCoeffs())
+			return sc
+		}
+		build(*scene, d)
+		if *scenes != "" {
+			for _, pair := range strings.Split(*scenes, ",") {
+				name, file, ok := strings.Cut(strings.TrimSpace(pair), "=")
+				if !ok || name == "" || file == "" {
+					log.Fatalf("bad -scenes entry %q (want name=file)", pair)
+				}
+				log.Printf("loading scene %q from %s...", name, file)
+				sd, err := workload.LoadFile(file, false)
+				if err != nil {
+					log.Fatalf("scene %q: %v", name, err)
+				}
+				build(name, sd)
+			}
 		}
 	}
 
@@ -120,10 +160,49 @@ func main() {
 	srv.SetLimits(*maxSessions, *idleTimeout, *frameTimeout)
 	srv.SetResumeCache(*resumeCache, *resumeTTL)
 	srv.SetDrainTimeout(*drainTimeout)
+
+	// Durability: an immediate first checkpoint, the periodic
+	// checkpointer, and the session journal — opened (recovering any torn
+	// tail), attached to the resume caches, and replayed so sessions
+	// parked by the previous incarnation resume across this restart.
+	var jr *engine.SessionJournal
+	var ckpt *engine.Checkpointer
+	if *dataDir != "" {
+		if err := reg.SaveAll(*dataDir, stats.Default); err != nil {
+			log.Fatalf("checkpoint: %v", err)
+		}
+		var err error
+		jr, err = engine.OpenSessionJournal(filepath.Join(*dataDir, engine.SessionJournalFile), 0, stats.Default)
+		if err != nil {
+			log.Fatalf("session journal: %v", err)
+		}
+		reg.SetSessionJournal(jr)
+		if n := jr.Restore(reg); n > 0 {
+			log.Printf("restored %d resumable session(s) from the journal", n)
+		}
+		ckpt = reg.StartCheckpointer(*dataDir, *ckptInterval, stats.Default, log.Printf)
+		log.Printf("durable state in %s (checkpoint every %v)", *dataDir, *ckptInterval)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("received %v; shutting down", s)
+		srv.Close()
+	}()
+
 	stop := statsFlags.Start(stats.Default, log.Printf)
 	defer stop()
 	log.Printf("serving %d scene(s) %v on %s", reg.Len(), reg.Names(), *addr)
 	if err := srv.ListenAndServe(*addr); err != nil {
 		log.Fatal(err)
 	}
+	if ckpt != nil {
+		ckpt.Stop() // final checkpoint
+	}
+	if jr != nil {
+		jr.Close()
+	}
+	log.Printf("shutdown complete")
 }

@@ -1,0 +1,377 @@
+package engine
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/retrieval"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func testDataset(t testing.TB, n int, seed int64) *workload.Dataset {
+	t.Helper()
+	return workload.Generate(workload.Spec{
+		NumObjects: n, Levels: 3, Seed: seed, DropFinals: true})
+}
+
+// buildRegistry builds a two-scene registry ("city" default, "park")
+// over small generated datasets.
+func buildRegistry(t testing.TB, st *stats.Stats) *Registry {
+	t.Helper()
+	reg := NewRegistry()
+	for i, name := range []string{"city", "park"} {
+		if _, err := reg.Build(SceneConfig{
+			Name: name, Dataset: testDataset(t, 2+i, int64(i+1)),
+			Levels: 3, Shards: 1 + i, Stats: st}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return reg
+}
+
+func TestSaveAllLoadAllRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	st := stats.New()
+	reg := buildRegistry(t, st)
+	if err := reg.SaveAll(dir, st); err != nil {
+		t.Fatalf("SaveAll: %v", err)
+	}
+	snap := st.Snapshot()
+	if snap.Checkpoints != 2 || snap.CheckpointBytes <= 0 {
+		t.Fatalf("checkpoint counters = %d / %d bytes", snap.Checkpoints, snap.CheckpointBytes)
+	}
+
+	st2 := stats.New()
+	reg2 := NewRegistry()
+	n, err := reg2.LoadAll(dir, st2)
+	if err != nil || n != 2 {
+		t.Fatalf("LoadAll = %d, %v", n, err)
+	}
+	snap2 := st2.Snapshot()
+	if snap2.TailsTruncated != 0 || snap2.RecordsQuarantined != 0 {
+		t.Fatalf("clean load reported damage: %+v", snap2)
+	}
+	if snap2.RecordsReplayed != 4 { // 2 scenes × (meta + dataset)
+		t.Fatalf("RecordsReplayed = %d, want 4", snap2.RecordsReplayed)
+	}
+	// Order, shape, and content survive.
+	if def := reg2.Default(); def == nil || def.Name != "city" {
+		t.Fatalf("default scene = %v", reg2.Names())
+	}
+	for _, name := range []string{"city", "park"} {
+		orig, _ := reg.Get(name)
+		got, ok := reg2.Get(name)
+		if !ok {
+			t.Fatalf("scene %q lost", name)
+		}
+		if got.Levels != orig.Levels || got.Shards != orig.Shards {
+			t.Fatalf("scene %q: levels %d/%d shards %d/%d",
+				name, got.Levels, orig.Levels, got.Shards, orig.Shards)
+		}
+		if got.Source.NumCoeffs() != orig.Source.NumCoeffs() {
+			t.Fatalf("scene %q: %d coeffs, want %d",
+				name, got.Source.NumCoeffs(), orig.Source.NumCoeffs())
+		}
+		if got.Dataset == nil {
+			t.Fatalf("scene %q restored without dataset", name)
+		}
+	}
+}
+
+func TestLoadAllTornTailRecovers(t *testing.T) {
+	dir := t.TempDir()
+	st := stats.New()
+	reg := buildRegistry(t, st)
+	if err := reg.SaveAll(dir, st); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the city checkpoint: append a partial record, as a crash
+	// during a (hypothetical) in-place write would.
+	path := CheckpointPath(dir, "city")
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{9, 0, 0, 0, 0xAB}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2 := stats.New()
+	reg2 := NewRegistry()
+	n, err := reg2.LoadAll(dir, st2)
+	if err != nil || n != 2 {
+		t.Fatalf("LoadAll = %d, %v", n, err)
+	}
+	snap := st2.Snapshot()
+	if snap.TailsTruncated != 1 {
+		t.Fatalf("TailsTruncated = %d, want 1", snap.TailsTruncated)
+	}
+	// Nothing invented: the scene's content matches the original.
+	orig, _ := reg.Get("city")
+	got, _ := reg2.Get("city")
+	if got.Source.NumCoeffs() != orig.Source.NumCoeffs() {
+		t.Fatalf("torn-tail load changed content: %d vs %d coeffs",
+			got.Source.NumCoeffs(), orig.Source.NumCoeffs())
+	}
+}
+
+func TestLoadAllSkipsHopelessFile(t *testing.T) {
+	dir := t.TempDir()
+	st := stats.New()
+	reg := buildRegistry(t, st)
+	if err := reg.SaveAll(dir, st); err != nil {
+		t.Fatal(err)
+	}
+	// Destroy the park checkpoint's header entirely.
+	if err := os.WriteFile(CheckpointPath(dir, "park"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2 := stats.New()
+	reg2 := NewRegistry()
+	n, err := reg2.LoadAll(dir, st2)
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("loaded %d scenes, want just the intact one", n)
+	}
+	if _, ok := reg2.Get("city"); !ok {
+		t.Fatal("intact scene lost")
+	}
+}
+
+func TestLoadAllEmptyDir(t *testing.T) {
+	reg := NewRegistry()
+	n, err := reg.LoadAll(t.TempDir(), stats.New())
+	if err != nil || n != 0 {
+		t.Fatalf("empty dir: n=%d err=%v", n, err)
+	}
+}
+
+func TestCheckpointerStopSavesKillDoesNot(t *testing.T) {
+	st := stats.New()
+	reg := buildRegistry(t, st)
+
+	// Stop: a final save happens even if no tick ever fired.
+	stopDir := filepath.Join(t.TempDir(), "stop")
+	c := reg.StartCheckpointer(stopDir, time.Hour, st, t.Logf)
+	c.Stop()
+	c.Stop() // idempotent
+	if matches, _ := filepath.Glob(filepath.Join(stopDir, "scene-*")); len(matches) != 2 {
+		t.Fatalf("Stop left %d checkpoints, want 2", len(matches))
+	}
+
+	// Kill: nothing is written.
+	killDir := filepath.Join(t.TempDir(), "kill")
+	c = reg.StartCheckpointer(killDir, time.Hour, st, t.Logf)
+	c.Kill()
+	if matches, _ := filepath.Glob(filepath.Join(killDir, "scene-*")); len(matches) != 0 {
+		t.Fatalf("Kill wrote %d checkpoints, want 0", len(matches))
+	}
+}
+
+func TestSceneWithoutDatasetSkipped(t *testing.T) {
+	st := stats.New()
+	reg := NewRegistry()
+	if _, err := reg.Build(SceneConfig{
+		Name: "bare", Source: testStore(t, 2, 9), Levels: 3, Stats: st}); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := reg.SaveAll(dir, st); err != nil {
+		t.Fatal(err)
+	}
+	if matches, _ := filepath.Glob(filepath.Join(dir, "scene-*")); len(matches) != 0 {
+		t.Fatalf("bare scene checkpointed: %v", matches)
+	}
+	if st.Snapshot().Checkpoints != 0 {
+		t.Fatal("checkpoint counter moved for a bare scene")
+	}
+}
+
+func TestSessionJournalParkTakeRestore(t *testing.T) {
+	st := stats.New()
+	reg := buildRegistry(t, st)
+	path := filepath.Join(t.TempDir(), SessionJournalFile)
+	j, err := OpenSessionJournal(path, 0, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.SetSessionJournal(j)
+
+	city, _ := reg.Get("city")
+	park, _ := reg.Get("park")
+
+	// Park two sessions with distinct state; take one back.
+	s1 := retrieval.NewSession(city.Server)
+	s1.Retrieve([]retrieval.SubQuery{{Region: city.Source.Bounds().XY(), WMin: 0, WMax: 1}})
+	if s1.Delivered() == 0 {
+		t.Fatal("test session delivered nothing")
+	}
+	e1 := &ResumeEntry{Session: s1, Seq: 3, LastIDs: []int64{1, 2}}
+	city.Resume.Put(101, e1)
+
+	s2 := retrieval.NewSession(park.Server)
+	park.Resume.Put(202, &ResumeEntry{Session: s2, Seq: 1})
+
+	s3 := retrieval.NewSession(city.Server)
+	city.Resume.Put(303, &ResumeEntry{Session: s3, Seq: 2})
+	if _, ok := city.Resume.Take(303); !ok {
+		t.Fatal("take failed")
+	}
+
+	if got := j.Parks(); got != 3 {
+		t.Fatalf("Parks = %d, want 3", got)
+	}
+	if got := j.Live(); got != 2 {
+		t.Fatalf("Live = %d, want 2", got)
+	}
+	j.Close()
+
+	// "Restart": fresh registry from the same datasets, journal replayed.
+	st2 := stats.New()
+	reg2 := buildRegistry(t, st2)
+	j2, err := OpenSessionJournal(path, 0, st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	reg2.SetSessionJournal(j2)
+	if restored := j2.Restore(reg2); restored != 2 {
+		t.Fatalf("Restore = %d, want 2", restored)
+	}
+	if st2.Snapshot().RecordsReplayed == 0 {
+		t.Fatal("replay not counted")
+	}
+
+	city2, _ := reg2.Get("city")
+	got, ok := city2.Resume.Take(101)
+	if !ok {
+		t.Fatal("restored session not resumable")
+	}
+	if !got.Restored || got.Seq != 3 || len(got.LastIDs) != 2 {
+		t.Fatalf("restored entry = %+v", got)
+	}
+	if got.Session.Delivered() != s1.Delivered() {
+		t.Fatalf("delivered set %d, want %d", got.Session.Delivered(), s1.Delivered())
+	}
+	for _, id := range s1.DeliveredIDs() {
+		if !got.Session.Has(id) {
+			t.Fatalf("restored session missing id %d", id)
+		}
+	}
+	// The taken token must not come back on a second restore pass.
+	park2, _ := reg2.Get("park")
+	if park2.Resume.Len() != 1 {
+		t.Fatalf("park cache = %d entries, want 1", park2.Resume.Len())
+	}
+	if _, ok := city2.Resume.Take(303); ok {
+		t.Fatal("tombstoned session resurrected")
+	}
+}
+
+func TestSessionJournalExpiredNotRestored(t *testing.T) {
+	st := stats.New()
+	reg := buildRegistry(t, st)
+	reg.SetResumeCache(16, time.Millisecond)
+	path := filepath.Join(t.TempDir(), SessionJournalFile)
+	j, err := OpenSessionJournal(path, 0, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.SetSessionJournal(j)
+	city, _ := reg.Get("city")
+	city.Resume.Put(7, &ResumeEntry{Session: retrieval.NewSession(city.Server)})
+	j.Close()
+	time.Sleep(5 * time.Millisecond)
+
+	st2 := stats.New()
+	reg2 := buildRegistry(t, st2)
+	j2, err := OpenSessionJournal(path, 0, st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if restored := j2.Restore(reg2); restored != 0 {
+		t.Fatalf("expired session restored (%d)", restored)
+	}
+}
+
+func TestSessionJournalCompaction(t *testing.T) {
+	st := stats.New()
+	reg := buildRegistry(t, st)
+	path := filepath.Join(t.TempDir(), SessionJournalFile)
+	// Tiny bound so churn triggers compaction quickly.
+	j, err := OpenSessionJournal(path, 4096, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.SetSessionJournal(j)
+	city, _ := reg.Get("city")
+	for i := uint64(1); i <= 200; i++ {
+		city.Resume.Put(i, &ResumeEntry{Session: retrieval.NewSession(city.Server), Seq: int64(i)})
+		if i > 1 {
+			city.Resume.Take(i - 1)
+		}
+	}
+	if st.Snapshot().JournalCompactions == 0 {
+		t.Fatal("no compaction despite churn past the bound")
+	}
+	if size := j.j.Size(); size > 64*1024 {
+		t.Fatalf("journal grew unboundedly: %d bytes", size)
+	}
+	j.Close()
+
+	// The compacted journal still replays to exactly the live set.
+	st2 := stats.New()
+	reg2 := buildRegistry(t, st2)
+	j2, err := OpenSessionJournal(path, 4096, st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if restored := j2.Restore(reg2); restored != 1 {
+		t.Fatalf("Restore after compaction = %d, want 1", restored)
+	}
+	city2, _ := reg2.Get("city")
+	if e, ok := city2.Resume.Take(200); !ok || e.Seq != 200 {
+		t.Fatalf("survivor = %+v ok=%v", e, ok)
+	}
+}
+
+func TestSessionJournalKillFreezesDisk(t *testing.T) {
+	st := stats.New()
+	reg := buildRegistry(t, st)
+	path := filepath.Join(t.TempDir(), SessionJournalFile)
+	j, err := OpenSessionJournal(path, 0, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.SetSessionJournal(j)
+	city, _ := reg.Get("city")
+	city.Resume.Put(1, &ResumeEntry{Session: retrieval.NewSession(city.Server)})
+	j.Kill()
+	// Post-kill parks still work in memory but never reach disk.
+	city.Resume.Put(2, &ResumeEntry{Session: retrieval.NewSession(city.Server)})
+	if city.Resume.Len() != 2 {
+		t.Fatalf("in-memory cache = %d, want 2", city.Resume.Len())
+	}
+	if j.Parks() != 1 {
+		t.Fatalf("Parks = %d, want 1 (post-kill park counted)", j.Parks())
+	}
+	j.Close()
+
+	st2 := stats.New()
+	j2, err := OpenSessionJournal(path, 0, st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Live() != 1 {
+		t.Fatalf("disk has %d live sessions, want 1", j2.Live())
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/retrieval"
 	"repro/internal/stats"
+	"repro/internal/workload"
 )
 
 // MaxSceneName bounds scene names on the wire and in the registry.
@@ -58,13 +59,24 @@ type Scene struct {
 	Server *retrieval.Server
 	Levels int
 	Resume *ResumeCache
+	// Dataset is the serializable form of the scene's data, when known —
+	// the payload SaveAll checkpoints. Scenes registered from a bare
+	// source have no dataset and are skipped by checkpointing.
+	Dataset *workload.Dataset
+	// Shards records the index shard count the scene was built with, so
+	// a checkpoint restore rebuilds the same partitioning.
+	Shards int
 }
 
 // SceneConfig describes a scene for Registry.Build.
 type SceneConfig struct {
 	Name   string
 	Source index.CoefficientSource
-	Levels int
+	// Dataset optionally supplies the scene's serializable dataset; when
+	// Source is nil, the dataset's store is the source. Only
+	// dataset-backed scenes participate in durable checkpoints.
+	Dataset *workload.Dataset
+	Levels  int
 	// Layout selects the index dimensionality (default XYW, as the
 	// paper's experiments use).
 	Layout index.Layout
@@ -81,9 +93,10 @@ type SceneConfig struct {
 // every connection handshake and scene switch, so lookups take a read
 // lock only.
 type Registry struct {
-	mu     sync.RWMutex
-	scenes map[string]*Scene
-	order  []string
+	mu      sync.RWMutex
+	scenes  map[string]*Scene
+	order   []string
+	journal *SessionJournal
 }
 
 // NewRegistry creates an empty registry.
@@ -116,12 +129,16 @@ func (r *Registry) AddScene(name string, srv *retrieval.Server, levels int) (*Sc
 	}
 	r.scenes[name] = sc
 	r.order = append(r.order, name)
+	sc.Resume.attachJournal(r.journal, name)
 	return sc, nil
 }
 
 // Build constructs a scene from a coefficient source — sharded index,
 // retrieval server, stats wiring — and registers it.
 func (r *Registry) Build(cfg SceneConfig) (*Scene, error) {
+	if cfg.Source == nil && cfg.Dataset != nil {
+		cfg.Source = cfg.Dataset.Store
+	}
 	if cfg.Source == nil {
 		return nil, fmt.Errorf("engine: scene %q has no source", cfg.Name)
 	}
@@ -133,7 +150,13 @@ func (r *Registry) Build(cfg SceneConfig) (*Scene, error) {
 	idx.SetStats(st)
 	srv := retrieval.NewServer(cfg.Source, idx)
 	srv.SetStats(st)
-	return r.AddScene(cfg.Name, srv, cfg.Levels)
+	sc, err := r.AddScene(cfg.Name, srv, cfg.Levels)
+	if err != nil {
+		return nil, err
+	}
+	sc.Dataset = cfg.Dataset
+	sc.Shards = cfg.Shards
+	return sc, nil
 }
 
 // Get returns the scene by name; the empty name resolves to the default
@@ -179,12 +202,34 @@ func (r *Registry) Len() int {
 
 // SetResumeCache replaces every scene's resume cache with one of the
 // given bounds (capacity 0 disables resumption). Call before serving.
+// An attached session journal carries over to the new caches.
 func (r *Registry) SetResumeCache(capacity int, ttl time.Duration) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for _, sc := range r.scenes {
+	for name, sc := range r.scenes {
 		sc.Resume = NewResumeCache(capacity, ttl)
+		sc.Resume.attachJournal(r.journal, name)
 	}
+}
+
+// SetSessionJournal attaches a durable session journal: from now on
+// every scene's resume cache mirrors its parked sessions into it, so
+// they survive a restart. Call before serving (after the scenes are
+// registered); nil detaches.
+func (r *Registry) SetSessionJournal(j *SessionJournal) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.journal = j
+	for name, sc := range r.scenes {
+		sc.Resume.attachJournal(j, name)
+	}
+}
+
+// Journal returns the attached session journal (nil when none).
+func (r *Registry) Journal() *SessionJournal {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.journal
 }
 
 // ResumeLen sums the parked sessions across every scene's resume cache

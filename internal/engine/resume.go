@@ -24,7 +24,11 @@ type ResumeEntry struct {
 	Session *retrieval.Session
 	Seq     int64
 	LastIDs []int64
-	expires time.Time
+	// Restored marks an entry rebuilt from the durable session journal
+	// after a restart; the wire server counts the resume that consumes
+	// it (stats.RecordResumeRestored) and clears the flag.
+	Restored bool
+	expires  time.Time
 }
 
 // ResumeCache is a bounded TTL cache of closed sessions keyed by token.
@@ -38,6 +42,24 @@ type ResumeCache struct {
 	ttl      time.Duration
 	entries  map[uint64]*ResumeEntry
 	order    []uint64 // insertion (≈ close-time) order for eviction
+	// journal, when attached, durably mirrors the cache: parks are
+	// appended on Put, tombstones on Take and eviction. Journal calls
+	// run outside the cache mutex (they fsync).
+	journal *SessionJournal
+	scene   string
+}
+
+// attachJournal mirrors this cache into a durable session journal (nil
+// detaches). The scene name keys the journal's records so a restore
+// re-parks each session in the right scene.
+func (c *ResumeCache) attachJournal(j *SessionJournal, scene string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.journal = j
+	c.scene = scene
 }
 
 // NewResumeCache creates a cache holding at most capacity sessions
@@ -58,9 +80,9 @@ func (c *ResumeCache) Put(token uint64, e *ResumeEntry) {
 	}
 	e.expires = time.Now().Add(c.ttl)
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	// Evict expired entries first, then the oldest live one if still full.
 	// order may hold tokens already consumed by Take; skip them.
+	var evicted []uint64
 	for len(c.order) > 0 {
 		t := c.order[0]
 		old, ok := c.entries[t]
@@ -68,10 +90,43 @@ func (c *ResumeCache) Put(token uint64, e *ResumeEntry) {
 			break
 		}
 		c.order = c.order[1:]
+		if ok {
+			evicted = append(evicted, t)
+		}
 		delete(c.entries, t)
 	}
 	c.entries[token] = e
 	c.order = append(c.order, token)
+	j, scene := c.journal, c.scene
+	c.mu.Unlock()
+	if j != nil {
+		for _, t := range evicted {
+			j.RecordTake(t)
+		}
+		j.RecordPark(token, scene, e)
+	}
+}
+
+// putRestored re-parks a journal-recovered session under its original
+// token and original expiry, without journaling it again (it is already
+// the journal's live state). Restores never evict: a full cache drops
+// the restore instead. Reports whether the entry was parked.
+func (c *ResumeCache) putRestored(token uint64, e *ResumeEntry, expires time.Time) bool {
+	if c == nil || c.capacity <= 0 || token == 0 || time.Now().After(expires) {
+		return false
+	}
+	e.expires = expires
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries) >= c.capacity {
+		return false
+	}
+	if _, dup := c.entries[token]; dup {
+		return false
+	}
+	c.entries[token] = e
+	c.order = append(c.order, token)
+	return true
 }
 
 // Take removes and returns the session for token, if present and fresh.
@@ -80,13 +135,21 @@ func (c *ResumeCache) Take(token uint64) (*ResumeEntry, bool) {
 		return nil, false
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	e, ok := c.entries[token]
 	if !ok {
+		c.mu.Unlock()
 		return nil, false
 	}
 	delete(c.entries, token)
-	if time.Now().After(e.expires) {
+	fresh := !time.Now().After(e.expires)
+	j := c.journal
+	c.mu.Unlock()
+	if j != nil {
+		// The token is consumed either way — resumed or expired — so the
+		// journal tombstones it either way.
+		j.RecordTake(token)
+	}
+	if !fresh {
 		return nil, false
 	}
 	return e, true

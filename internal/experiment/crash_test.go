@@ -1,0 +1,44 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunCrash is the kill-restart acceptance test: a resilient client
+// streams under faultnet while the server is killed three times at
+// seeded random frames and restarted from its checkpoints and session
+// journal. RunCrash itself enforces the acceptance criteria — meshes
+// byte-identical to a crash-free oracle, at least one resume served from
+// the recovered journal, and the injected torn tails truncated without
+// inventing data — and returns an error if any fails.
+func TestRunCrash(t *testing.T) {
+	var b strings.Builder
+	if err := RunCrash(CrashSpec{Seed: 7}, &b); err != nil {
+		t.Fatalf("crash experiment failed: %v\n%s", err, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{"crash-restart", "restarts 3", "convergence OK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunCrashColdJournal is the cold-journal regression: the session
+// journal is deleted at every restart, so no resume can be served from
+// recovered state — every reconnect across a restart falls back to a
+// full re-plan, which must still converge byte-identically. RunCrash
+// asserts both (zero restored resumes, at least one re-plan).
+func TestRunCrashColdJournal(t *testing.T) {
+	var b strings.Builder
+	if err := RunCrash(CrashSpec{Seed: 7, ColdJournal: true}, &b); err != nil {
+		t.Fatalf("cold-journal crash experiment failed: %v\n%s", err, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{"cold journal", "restored-journal resumes 0", "convergence OK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -5,13 +5,13 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/geom"
 	"repro/internal/index"
+	"repro/internal/persist"
 	"repro/internal/rtree"
 	"repro/internal/workload"
 )
@@ -217,7 +217,7 @@ func RunShardBench(spec ShardBenchSpec, jsonPath string, w io.Writer) (*ShardBen
 		if err != nil {
 			return nil, err
 		}
-		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+		if err := persist.WriteBytesAtomic(jsonPath, append(buf, '\n')); err != nil {
 			return nil, err
 		}
 		fmt.Fprintf(w, "  wrote %s\n", jsonPath)

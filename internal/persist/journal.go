@@ -1,0 +1,181 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Journal is an append-only record log with crash-safe recovery. Each
+// Append hands the OS exactly one write() for the whole framed record,
+// so a process killed mid-append leaves either the complete record or
+// a torn tail — never interleaved fragments — and OpenJournal's
+// recovery truncates that tail away.
+//
+// The journal is safe for concurrent use. Kill and SetFailpoint exist
+// for the crash-injection harness: a killed journal silently accepts
+// and discards appends (like a dead process, from the caller's point
+// of view nothing is durable after the kill instant), and a failpoint
+// tears the file mid-record at a chosen byte.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	size int64
+	// failAfter tears the next appends once size reaches it; <0 = off.
+	failAfter int64
+	killed    bool
+}
+
+// OpenJournal opens (or creates) the journal at path, recovering any
+// salvageable records first: a torn tail is truncated in place, corrupt
+// records are quarantined, and the recovered payloads are returned in
+// append order. The journal is then positioned for further appends.
+func OpenJournal(path string) (*Journal, [][]byte, Recovery, error) {
+	recs, rec, err := RecoverFile(path)
+	if err != nil {
+		return nil, nil, rec, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, rec, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, rec, err
+	}
+	j := &Journal{f: f, path: path, size: st.Size(), failAfter: -1}
+	if j.size == 0 {
+		// Fresh file: lay down the header so recovery recognizes it.
+		var hdr [HeaderBytes]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], Magic)
+		binary.LittleEndian.PutUint32(hdr[4:8], Version)
+		if _, err := f.Write(hdr[:]); err != nil {
+			f.Close()
+			return nil, nil, rec, err
+		}
+		j.size = HeaderBytes
+	} else if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, rec, err
+	}
+	return j, recs, rec, nil
+}
+
+// Append frames payload and appends it with a single write. After Kill
+// the append is silently dropped (the "process" is dead); a torn
+// failpoint write reports ErrKilled once and drops everything after.
+func (j *Journal) Append(payload []byte) error {
+	buf, err := EncodeRecord(payload)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.killed {
+		return nil
+	}
+	if j.failAfter >= 0 && j.size+int64(len(buf)) > j.failAfter {
+		// Crash lands inside this append: write the partial prefix (the
+		// torn tail recovery will cut off) and die.
+		room := j.failAfter - j.size
+		if room > 0 {
+			n, _ := j.f.Write(buf[:room])
+			j.size += int64(n)
+			j.f.Sync()
+		}
+		j.killed = true
+		return ErrKilled
+	}
+	n, err := j.f.Write(buf)
+	j.size += int64(n)
+	if err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Size returns the journal file's current size in bytes.
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
+}
+
+// SetFailpoint arms the crash failpoint: once the file grows n more
+// bytes, the append in flight is torn mid-record and the journal dies.
+// n < 0 disables.
+func (j *Journal) SetFailpoint(n int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n < 0 {
+		j.failAfter = -1
+		return
+	}
+	j.failAfter = j.size + n
+}
+
+// Kill simulates the owning process dying: every later Append, Rewrite,
+// and Sync is a silent no-op, so nothing after the kill instant reaches
+// disk. The file handle stays open only to be ignored.
+func (j *Journal) Kill() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.killed = true
+}
+
+// Killed reports whether Kill was called (or a failpoint fired).
+func (j *Journal) Killed() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.killed
+}
+
+// Rewrite atomically replaces the journal's contents with exactly the
+// given payloads — compaction. The live file handle is swapped to the
+// new file; on any error the old journal remains intact.
+func (j *Journal) Rewrite(payloads [][]byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.killed {
+		return nil
+	}
+	written, err := WriteFileAtomic(j.path, func(w *Writer) error {
+		for _, p := range payloads {
+			if err := w.WriteRecord(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(j.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: reopening compacted journal: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return err
+	}
+	j.f.Close()
+	j.f = f
+	j.size = written
+	return nil
+}
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

@@ -348,6 +348,12 @@ func (s *Server) handle(conn net.Conn) {
 			sess = prev
 			started = true
 			s.st.RecordResume(true)
+			if prev.Restored {
+				// This session crossed a server restart via the recovered
+				// journal — the crash-safety win worth its own counter.
+				s.st.RecordResumeRestored()
+				prev.Restored = false
+			}
 			if err := w.WriteResumeOK(ResumeOK{Seq: sess.Seq, Delivered: int64(sess.Session.Delivered())}); err != nil {
 				s.logf("proto: resume reply to %v failed: %v", conn.RemoteAddr(), err)
 				return

@@ -8,6 +8,7 @@ package retrieval
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -300,6 +301,30 @@ func (s *Session) Forget(ids []int64) {
 
 // Has reports whether a coefficient has been delivered to this client.
 func (s *Session) Has(id int64) bool { return s.delivered[id] }
+
+// DeliveredIDs returns the delivered set as a sorted slice — the
+// serializable form of the session for the durable session journal.
+// Sorting makes the encoding deterministic (byte-identical journals
+// for identical sessions).
+func (s *Session) DeliveredIDs() []int64 {
+	ids := make([]int64, 0, len(s.delivered))
+	for id := range s.delivered {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// RestoreSession rebuilds a session from a journaled delivered set —
+// the inverse of DeliveredIDs, used when a restarted server replays
+// its session journal.
+func RestoreSession(srv *Server, delivered []int64) *Session {
+	s := &Session{srv: srv, delivered: make(map[int64]bool, len(delivered))}
+	for _, id := range delivered {
+		s.delivered[id] = true
+	}
+	return s
+}
 
 // Client runs Algorithm 1 (ContinuousDataRetrieval) against a session:
 // each frame is diffed against the previous one, the speed is mapped to a

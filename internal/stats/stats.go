@@ -145,6 +145,20 @@ type Stats struct {
 	shed         atomic.Int64
 	faults       atomic.Int64
 
+	// Persistence counters (see DESIGN.md "Persistence & crash
+	// recovery"): durable checkpoints written and their total bytes,
+	// journal/checkpoint records replayed at startup, torn tails
+	// truncated, records quarantined for checksum mismatch, session-
+	// journal compactions, and resumes served from a journal recovered
+	// after a restart (a subset of resumeHits).
+	checkpoints        atomic.Int64
+	checkpointBytes    atomic.Int64
+	recordsReplayed    atomic.Int64
+	tailsTruncated     atomic.Int64
+	recordsQuarantined atomic.Int64
+	journalCompactions atomic.Int64
+	resumesRestored    atomic.Int64
+
 	latency   Histogram // per-request latency in nanoseconds
 	requestIO Histogram // index node reads per request
 	backoff   Histogram // client backoff sleeps in nanoseconds
@@ -268,6 +282,46 @@ func (s *Stats) RecordFault() {
 	s.faults.Add(1)
 }
 
+// RecordCheckpoint accounts one durable checkpoint written to disk and
+// its size in bytes.
+func (s *Stats) RecordCheckpoint(bytes int64) {
+	if s == nil {
+		return
+	}
+	s.checkpoints.Add(1)
+	s.checkpointBytes.Add(bytes)
+}
+
+// RecordRecovery accounts one startup recovery pass: records replayed
+// from disk, torn tails truncated, and records quarantined for
+// checksum mismatch.
+func (s *Stats) RecordRecovery(replayed, truncated, quarantined int64) {
+	if s == nil {
+		return
+	}
+	s.recordsReplayed.Add(replayed)
+	s.tailsTruncated.Add(truncated)
+	s.recordsQuarantined.Add(quarantined)
+}
+
+// RecordCompaction counts one session-journal compaction rewrite.
+func (s *Stats) RecordCompaction() {
+	if s == nil {
+		return
+	}
+	s.journalCompactions.Add(1)
+}
+
+// RecordResumeRestored counts one resume served from state recovered
+// off disk after a restart — always accompanied by a RecordResume(true)
+// for the same handshake.
+func (s *Stats) RecordResumeRestored() {
+	if s == nil {
+		return
+	}
+	s.resumesRestored.Add(1)
+}
+
 // RecordBuffer accounts one buffer-manager step: blocks found in the
 // buffer, blocks fetched on demand, and the bytes moved over the link.
 func (s *Stats) RecordBuffer(hits, misses int, demandBytes, prefetchBytes int64) {
@@ -305,6 +359,14 @@ type Snapshot struct {
 	Shed         int64
 	Faults       int64
 
+	Checkpoints        int64
+	CheckpointBytes    int64
+	RecordsReplayed    int64
+	TailsTruncated     int64
+	RecordsQuarantined int64
+	JournalCompactions int64
+	ResumesRestored    int64
+
 	Latency   HistogramSnapshot
 	RequestIO HistogramSnapshot
 	Backoff   HistogramSnapshot
@@ -341,6 +403,15 @@ func (s *Stats) Snapshot() Snapshot {
 		Degraded:       s.degraded.Load(),
 		Shed:           s.shed.Load(),
 		Faults:         s.faults.Load(),
+
+		Checkpoints:        s.checkpoints.Load(),
+		CheckpointBytes:    s.checkpointBytes.Load(),
+		RecordsReplayed:    s.recordsReplayed.Load(),
+		TailsTruncated:     s.tailsTruncated.Load(),
+		RecordsQuarantined: s.recordsQuarantined.Load(),
+		JournalCompactions: s.journalCompactions.Load(),
+		ResumesRestored:    s.resumesRestored.Load(),
+
 		Latency:        s.latency.Snapshot(),
 		RequestIO:      s.requestIO.Snapshot(),
 		Backoff:        s.backoff.Snapshot(),
@@ -354,14 +425,19 @@ func (s Snapshot) String() string {
 		"sessions %d/%d active/opened · requests %d (%d errors) · sub-queries %d · "+
 			"index io %d · delivered %d coeffs / %s · latency mean %v p50 ≤%v p99 ≤%v · "+
 			"buffer %d/%d hit/miss · link %s demand + %s prefetch · "+
-			"retries %d (%d timeouts) · resume %d/%d hit/miss · degraded %d · shed %d · faults %d",
+			"retries %d (%d timeouts) · resume %d/%d hit/miss · degraded %d · shed %d · faults %d · "+
+			"checkpoints %d / %s · recovery %d replayed / %d truncated / %d quarantined · "+
+			"compactions %d · restored resumes %d",
 		s.SessionsActive, s.SessionsOpened, s.Requests, s.Errors, s.SubQueries,
 		s.IndexIO, s.Coeffs, fmtBytes(s.Bytes),
 		time.Duration(int64(s.Latency.Mean())).Round(time.Microsecond),
 		time.Duration(s.Latency.Quantile(0.50)).Round(time.Microsecond),
 		time.Duration(s.Latency.Quantile(0.99)).Round(time.Microsecond),
 		s.BufferHits, s.BufferMisses, fmtBytes(s.DemandBytes), fmtBytes(s.PrefetchBytes),
-		s.Retries, s.Timeouts, s.ResumeHits, s.ResumeMisses, s.Degraded, s.Shed, s.Faults) +
+		s.Retries, s.Timeouts, s.ResumeHits, s.ResumeMisses, s.Degraded, s.Shed, s.Faults,
+		s.Checkpoints, fmtBytes(s.CheckpointBytes),
+		s.RecordsReplayed, s.TailsTruncated, s.RecordsQuarantined,
+		s.JournalCompactions, s.ResumesRestored) +
 		s.breakdownString()
 }
 

@@ -21,6 +21,10 @@ func TestNilStatsIsSafe(t *testing.T) {
 	s.RecordDegraded()
 	s.RecordShed()
 	s.RecordFault()
+	s.RecordCheckpoint(1024)
+	s.RecordRecovery(3, 1, 2)
+	s.RecordCompaction()
+	s.RecordResumeRestored()
 	s.RecordScene("a", 1, 2, 3)
 	s.EnsureShards(4)
 	s.RecordShard(0, 9)
@@ -192,6 +196,44 @@ func TestResilienceCounters(t *testing.T) {
 
 	line := got.String()
 	for _, want := range []string{"retries 2", "resume 2/1 hit/miss", "shed 1", "faults 3"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("summary %q missing %q", line, want)
+		}
+	}
+}
+
+// TestPersistenceCounters covers the durability counters: checkpoints
+// written (with their byte volume), recovery replay/truncation/
+// quarantine tallies, journal compactions, and resumes served from
+// recovered state.
+func TestPersistenceCounters(t *testing.T) {
+	s := New()
+	s.RecordCheckpoint(4096)
+	s.RecordCheckpoint(1024)
+	s.RecordRecovery(7, 1, 2)
+	s.RecordRecovery(3, 0, 0)
+	s.RecordCompaction()
+	s.RecordResume(true)
+	s.RecordResumeRestored()
+
+	got := s.Snapshot()
+	if got.Checkpoints != 2 || got.CheckpointBytes != 5120 {
+		t.Errorf("checkpoints %d / %d bytes", got.Checkpoints, got.CheckpointBytes)
+	}
+	if got.RecordsReplayed != 10 || got.TailsTruncated != 1 || got.RecordsQuarantined != 2 {
+		t.Errorf("recovery = %d replayed / %d truncated / %d quarantined",
+			got.RecordsReplayed, got.TailsTruncated, got.RecordsQuarantined)
+	}
+	if got.JournalCompactions != 1 || got.ResumesRestored != 1 {
+		t.Errorf("compactions %d restored %d", got.JournalCompactions, got.ResumesRestored)
+	}
+	if got.ResumesRestored > got.ResumeHits {
+		t.Errorf("restored resumes %d exceed resume hits %d", got.ResumesRestored, got.ResumeHits)
+	}
+
+	line := got.String()
+	for _, want := range []string{"checkpoints 2 / 5.0 KB", "recovery 10 replayed / 1 truncated / 2 quarantined",
+		"compactions 1", "restored resumes 1"} {
 		if !strings.Contains(line, want) {
 			t.Errorf("summary %q missing %q", line, want)
 		}

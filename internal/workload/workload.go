@@ -16,6 +16,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/index"
 	"repro/internal/mesh"
+	"repro/internal/persist"
 	"repro/internal/wavelet"
 )
 
@@ -247,16 +248,10 @@ func Load(r io.Reader, rebuildFinals bool) (*Dataset, error) {
 }
 
 // SaveFile and LoadFile are file-path conveniences over Save and Load.
+// SaveFile writes atomically (temp file + fsync + rename), so a crash
+// mid-save never leaves a truncated dataset where a good one stood.
 func (d *Dataset) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := d.Save(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return persist.WriteToAtomic(path, d.Save)
 }
 
 // LoadFile opens and deserializes a dataset file.
