@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-shards soak fault crash fuzz ci
+.PHONY: build test race vet bench bench-shards bench-serve soak fault crash fuzz ci
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,13 @@ bench:
 # artifact the README's engine section discusses.
 bench-shards: build
 	$(GO) run ./cmd/experiments -bench-shards BENCH_shards.json -objects 60
+
+# Steady-state serve path: 5 end-to-end Execute+encode runs per mode at
+# 1/8/64 concurrent clients, fresh-allocation baseline vs the pooled
+# cursor/cache path; emits BENCH_serve.json and prints the delta against
+# the previous artifact (see DESIGN.md "Memory discipline").
+bench-serve: build
+	$(GO) run ./cmd/experiments -bench-serve BENCH_serve.json
 
 # Just the concurrency-focused tests, verbosely.
 soak:
@@ -67,3 +74,6 @@ fuzz:
 	$(GO) test -fuzz 'FuzzScan$$' -fuzztime 10s -run '^$$' ./internal/persist/
 
 ci: build vet test race crash fuzz
+	# Informational serve-path delta (never fails the gate): regenerates
+	# BENCH_serve.json and prints the change vs the previous artifact.
+	-$(MAKE) bench-serve

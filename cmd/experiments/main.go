@@ -8,6 +8,7 @@
 //	experiments [-quick] [-fig fig8,fig12] [-objects N] [-tours N]
 //	            [-steps N] [-seed N] [-o out.txt] [-stats 0] [-stats-dump]
 //	            [-fault] [-crash] [-shards N] [-bench-shards out.json]
+//	            [-bench-serve out.json]
 package main
 
 import (
@@ -51,6 +52,10 @@ func main() {
 
 		benchShards = flag.String("bench-shards", "", "run the shard-scaling benchmark and write its JSON result to this file")
 		benchDur    = flag.Duration("bench-duration", 300*time.Millisecond, "measurement window per shard-bench configuration")
+
+		benchServe       = flag.String("bench-serve", "", "run the steady-state serve-path benchmark and write its JSON result to this file")
+		benchServeFrames = flag.Int("bench-serve-frames", 0, "frames per client per serve-bench run (0 = default 200)")
+		benchServeRuns   = flag.Int("bench-serve-runs", 0, "serve-bench repetitions per configuration (0 = default 5)")
 	)
 	statsFlags := stats.RegisterFlags(flag.CommandLine, 0)
 	flag.Parse()
@@ -86,6 +91,21 @@ func main() {
 			Duration: *benchDur,
 		}
 		if _, err := experiment.RunShardBench(spec, *benchShards, w); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *benchServe != "" {
+		spec := experiment.ServeBenchSpec{
+			Seed:    *seed,
+			Objects: *objects,
+			Shards:  *shards,
+			Frames:  *benchServeFrames,
+			Runs:    *benchServeRuns,
+		}
+		if _, err := experiment.RunServeBench(spec, *benchServe, w); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}

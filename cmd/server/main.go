@@ -19,11 +19,14 @@
 //	       [-stats 30s] [-stats-dump] [-workers 0] [-max-sessions 0]
 //	       [-idle-timeout 2m] [-frame-timeout 30s] [-drain-timeout 5s]
 //	       [-resume-cache 1024] [-resume-ttl 2m]
+//	       [-hot-cache] [-pprof-addr localhost:6060]
 package main
 
 import (
 	"flag"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // side profiling listener, gated by -pprof-addr
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -32,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/hotcache"
 	"repro/internal/proto"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -53,6 +57,9 @@ func main() {
 
 		dataDir      = flag.String("data-dir", "", "durable state directory (scene checkpoints + session journal); empty disables persistence")
 		ckptInterval = flag.Duration("checkpoint-interval", time.Minute, "how often scenes are checkpointed into -data-dir")
+
+		hotCache  = flag.Bool("hot-cache", false, "enable the per-scene hot-region result cache")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this side listener (empty disables)")
 
 		maxSessions  = flag.Int("max-sessions", 0, "shed connections beyond this many concurrent sessions (0 = unlimited)")
 		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "disconnect a session silent for this long (0 disables)")
@@ -153,6 +160,20 @@ func main() {
 				build(name, sd)
 			}
 		}
+	}
+
+	if *hotCache {
+		reg.EnableHotCache(hotcache.Config{}, stats.Default)
+		log.Printf("hot-region result cache enabled for %d scene(s)", reg.Len())
+	}
+	if *pprofAddr != "" {
+		// Side listener only: the serving port never exposes profiling.
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof: %v", err)
+			}
+		}()
 	}
 
 	srv := proto.NewMultiServer(reg, log.Printf)

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/hotcache"
 	"repro/internal/index"
 	"repro/internal/retrieval"
 	"repro/internal/stats"
@@ -85,6 +86,10 @@ type SceneConfig struct {
 	Shards int
 	// Stats receives this scene's counters (nil → stats.Default).
 	Stats *stats.Stats
+	// HotCache optionally equips the scene with a hot-region result
+	// cache (see internal/hotcache); nil disables it. The zero Config
+	// takes the package defaults.
+	HotCache *hotcache.Config
 }
 
 // Registry owns the scenes of one serving process. The first scene added
@@ -156,7 +161,45 @@ func (r *Registry) Build(cfg SceneConfig) (*Scene, error) {
 	}
 	sc.Dataset = cfg.Dataset
 	sc.Shards = cfg.Shards
+	if cfg.HotCache != nil {
+		enableHotCache(sc, *cfg.HotCache, st)
+	}
 	return sc, nil
+}
+
+// EnableHotCache equips every registered scene with a hot-region result
+// cache (see internal/hotcache) and registers each cache's counters as
+// a stats gauge source. Scenes whose index lacks epoch versioning (no
+// index.Epocher) are skipped — the cache cannot validate entries there.
+// Call after the scenes are registered, before serving.
+func (r *Registry) EnableHotCache(cfg hotcache.Config, st *stats.Stats) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, sc := range r.scenes {
+		enableHotCache(sc, cfg, st)
+	}
+}
+
+func enableHotCache(sc *Scene, cfg hotcache.Config, st *stats.Stats) {
+	if sc.Server.HotCache() != nil {
+		return // already wired
+	}
+	sc.Server.SetHotCache(hotcache.New(cfg))
+	c := sc.Server.HotCache()
+	if c == nil {
+		return // index has no epochs; SetHotCache declined
+	}
+	st.AddHotCacheSource(func() stats.HotCacheStats {
+		hs := c.Stats()
+		return stats.HotCacheStats{
+			Hits:          hs.Hits,
+			Misses:        hs.Misses,
+			Evictions:     hs.Evictions,
+			Invalidations: hs.Invalidations,
+			Entries:       int64(hs.Entries),
+			Bytes:         hs.Bytes,
+		}
+	})
 }
 
 // Get returns the scene by name; the empty name resolves to the default

@@ -2,10 +2,12 @@ package engine
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/hotcache"
 	"repro/internal/index"
 	"repro/internal/mesh"
 	"repro/internal/retrieval"
@@ -153,5 +155,51 @@ func TestResumeCacheBounds(t *testing.T) {
 	nilCache.Put(1, entry())
 	if _, ok := nilCache.Take(1); ok || nilCache.Len() != 0 {
 		t.Fatal("nil cache misbehaved")
+	}
+}
+
+// TestHotCacheWiring pins the hot-cache plumbing: a SceneConfig option
+// (or registry-wide enable) attaches a cache to the scene's retrieval
+// server and registers its counters as a stats gauge source, so
+// repeated identical requests show up as hits in the snapshot.
+func TestHotCacheWiring(t *testing.T) {
+	st := stats.New()
+	reg := NewRegistry()
+	sc, err := reg.Build(SceneConfig{
+		Name: "city", Source: testStore(t, 4, 1), Levels: 3, Shards: 2, Stats: st,
+		HotCache: &hotcache.Config{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Server.HotCache() == nil {
+		t.Fatal("SceneConfig.HotCache did not wire a cache")
+	}
+	other, err := reg.Build(SceneConfig{
+		Name: "park", Source: testStore(t, 2, 2), Levels: 3, Shards: 1, Stats: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Server.HotCache() != nil {
+		t.Fatal("cache wired without the option")
+	}
+	// Registry-wide enable covers the remaining scene; the already-wired
+	// one keeps its cache (and its single stats source).
+	reg.EnableHotCache(hotcache.Config{}, st)
+	if other.Server.HotCache() == nil {
+		t.Fatal("EnableHotCache skipped a scene")
+	}
+
+	subs := []retrieval.SubQuery{{Region: geom.R2(0, 0, 1000, 1000), WMin: 0, WMax: 1}}
+	sc.Server.Execute(subs, nil)
+	sc.Server.Execute(subs, nil)
+	snap := st.Snapshot()
+	if snap.HotCaches != 2 {
+		t.Fatalf("HotCaches = %d, want 2", snap.HotCaches)
+	}
+	if snap.Hot.Hits == 0 {
+		t.Fatalf("repeated request produced no cache hit: %+v", snap.Hot)
+	}
+	if !strings.Contains(snap.String(), "hot cache") {
+		t.Fatal("snapshot String omits the hot-cache section")
 	}
 }

@@ -1,0 +1,327 @@
+// Package hotcache memoizes window-query results for hot regions of a
+// scene. Continuous retrieval streams revisit the same neighbourhoods —
+// many viewers orbit the same landmark, a paused client re-requests an
+// identical frame — so the server repeatedly re-runs index searches whose
+// answers have not changed. The cache short-circuits those: a query's
+// result (the ascending id set, the node I/O it cost, and optionally the
+// serialized response payload) is stored under a quantized region key
+// and replayed verbatim while the index contents are unchanged.
+//
+// Correctness rests on two checks, both cheap:
+//
+//   - Exact-query verification. The key buckets queries by quantized
+//     region coordinates and value band, but the entry stores the exact
+//     query floats; a Get whose query differs in any coordinate is a
+//     miss, never a wrong answer. Bucketing only bounds the table size.
+//
+//   - Epoch validation. The index versions its contents seqlock-style
+//     (see index.Epocher): even when quiescent, odd while a mutation is
+//     in flight. An entry is stored stamped with the even epoch observed
+//     both before and after the populating search, and a Get is a hit
+//     only while the index still reports exactly that epoch. Any
+//     completed mutation moves the counter past the stamp, so stale
+//     results are unreachable — replayed responses are byte-identical
+//     to what an uncached search would return.
+package hotcache
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/index"
+)
+
+// Config sizes the cache and its key quantization.
+type Config struct {
+	// MaxEntries bounds the number of cached results (≤ 0 → 1024).
+	MaxEntries int
+	// MaxBytes bounds the summed size of cached id sets and payloads
+	// (≤ 0 → 8 MiB). Entries are evicted least-recently-used first.
+	MaxBytes int64
+	// CellXY is the spatial quantization cell for the region key
+	// (≤ 0 → 64 world units). Coarser cells mean fewer buckets and more
+	// last-one-wins collisions; correctness is unaffected either way.
+	CellXY float64
+	// BandW is the value-band quantization for WMin/WMax (≤ 0 → 0.25).
+	BandW float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxEntries <= 0 {
+		c.MaxEntries = 1024
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 8 << 20
+	}
+	if c.CellXY <= 0 {
+		c.CellXY = 64
+	}
+	if c.BandW <= 0 {
+		c.BandW = 0.25
+	}
+	return c
+}
+
+// key is the quantized bucket address. One bucket holds at most one
+// entry (last Put wins); the exact query lives in the entry.
+type key struct {
+	x0, y0, x1, y1 int64
+	z0, z1         int64
+	w0, w1         int64
+}
+
+// entry is one cached result. ids and payload are immutable once set
+// (readers copy out of them without holding the lock); list pointers and
+// payload attachment are guarded by the cache mutex.
+type entry struct {
+	k       key
+	q       index.Query
+	epoch   uint64
+	ids     []int64
+	io      int64
+	payload []byte
+	bytes   int64
+	prev    *entry
+	next    *entry
+}
+
+// Cache is a bounded LRU of memoized query results. All methods are safe
+// for concurrent use. The zero Cache is not usable; call New.
+type Cache struct {
+	cfg Config
+
+	mu    sync.Mutex
+	m     map[key]*entry
+	head  *entry // most recently used
+	tail  *entry // least recently used
+	bytes int64
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	evictions     atomic.Int64
+	invalidations atomic.Int64
+}
+
+// New builds an empty cache with the given bounds.
+func New(cfg Config) *Cache {
+	cfg = cfg.withDefaults()
+	return &Cache{cfg: cfg, m: make(map[key]*entry, cfg.MaxEntries)}
+}
+
+func (c *Cache) keyOf(q index.Query) key {
+	cell, band := c.cfg.CellXY, c.cfg.BandW
+	return key{
+		x0: quantize(q.Region.Min.X, cell),
+		y0: quantize(q.Region.Min.Y, cell),
+		x1: quantize(q.Region.Max.X, cell),
+		y1: quantize(q.Region.Max.Y, cell),
+		z0: quantize(q.ZMin, cell),
+		z1: quantize(q.ZMax, cell),
+		w0: quantize(q.WMin, band),
+		w1: quantize(q.WMax, band),
+	}
+}
+
+func quantize(v, cell float64) int64 {
+	f := math.Floor(v / cell)
+	// Clamp the pathological edges (±Inf, NaN, overflow) into a bucket
+	// instead of invoking undefined float→int conversion.
+	switch {
+	case math.IsNaN(f):
+		return math.MinInt64
+	case f >= math.MaxInt64:
+		return math.MaxInt64
+	case f <= math.MinInt64:
+		return math.MinInt64
+	}
+	return int64(f)
+}
+
+// Get looks the query up. On a hit it appends the cached ids to buf and
+// returns the extended buffer, the node I/O the populating search cost
+// (responses must replay it to stay byte-identical to an uncached
+// serve), and true. epoch is the index's current epoch as observed by
+// the caller; odd epochs (mutation in flight) and stale entries miss.
+func (c *Cache) Get(q index.Query, epoch uint64, buf []int64) ([]int64, int64, bool) {
+	if epoch%2 != 0 {
+		c.misses.Add(1)
+		return buf, 0, false
+	}
+	k := c.keyOf(q)
+	c.mu.Lock()
+	e := c.m[k]
+	if e == nil || e.q != q {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return buf, 0, false
+	}
+	if e.epoch != epoch {
+		c.removeLocked(e)
+		c.mu.Unlock()
+		c.invalidations.Add(1)
+		c.misses.Add(1)
+		return buf, 0, false
+	}
+	c.touchLocked(e)
+	ids, io := e.ids, e.io
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return append(buf, ids...), io, true
+}
+
+// Put stores a search result. e0 and e1 are the index epochs observed
+// immediately before and after the search ran; the entry is stored only
+// when both are the same even value — otherwise a mutation may have
+// overlapped the search and the result is silently dropped (the next
+// identical query repopulates). ids is copied; the caller keeps
+// ownership of its buffer.
+func (c *Cache) Put(q index.Query, e0, e1 uint64, ids []int64, io int64) {
+	if e0 != e1 || e0%2 != 0 {
+		return
+	}
+	e := &entry{
+		k:     c.keyOf(q),
+		q:     q,
+		epoch: e0,
+		io:    io,
+		bytes: entryOverhead + int64(len(ids))*8,
+	}
+	if len(ids) > 0 {
+		e.ids = append([]int64(nil), ids...)
+	}
+	c.mu.Lock()
+	if old := c.m[e.k]; old != nil {
+		// Last one wins — a bucket collision or an epoch refresh replaces
+		// the incumbent and counts as an eviction.
+		c.removeLocked(old)
+		c.evictions.Add(1)
+	}
+	c.m[e.k] = e
+	c.pushLocked(e)
+	c.bytes += e.bytes
+	c.evictOverflowLocked()
+	c.mu.Unlock()
+}
+
+// Payload returns the serialized response blob attached to the query's
+// entry, if the entry is still valid at the given epoch and a blob was
+// attached. The returned slice is immutable — callers write it out
+// verbatim and must not modify it.
+func (c *Cache) Payload(q index.Query, epoch uint64) ([]byte, bool) {
+	if epoch%2 != 0 {
+		return nil, false
+	}
+	k := c.keyOf(q)
+	c.mu.Lock()
+	e := c.m[k]
+	if e == nil || e.q != q || e.epoch != epoch || e.payload == nil {
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.touchLocked(e)
+	p := e.payload
+	c.mu.Unlock()
+	return p, true
+}
+
+// SetPayload attaches a serialized response blob to the query's entry so
+// later hits can skip response encoding entirely. The blob is copied.
+// No-op if the entry is gone or stale, or already has a payload.
+func (c *Cache) SetPayload(q index.Query, epoch uint64, payload []byte) {
+	if epoch%2 != 0 {
+		return
+	}
+	k := c.keyOf(q)
+	c.mu.Lock()
+	e := c.m[k]
+	if e == nil || e.q != q || e.epoch != epoch || e.payload != nil {
+		c.mu.Unlock()
+		return
+	}
+	e.payload = append([]byte(nil), payload...)
+	e.bytes += int64(len(e.payload))
+	c.bytes += int64(len(e.payload))
+	c.evictOverflowLocked()
+	c.mu.Unlock()
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits          int64
+	Misses        int64
+	Evictions     int64
+	Invalidations int64
+	Entries       int
+	Bytes         int64
+}
+
+// Stats snapshots the counters and current occupancy.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	entries, bytes := len(c.m), c.bytes
+	c.mu.Unlock()
+	return Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+		Entries:       entries,
+		Bytes:         bytes,
+	}
+}
+
+// entryOverhead approximates the fixed per-entry footprint (struct, map
+// slot, slice headers) for the byte bound.
+const entryOverhead = 160
+
+// evictOverflowLocked drops least-recently-used entries until both
+// bounds hold. The caller holds c.mu.
+func (c *Cache) evictOverflowLocked() {
+	for c.tail != nil && (len(c.m) > c.cfg.MaxEntries || c.bytes > c.cfg.MaxBytes) {
+		c.removeLocked(c.tail)
+		c.evictions.Add(1)
+	}
+}
+
+func (c *Cache) removeLocked(e *entry) {
+	delete(c.m, e.k)
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	c.bytes -= e.bytes
+}
+
+func (c *Cache) pushLocked(e *entry) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache) touchLocked(e *entry) {
+	if c.head == e {
+		return
+	}
+	// Unlink, then push to the front.
+	e.prev.next = e.next
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	c.pushLocked(e)
+}

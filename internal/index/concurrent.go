@@ -2,6 +2,7 @@ package index
 
 import (
 	"sync"
+	"sync/atomic"
 )
 
 // Mutable is an access method that supports incremental updates after its
@@ -26,6 +27,10 @@ type Mutable interface {
 type Concurrent struct {
 	mu  sync.RWMutex
 	idx Index
+	// epoch versions the wrapped contents, seqlock-style: bumped once
+	// before each write-locked mutation and once after, so it is odd
+	// while a mutation is pending or in flight — see Epoch.
+	epoch atomic.Uint64
 }
 
 // NewConcurrent wraps an index. The wrapper owns the synchronization;
@@ -60,28 +65,54 @@ func (c *Concurrent) Search(q Query) ([]int64, int64) {
 	return c.idx.Search(q)
 }
 
+// SearchInto is the allocation-free Search, delegating to the wrapped
+// index's SearchInto under the read lock when it has one (falling back
+// to Search plus an append otherwise). Same results as Search; the
+// cursor and buffer are caller-owned, one per concurrent searcher.
+func (c *Concurrent) SearchInto(q Query, buf []int64, cur *Cursor) ([]int64, int64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if is, ok := c.idx.(IntoSearcher); ok {
+		return is.SearchInto(q, buf, cur)
+	}
+	ids, io := c.idx.Search(q)
+	return append(buf, ids...), io
+}
+
+// Epoch returns the current content version — even when quiescent, odd
+// while some mutation is pending or in flight. A cached search result
+// stamped with an even epoch E is valid exactly while Epoch() == E.
+func (c *Concurrent) Epoch() uint64 { return c.epoch.Load() }
+
 // Insert indexes one coefficient under the write lock. Panics if the
 // wrapped index is not Mutable.
 func (c *Concurrent) Insert(id int64) {
+	c.epoch.Add(1)
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.mutable().Insert(id)
+	c.mu.Unlock()
+	c.epoch.Add(1)
 }
 
 // Delete removes one coefficient under the write lock. Panics if the
 // wrapped index is not Mutable.
 func (c *Concurrent) Delete(id int64) bool {
+	c.epoch.Add(1)
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.mutable().Delete(id)
+	ok := c.mutable().Delete(id)
+	c.mu.Unlock()
+	c.epoch.Add(1)
+	return ok
 }
 
 // Update runs an arbitrary batch mutation under the write lock, e.g.
 // re-indexing several coefficients atomically with respect to readers.
 func (c *Concurrent) Update(f func(Index)) {
+	c.epoch.Add(1)
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	f(c.idx)
+	c.mu.Unlock()
+	c.epoch.Add(1)
 }
 
 func (c *Concurrent) mutable() Mutable {

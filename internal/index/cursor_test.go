@@ -1,0 +1,125 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/rtree"
+)
+
+// TestSearchIntoMatchesSearch pins the allocation-free path to the
+// allocating oracle for every IntoSearcher: identical id stream and I/O
+// across random queries, with the cursor and buffer reused throughout.
+func TestSearchIntoMatchesSearch(t *testing.T) {
+	store := testStore(t, 12, 19)
+	serial := NewSharded(store, XYW, ShardedConfig{Shards: 8})
+	serial.SetParallelism(1)
+	parallel := NewSharded(store, XYW, ShardedConfig{Shards: 8, Workers: 4})
+	indexes := []IntoSearcher{
+		NewMotionAware(store, XYW, rtree.Config{}),
+		NewMotionAware(store, XYZW, rtree.Config{}),
+		serial,
+		parallel,
+		NewConcurrent(NewMotionAware(store, XYW, rtree.Config{})),
+	}
+	rng := rand.New(rand.NewSource(23))
+	bounds := store.Bounds()
+	var cur Cursor
+	var buf []int64
+	for q := 0; q < 150; q++ {
+		query := randQuery(rng, bounds)
+		for _, idx := range indexes {
+			want, wantIO := idx.Search(query)
+			var gotIO int64
+			buf, gotIO = idx.SearchInto(query, buf[:0], &cur)
+			if gotIO != wantIO {
+				t.Fatalf("%s query %d: SearchInto io %d, Search io %d", idx.Name(), q, gotIO, wantIO)
+			}
+			if !equalIDs(buf, want) {
+				t.Fatalf("%s query %d: SearchInto %d ids != Search %d ids", idx.Name(), q, len(buf), len(want))
+			}
+		}
+	}
+}
+
+// TestSearchIntoAppends pins that SearchInto appends after the buffer's
+// existing contents instead of clobbering them, and sorts only its own
+// region.
+func TestSearchIntoAppends(t *testing.T) {
+	store := testStore(t, 8, 3)
+	idx := NewSharded(store, XYW, ShardedConfig{Shards: 4})
+	q := Query{Region: store.Bounds().XY(), ZMin: 0, ZMax: 100, WMin: 0, WMax: 1}
+	want, _ := idx.Search(q)
+	if len(want) == 0 {
+		t.Fatal("whole-scene query returned nothing")
+	}
+	var cur Cursor
+	buf := []int64{-7, -3}
+	buf, _ = idx.SearchInto(q, buf, &cur)
+	if buf[0] != -7 || buf[1] != -3 {
+		t.Fatalf("prefix clobbered: %v", buf[:2])
+	}
+	if !equalIDs(buf[2:], want) {
+		t.Fatalf("appended region %d ids != Search %d ids", len(buf)-2, len(want))
+	}
+}
+
+// TestSearchIntoAllocFree pins the tentpole's steady-state contract: a
+// warmed-up serial search allocates nothing, for both the single tree
+// and the sharded fan-out at parallelism 1.
+func TestSearchIntoAllocFree(t *testing.T) {
+	store := testStore(t, 12, 5)
+	sharded := NewSharded(store, XYW, ShardedConfig{Shards: 8})
+	sharded.SetParallelism(1)
+	q := Query{Region: store.Bounds().XY(), ZMin: 0, ZMax: 100, WMin: 0, WMax: 0.5}
+	for _, idx := range []IntoSearcher{
+		NewMotionAware(store, XYW, rtree.Config{}),
+		sharded,
+	} {
+		var cur Cursor
+		var buf []int64
+		buf, _ = idx.SearchInto(q, buf[:0], &cur) // warm scratch and buffer
+		allocs := testing.AllocsPerRun(100, func() {
+			buf, _ = idx.SearchInto(q, buf[:0], &cur)
+		})
+		if allocs != 0 {
+			t.Fatalf("%s: steady-state SearchInto allocates %.1f times per run, want 0", idx.Name(), allocs)
+		}
+	}
+}
+
+// TestEpochProtocol pins the seqlock bump discipline caches depend on:
+// even at rest, +2 across every completed mutation, for both epoch
+// implementations.
+func TestEpochProtocol(t *testing.T) {
+	store := testStore(t, 6, 11)
+	sharded := NewSharded(store, XYW, ShardedConfig{Shards: 4})
+	conc := NewConcurrent(NewMotionAware(store, XYW, rtree.Config{}))
+	for _, tc := range []struct {
+		name string
+		e    Epocher
+		m    Mutable
+	}{
+		{"sharded", sharded, sharded},
+		{"concurrent", conc, conc},
+	} {
+		e0 := tc.e.Epoch()
+		if e0%2 != 0 {
+			t.Fatalf("%s: epoch %d odd at rest", tc.name, e0)
+		}
+		if !tc.m.Delete(0) {
+			t.Fatalf("%s: delete 0 failed", tc.name)
+		}
+		tc.m.Insert(0)
+		e1 := tc.e.Epoch()
+		if e1%2 != 0 || e1 != e0+4 {
+			t.Fatalf("%s: epoch %d after delete+insert, want %d", tc.name, e1, e0+4)
+		}
+	}
+	// Update bumps too (it may mutate arbitrarily).
+	before := conc.Epoch()
+	conc.Update(func(Index) {})
+	if got := conc.Epoch(); got != before+2 {
+		t.Fatalf("concurrent: epoch %d after Update, want %d", got, before+2)
+	}
+}

@@ -2,6 +2,7 @@ package index
 
 import (
 	"slices"
+	"sync/atomic"
 
 	"repro/internal/rtree"
 )
@@ -16,6 +17,11 @@ type MotionAware struct {
 	src    CoefficientSource
 	layout Layout
 	tree   *rtree.Tree
+	// lastHits remembers the previous search's result count — the
+	// presizing heuristic for the next one. Consecutive frames of a
+	// continuous query stream hit similar numbers of coefficients, so the
+	// last result is a cheap, usually tight capacity bound.
+	lastHits atomic.Int64
 }
 
 // NewMotionAware builds the index over every coefficient in the source
@@ -58,13 +64,34 @@ func (m *MotionAware) Search(q Query) ([]int64, int64) {
 	if !ok {
 		return nil, 0
 	}
-	var ids []int64
+	ids := make([]int64, 0, m.lastHits.Load())
 	io := m.tree.SearchCounted(qr, func(_ rtree.Rect, data int64) bool {
 		ids = append(ids, data)
 		return true
 	})
+	m.lastHits.Store(int64(len(ids)))
+	if len(ids) == 0 {
+		return nil, io
+	}
 	slices.Sort(ids)
 	return ids, io
+}
+
+// SearchInto is the allocation-free Search: matching ids are appended to
+// buf (ascending, same set and I/O as Search) using the cursor's
+// traversal stack, so a warmed-up caller performs no allocations per
+// query. Safe for concurrent callers with distinct cursors and buffers,
+// under the same no-mutation contract as Search.
+func (m *MotionAware) SearchInto(q Query, buf []int64, cur *Cursor) ([]int64, int64) {
+	qr, ok := m.layout.queryRect(q)
+	if !ok {
+		return buf, 0
+	}
+	start := len(buf)
+	buf, io := m.tree.SearchInto(qr, &cur.rt, buf)
+	slices.Sort(buf[start:])
+	m.lastHits.Store(int64(len(buf) - start))
+	return buf, io
 }
 
 // Insert indexes the source coefficient with the given global id (e.g.

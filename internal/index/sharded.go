@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/rtree"
 	"repro/internal/stats"
@@ -97,6 +98,12 @@ type Sharded struct {
 
 	workers int
 	st      *stats.Stats
+
+	// epoch versions the index contents, seqlock-style: every mutation
+	// bumps it once before touching a shard and once after, so it is odd
+	// while any mutation is in flight and strictly larger after one
+	// completes. Result caches validate entries against it — see Epoch.
+	epoch atomic.Uint64
 }
 
 // NewSharded partitions the source into cfg.Shards grid cells and bulk
@@ -237,27 +244,39 @@ func (s *Sharded) ShardLens() []int {
 	return out
 }
 
-// shardHit is one shard's raw search output.
-type shardHit struct {
-	ids []int64
-	io  int64
-}
-
 // Search answers the window query by fanning it out to every shard whose
 // content MBR overlaps the query rectangle, each searched under that
 // shard's read lock on the bounded worker pool, then merging the hits
 // into ascending id order (the Index determinism contract — byte-
 // identical to the serial MotionAware oracle). The reported I/O is the
-// sum over the searched shards' node reads.
+// sum over the searched shards' node reads. Search allocates its result
+// fresh; hot callers use SearchInto with a retained Cursor instead.
 func (s *Sharded) Search(q Query) ([]int64, int64) {
+	var cur Cursor
+	ids, io := s.SearchInto(q, nil, &cur)
+	if len(ids) == 0 {
+		return nil, io
+	}
+	return ids, io
+}
+
+// SearchInto is the allocation-free Search: matching ids are appended to
+// buf in ascending order using the cursor's retained scratch (candidate
+// list, per-shard slabs, traversal stacks), so a warmed-up serial search
+// (parallelism 1, or a single overlapping shard) performs no allocations
+// per query; the parallel fan-out still pays only its goroutine spawns.
+// The result set, order, and I/O are identical to Search. Safe for any
+// number of concurrent callers with distinct cursors and buffers,
+// including concurrently with Insert/Delete.
+func (s *Sharded) SearchInto(q Query, buf []int64, cur *Cursor) ([]int64, int64) {
 	qr, ok := s.layout.queryRect(q)
 	if !ok {
-		return nil, 0
+		return buf, 0
 	}
 	dims := s.layout.Dims()
 	// Pre-filter under read locks: the overlap test is a few float
 	// compares, not worth a pool dispatch per non-overlapping shard.
-	cand := make([]int, 0, len(s.shards))
+	cand := cur.cand[:0]
 	for i, sh := range s.shards {
 		sh.mu.RLock()
 		hit := sh.overlaps(&qr, dims)
@@ -266,61 +285,82 @@ func (s *Sharded) Search(q Query) ([]int64, int64) {
 			cand = append(cand, i)
 		}
 	}
-	results := make([]shardHit, len(cand))
+	cur.cand = cand
+	start := len(buf)
+	var io int64
 	workers := s.workers
 	if workers > len(cand) {
 		workers = len(cand)
 	}
 	if workers <= 1 {
-		for j, i := range cand {
-			s.searchShard(i, &qr, &results[j])
+		for _, i := range cand {
+			sh := s.shards[i]
+			sh.mu.RLock()
+			var sio int64
+			buf, sio = sh.tree.SearchInto(qr, &cur.rt, buf)
+			sh.mu.RUnlock()
+			s.st.RecordShard(i, sio)
+			io += sio
 		}
 	} else {
-		work := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for j := range work {
-					s.searchShard(cand[j], &qr, &results[j])
-				}
-			}()
-		}
-		for j := range results {
-			work <- j
-		}
-		close(work)
-		wg.Wait()
+		// Kept out of line so the goroutine closure doesn't force qr and
+		// cand to the heap on the (allocation-free) serial path above.
+		buf, io = s.searchParallel(qr, workers, buf, cur)
 	}
-	var total int
-	var io int64
-	for j := range results {
-		total += len(results[j].ids)
-		io += results[j].io
-	}
-	ids := make([]int64, 0, total)
-	for j := range results {
-		ids = append(ids, results[j].ids...)
-	}
-	if len(ids) == 0 {
-		ids = nil
-	}
-	slices.Sort(ids)
-	return ids, io
+	slices.Sort(buf[start:])
+	return buf, io
 }
 
-// searchShard runs the query against one shard under its read lock.
-func (s *Sharded) searchShard(i int, qr *rtree.Rect, out *shardHit) {
-	sh := s.shards[i]
-	sh.mu.RLock()
-	out.io = sh.tree.SearchCounted(*qr, func(_ rtree.Rect, data int64) bool {
-		out.ids = append(out.ids, data)
-		return true
-	})
-	sh.mu.RUnlock()
-	s.st.RecordShard(i, out.io)
+// searchParallel fans cur.cand out over a spawn-per-call worker pool,
+// each worker draining shards off a shared atomic counter into its own
+// cursorHit slab with its own traversal stack, then concatenates the
+// slabs in shard order (the subsequent sort makes order moot, but
+// deterministic accounting is easier to reason about).
+func (s *Sharded) searchParallel(qr rtree.Rect, workers int, buf []int64, cur *Cursor) ([]int64, int64) {
+	cand := cur.cand
+	for len(cur.hits) < len(cand) {
+		cur.hits = append(cur.hits, cursorHit{})
+	}
+	for len(cur.rts) < workers {
+		cur.rts = append(cur.rts, rtree.Cursor{})
+	}
+	hits := cur.hits[:len(cand)]
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(rc *rtree.Cursor) {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= len(cand) {
+					return
+				}
+				i := cand[j]
+				sh := s.shards[i]
+				sh.mu.RLock()
+				ids, sio := sh.tree.SearchInto(qr, rc, hits[j].ids[:0])
+				sh.mu.RUnlock()
+				hits[j].ids = ids
+				hits[j].io = sio
+				s.st.RecordShard(i, sio)
+			}
+		}(&cur.rts[w])
+	}
+	wg.Wait()
+	var io int64
+	for j := range hits {
+		buf = append(buf, hits[j].ids...)
+		io += hits[j].io
+	}
+	return buf, io
 }
+
+// Epoch returns the current content version — even when quiescent, odd
+// while some mutation is in flight. A cached search result stamped with
+// an even epoch E is valid exactly while Epoch() == E: any completed
+// mutation since then has moved the counter past E.
+func (s *Sharded) Epoch() uint64 { return s.epoch.Load() }
 
 // Insert indexes the source coefficient with the given global id,
 // locking only its owning shard: readers and writers of every other grid
@@ -329,10 +369,12 @@ func (s *Sharded) Insert(id int64) {
 	c := s.src.Coeff(id)
 	r := s.layout.supportRect(c)
 	sh := s.shards[s.shardOf(c.Pos.X, c.Pos.Y)]
+	s.epoch.Add(1)
 	sh.mu.Lock()
 	sh.tree.Insert(r, id)
 	sh.grow(r, s.layout.Dims())
 	sh.mu.Unlock()
+	s.epoch.Add(1)
 }
 
 // Delete removes the coefficient with the given global id from its
@@ -345,9 +387,11 @@ func (s *Sharded) Delete(id int64) bool {
 	c := s.src.Coeff(id)
 	r := s.layout.supportRect(c)
 	sh := s.shards[s.shardOf(c.Pos.X, c.Pos.Y)]
+	s.epoch.Add(1)
 	sh.mu.Lock()
 	ok := sh.tree.Delete(r, id)
 	sh.mu.Unlock()
+	s.epoch.Add(1)
 	return ok
 }
 

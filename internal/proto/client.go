@@ -45,6 +45,7 @@ type Client struct {
 
 	planner *retrieval.Client
 	recons  map[int32]*wavelet.Reconstructor
+	resp    Response // frame-decode scratch; consumed before the next read
 
 	// Session-resume lineage: the newest server-assigned token and the
 	// sequence number of the last response applied on that lineage.
@@ -239,10 +240,10 @@ func (c *Client) Frame(q geom.Rect2, speed float64) (int, error) {
 	}
 	switch tag {
 	case TagResponse:
-		resp, err := c.r.ReadResponse()
-		if err != nil {
+		if err := c.r.ReadResponseInto(&c.resp); err != nil {
 			return 0, err
 		}
+		resp := &c.resp
 		if resp.Seq != c.appliedSeq+1 {
 			return 0, fmt.Errorf("proto: response seq %d, expected %d", resp.Seq, c.appliedSeq+1)
 		}

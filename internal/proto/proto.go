@@ -26,6 +26,7 @@ import (
 	"io"
 	"math"
 	"strings"
+	"sync"
 
 	"repro/internal/engine"
 	"repro/internal/geom"
@@ -182,6 +183,14 @@ type Writer struct {
 // NewWriter wraps a connection.
 func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
 
+// Reset discards unflushed state and retargets the writer at dst,
+// keeping the buffer — the recycling hook for benchmark and pooling
+// harnesses that would otherwise pay a fresh bufio buffer per stream.
+func (w *Writer) Reset(dst io.Writer) {
+	w.w.Reset(dst)
+	w.hashing = false
+}
+
 // beginCRC starts accumulating a frame-body checksum.
 func (w *Writer) beginCRC() { w.crc = 0; w.hashing = true }
 
@@ -310,6 +319,53 @@ func (w *Writer) WriteResponse(r Response) error {
 	return w.w.Flush()
 }
 
+// appendCoeff appends one record in exactly the byte layout WriteResponse
+// emits — the two encoders are pinned together by a test.
+func appendCoeff(buf []byte, c *Coeff) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Object))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Vertex))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.Delta.X))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.Delta.Y))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.Delta.Z))
+	buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(c.Pos[0]))
+	buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(c.Pos[1]))
+	buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(c.Pos[2]))
+	buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(c.Value))
+	return buf
+}
+
+// EncodeResponsePayload appends the wire encoding of the coefficient
+// records (the section of a response frame after count/IO/Seq) to buf.
+// The hot-region cache stores these blobs so repeated responses skip
+// per-record encoding; WriteResponsePayload replays them.
+func EncodeResponsePayload(buf []byte, coeffs []Coeff) []byte {
+	for i := range coeffs {
+		buf = appendCoeff(buf, &coeffs[i])
+	}
+	return buf
+}
+
+// WriteResponsePayload writes a response frame whose coefficient section
+// is a pre-encoded payload (EncodeResponsePayload bytes for count
+// records). The emitted frame — CRC trailer included — is byte-identical
+// to WriteResponse of the equivalent Coeffs slice.
+func (w *Writer) WriteResponsePayload(count int, nodeIO, seq int64, payload []byte) error {
+	if count > MaxCoeffs {
+		return fmt.Errorf("proto: response of %d coefficients exceeds limit", count)
+	}
+	if len(payload) != count*wireCoeffBytes {
+		return fmt.Errorf("proto: payload of %d bytes does not hold %d records", len(payload), count)
+	}
+	w.u8(TagResponse)
+	w.beginCRC()
+	w.i32(int32(count))
+	w.i64(nodeIO)
+	w.i64(seq)
+	w.raw(payload)
+	w.endCRC()
+	return w.w.Flush()
+}
+
 // WriteResume asks to adopt a previous session.
 func (w *Writer) WriteResume(r Resume) error {
 	w.u8(TagResume)
@@ -366,10 +422,63 @@ type Reader struct {
 	scratch [8]byte
 	crc     uint32
 	hashing bool
+	// subs is the reusable sub-query slab behind ReadRequest — see its
+	// aliasing contract.
+	subs []retrieval.SubQuery
 }
 
 // NewReader wraps a connection.
 func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReader(r)} }
+
+// Reset retargets the reader at src, keeping its buffers (bufio buffer
+// and sub-query slab) — the recycling hook for benchmark and pooling
+// harnesses. Any partially read frame state is discarded.
+func (r *Reader) Reset(src io.Reader) {
+	r.r.Reset(src)
+	r.hashing = false
+}
+
+// bufPool recycles the transient byte buffers string decoding reads
+// into (the string itself is always a fresh copy, so pooled buffers
+// never escape). Oversized requests bypass the pool — see readStringN.
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 256)
+	return &b
+}}
+
+// maxPooledBuf bounds what readStringN returns to the pool, so one
+// maximum-length error string doesn't pin a megabyte per idle reader.
+const maxPooledBuf = 64 << 10
+
+// readStringN reads exactly n bytes (folded into the running checksum)
+// and returns them as a string, routing the transient buffer through
+// bufPool.
+func (r *Reader) readStringN(n int) (string, error) {
+	if n == 0 {
+		return "", nil
+	}
+	if n > maxPooledBuf {
+		buf := make([]byte, n)
+		if err := r.fill(buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	bp := bufPool.Get().(*[]byte)
+	buf := *bp
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	err := r.fill(buf)
+	s := ""
+	if err == nil {
+		s = string(buf)
+	}
+	*bp = buf
+	bufPool.Put(bp)
+	return s, err
+}
 
 // beginCRC starts accumulating a frame-body checksum.
 func (r *Reader) beginCRC() { r.crc = 0; r.hashing = true }
@@ -462,7 +571,7 @@ func (r *Reader) ReadHello() (Hello, error) {
 	if h.BaseVerts, err = r.i32(); err != nil {
 		return h, err
 	}
-	fs := make([]float64, 4)
+	var fs [4]float64
 	for i := range fs {
 		if fs[i], err = r.f64(); err != nil {
 			return h, err
@@ -491,11 +600,7 @@ func (r *Reader) readSceneName() (string, error) {
 	if n < 0 || n > engine.MaxSceneName {
 		return "", fmt.Errorf("proto: bad scene name length %d", n)
 	}
-	buf := make([]byte, n)
-	if err := r.fill(buf); err != nil {
-		return "", err
-	}
-	return string(buf), nil
+	return r.readStringN(int(n))
 }
 
 // ReadSceneSelect parses a scene-select body (after its tag), verifies
@@ -531,6 +636,11 @@ func finite(vs ...float64) bool {
 // ReadRequest parses and validates a request body (after its tag): the
 // checksum must match, the speed must be finite, and every sub-query
 // rectangle must be finite and non-inverted with WMin ≤ WMax.
+//
+// Aliasing: the returned Request's Subs slice is the Reader's reusable
+// scratch, valid only until the next ReadRequest on this Reader. The
+// serving loop consumes each request before reading the next frame;
+// callers that retain sub-queries across frames must copy them.
 func (r *Reader) ReadRequest() (Request, error) {
 	var req Request
 	var err error
@@ -545,14 +655,19 @@ func (r *Reader) ReadRequest() (Request, error) {
 	if n < 0 || n > MaxSubQueries {
 		return req, fmt.Errorf("proto: bad sub-query count %d", n)
 	}
-	req.Subs = make([]retrieval.SubQuery, n)
+	if cap(r.subs) < int(n) {
+		r.subs = make([]retrieval.SubQuery, n)
+	}
+	req.Subs = r.subs[:n]
 	for i := range req.Subs {
-		fs := make([]float64, 6)
+		var fs [6]float64
 		for j := range fs {
 			if fs[j], err = r.f64(); err != nil {
 				return req, err
 			}
 		}
+		// Whole-struct assignment: a reused slab slot must not leak the
+		// previous frame's Filter.
 		req.Subs[i] = retrieval.SubQuery{
 			Region: geom.Rect2{Min: geom.V2(fs[0], fs[1]), Max: geom.V2(fs[2], fs[3])},
 			WMin:   fs[4],
@@ -582,61 +697,71 @@ func (r *Reader) ReadRequest() (Request, error) {
 }
 
 // ReadResponse parses a response body (after its tag) and verifies its
-// checksum.
+// checksum. The response is freshly allocated; steady-state readers use
+// ReadResponseInto to recycle the coefficient slab.
 func (r *Reader) ReadResponse() (Response, error) {
 	var resp Response
+	err := r.ReadResponseInto(&resp)
+	return resp, err
+}
+
+// ReadResponseInto is ReadResponse decoding into resp, reusing its
+// Coeffs slab (truncated, then appended to); IO and Seq are overwritten.
+// On error resp holds whatever partial state was decoded and must not be
+// used.
+func (r *Reader) ReadResponseInto(resp *Response) error {
 	r.beginCRC()
 	n, err := r.i32()
 	if err != nil {
-		return resp, err
+		return err
 	}
 	if n < 0 || n > MaxCoeffs {
-		return resp, fmt.Errorf("proto: bad coefficient count %d", n)
+		return fmt.Errorf("proto: bad coefficient count %d", n)
 	}
 	if resp.IO, err = r.i64(); err != nil {
-		return resp, err
+		return err
 	}
 	if resp.Seq, err = r.i64(); err != nil {
-		return resp, err
+		return err
 	}
-	// Grow incrementally: a corrupted-but-in-range count must not
-	// pre-allocate gigabytes before the stream runs dry.
-	alloc := int(n)
-	if alloc > 4096 {
-		alloc = 4096
+	if resp.Coeffs == nil {
+		// Grow incrementally: a corrupted-but-in-range count must not
+		// pre-allocate gigabytes before the stream runs dry.
+		alloc := int(n)
+		if alloc > 4096 {
+			alloc = 4096
+		}
+		resp.Coeffs = make([]Coeff, 0, alloc)
 	}
-	resp.Coeffs = make([]Coeff, 0, alloc)
+	resp.Coeffs = resp.Coeffs[:0]
 	for i := 0; i < int(n); i++ {
 		var c Coeff
 		if c.Object, err = r.i32(); err != nil {
-			return resp, err
+			return err
 		}
 		if c.Vertex, err = r.i32(); err != nil {
-			return resp, err
+			return err
 		}
 		if c.Delta.X, err = r.f64(); err != nil {
-			return resp, err
+			return err
 		}
 		if c.Delta.Y, err = r.f64(); err != nil {
-			return resp, err
+			return err
 		}
 		if c.Delta.Z, err = r.f64(); err != nil {
-			return resp, err
+			return err
 		}
 		for j := 0; j < 3; j++ {
 			if c.Pos[j], err = r.f32(); err != nil {
-				return resp, err
+				return err
 			}
 		}
 		if c.Value, err = r.f32(); err != nil {
-			return resp, err
+			return err
 		}
 		resp.Coeffs = append(resp.Coeffs, c)
 	}
-	if err := r.checkCRC(); err != nil {
-		return resp, err
-	}
-	return resp, nil
+	return r.checkCRC()
 }
 
 // ReadResume parses a resume body (after its tag) and verifies its
@@ -705,9 +830,5 @@ func (r *Reader) readString() (string, error) {
 	if n < 0 || n > 1<<20 {
 		return "", fmt.Errorf("proto: bad error length %d", n)
 	}
-	buf := make([]byte, n)
-	if err := r.fill(buf); err != nil {
-		return "", err
-	}
-	return string(buf), nil
+	return r.readStringN(int(n))
 }

@@ -251,6 +251,10 @@ func (s *Server) handle(conn net.Conn) {
 	sess := &engine.ResumeEntry{Session: retrieval.NewSession(scene.Server)}
 	started := false // a request or resume has bound the session to its scene
 	orderly := false
+	// Per-connection wire scratch: response payloads are serialized into
+	// this buffer (reused every frame) unless the scene's hot cache
+	// already holds the encoded bytes.
+	var payloadBuf []byte
 	defer func() {
 		if !orderly {
 			scene.Resume.Put(token, sess)
@@ -344,7 +348,7 @@ func (s *Server) handle(conn net.Conn) {
 				}
 				continue
 			}
-			prev.LastIDs = nil
+			prev.LastIDs = prev.LastIDs[:0]
 			sess = prev
 			started = true
 			s.st.RecordResume(true)
@@ -370,22 +374,38 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 			started = true
-			resp := sess.Session.Retrieve(req.Subs)
+			resp := sess.Session.RetrieveScratch(req.Subs)
 			sess.Seq++
-			sess.LastIDs = resp.IDs
-			out := Response{IO: resp.IO, Seq: sess.Seq, Coeffs: make([]Coeff, 0, len(resp.IDs))}
-			for _, id := range resp.IDs {
-				c := scene.Source.Coeff(id)
-				out.Coeffs = append(out.Coeffs, Coeff{
-					Object: c.Object,
-					Vertex: c.Vertex,
-					Delta:  c.Delta,
-					Pos:    [3]float32{float32(c.Pos.X), float32(c.Pos.Y), float32(c.Pos.Z)},
-					Value:  float32(c.Value),
-				})
+			// resp.IDs aliases the session's scratch (overwritten by the
+			// next frame); the resume lineage keeps its own copy.
+			sess.LastIDs = append(sess.LastIDs[:0], resp.IDs...)
+			hot := scene.Server.HotCache()
+			var payload []byte
+			if hot != nil && resp.Hot.Valid {
+				if p, ok := hot.Payload(resp.Hot.Query, resp.Hot.Epoch); ok && len(p) == len(resp.IDs)*wireCoeffBytes {
+					payload = p
+				}
+			}
+			if payload == nil {
+				payloadBuf = payloadBuf[:0]
+				for _, id := range resp.IDs {
+					c := scene.Source.Coeff(id)
+					wc := Coeff{
+						Object: c.Object,
+						Vertex: c.Vertex,
+						Delta:  c.Delta,
+						Pos:    [3]float32{float32(c.Pos.X), float32(c.Pos.Y), float32(c.Pos.Z)},
+						Value:  float32(c.Value),
+					}
+					payloadBuf = appendCoeff(payloadBuf, &wc)
+				}
+				payload = payloadBuf
+				if hot != nil && resp.Hot.Valid {
+					hot.SetPayload(resp.Hot.Query, resp.Hot.Epoch, payload)
+				}
 			}
 			s.setWriteDeadline(conn)
-			if err := w.WriteResponse(out); err != nil {
+			if err := w.WriteResponsePayload(len(resp.IDs), resp.IO, sess.Seq, payload); err != nil {
 				s.st.RecordError()
 				s.logf("proto: response to %v failed: %v", conn.RemoteAddr(), err)
 				return

@@ -10,9 +10,11 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/hotcache"
 	"repro/internal/index"
 	"repro/internal/stats"
 	"repro/internal/wavelet"
@@ -38,6 +40,22 @@ type Response struct {
 	Bytes   int64   // payload size of the delivered coefficients
 	IO      int64   // index node reads spent answering the sub-queries
 	Queries int     // number of sub-queries executed
+	// Hot identifies the hot-cache entry whose id set this response
+	// equals exactly, when there is one — see HotRef. Transports use it
+	// to replay a cached serialized payload instead of re-encoding.
+	Hot HotRef
+}
+
+// HotRef ties a response to a hot-cache entry. It is set (Valid) only
+// when the response's IDs are exactly the entry's ids — a single
+// unfiltered sub-query from which the delivered-set merge dropped
+// nothing, answered at a stable even index epoch — so a payload encoded
+// from this response may be cached under (Query, Epoch) and replayed
+// byte-identically for later responses carrying the same reference.
+type HotRef struct {
+	Valid bool
+	Query index.Query
+	Epoch uint64
 }
 
 // MapSpeedToResolution is the client-tunable function of §IV converting
@@ -72,6 +90,11 @@ type Server struct {
 	workers int
 	st      *stats.Stats
 	scene   string
+	// hot memoizes sub-query results for repeated window queries; epoch
+	// is the index's content version used to invalidate it. Both are set
+	// together by SetHotCache; nil disables caching.
+	hot   *hotcache.Cache
+	epoch index.Epocher
 }
 
 // NewServer creates a server over a coefficient source using the given
@@ -106,6 +129,25 @@ func (s *Server) SetScene(name string) { s.scene = name }
 // Scene returns the scene name set via SetScene ("" for unnamed).
 func (s *Server) Scene() string { return s.scene }
 
+// SetHotCache wires a hot-region result cache into the search path (nil
+// disables it). The cache takes effect only when the server's index
+// versions its contents (implements index.Epocher) — without an epoch
+// there is no safe invalidation signal, so the cache stays off and every
+// search runs against the index. Cached results are validated per-Get
+// against the index's current epoch, so responses remain byte-identical
+// to uncached execution across mutations. Not safe to call while
+// requests are in flight.
+func (s *Server) SetHotCache(hot *hotcache.Cache) {
+	if e, ok := s.idx.(index.Epocher); ok && hot != nil {
+		s.hot, s.epoch = hot, e
+		return
+	}
+	s.hot, s.epoch = nil, nil
+}
+
+// HotCache returns the cache wired via SetHotCache (nil when disabled).
+func (s *Server) HotCache() *hotcache.Cache { return s.hot }
+
 // SetParallelism bounds the worker pool that executes one request's
 // sub-queries; 1 (or less) runs them serially on the calling goroutine.
 // Parallelism never changes results: sub-query searches are independent
@@ -137,12 +179,54 @@ func (s *Server) Index() index.Index { return s.idx }
 // delivered map is the caller's: Execute must not be called concurrently
 // with the same map (one session = one client = one request at a time).
 func (s *Server) Execute(subs []SubQuery, delivered map[int64]bool) Response {
+	return s.execute(subs, delivered, nil)
+}
+
+// Scratch is reusable per-caller execution state: the per-sub-query
+// result slabs, the index search cursors (one serial, plus one per
+// fan-out worker), and the response id buffer. A zero Scratch is ready
+// to use; buffers grow on first use and are retained, so steady-state
+// requests allocate almost nothing. A Scratch must not be shared by
+// concurrent requests — it belongs to one session, like the delivered
+// map.
+type Scratch struct {
+	results []subResult
+	cur     index.Cursor
+	curs    []index.Cursor
+	ids     []int64
+}
+
+// ExecuteScratch is Execute running on caller-owned scratch: the
+// returned Response's IDs slice aliases sc's buffer and is valid only
+// until the next ExecuteScratch with the same Scratch. Results are
+// identical to Execute in every field. A nil sc degrades to Execute.
+func (s *Server) ExecuteScratch(subs []SubQuery, delivered map[int64]bool, sc *Scratch) Response {
+	return s.execute(subs, delivered, sc)
+}
+
+func (s *Server) execute(subs []SubQuery, delivered map[int64]bool, sc *Scratch) Response {
 	var start time.Time
 	if s.st != nil {
 		start = time.Now()
 	}
-	results := s.searchAll(subs)
+	var results []subResult
+	if sc != nil {
+		for len(sc.results) < len(subs) {
+			sc.results = append(sc.results, subResult{})
+		}
+		results = sc.results[:len(subs)]
+	} else {
+		results = make([]subResult, len(subs))
+	}
+	s.searchAll(subs, results, sc)
 	var resp Response
+	if sc != nil {
+		resp.IDs = sc.ids[:0]
+	}
+	// dropped records whether the merge suppressed any raw hit (filter or
+	// already-delivered): only a drop-free single-sub response equals its
+	// cache entry's id set and may carry a HotRef.
+	dropped := false
 	for i := range subs {
 		r := &results[i]
 		if !r.ran {
@@ -154,16 +238,24 @@ func (s *Server) Execute(subs []SubQuery, delivered map[int64]bool) Response {
 			// Filter before touching the delivered set: a coefficient the
 			// filter rejects has not been sent and must stay retrievable.
 			if subs[i].Filter != nil && !subs[i].Filter(s.store.Coeff(id).Pos) {
+				dropped = true
 				continue
 			}
 			if delivered != nil {
 				if delivered[id] {
+					dropped = true
 					continue
 				}
 				delivered[id] = true
 			}
 			resp.IDs = append(resp.IDs, id)
 		}
+	}
+	if sc != nil {
+		sc.ids = resp.IDs
+	}
+	if len(subs) == 1 && results[0].hot && !dropped {
+		resp.Hot = HotRef{Valid: true, Query: s.queryOf(&subs[0]), Epoch: results[0].epoch}
 	}
 	resp.Bytes = int64(len(resp.IDs)) * wavelet.WireBytes
 	if s.st != nil {
@@ -174,66 +266,137 @@ func (s *Server) Execute(subs []SubQuery, delivered map[int64]bool) Response {
 	return resp
 }
 
-// subResult holds one sub-query's raw index hits, pre-merge.
+// subResult holds one sub-query's raw index hits, pre-merge. In scratch
+// mode the ids slab is retained and reused across requests.
 type subResult struct {
 	ids []int64
 	io  int64
 	ran bool // false for degenerate sub-queries (empty region, WMin > WMax)
+	// hot marks a result answered (or stored) at the stable even index
+	// epoch below — the precondition for a response-level HotRef.
+	hot   bool
+	epoch uint64
 }
 
-// searchAll runs the index search of every well-formed sub-query,
-// in parallel on the worker pool when the request has more than one.
-// results[i] always corresponds to subs[i], whatever order the searches
-// complete in.
-func (s *Server) searchAll(subs []SubQuery) []subResult {
-	results := make([]subResult, len(subs))
+// searchAll runs the index search of every well-formed sub-query into
+// results (len(results) == len(subs)), in parallel on the worker pool
+// when the request has more than one. results[i] always corresponds to
+// subs[i], whatever order the searches complete in.
+func (s *Server) searchAll(subs []SubQuery, results []subResult, sc *Scratch) {
 	valid := 0
-	for i, sub := range subs {
-		if sub.Region.Empty() || sub.WMin > sub.WMax {
+	for i := range subs {
+		results[i].ran = false
+		results[i].hot = false
+		if subs[i].Region.Empty() || subs[i].WMin > subs[i].WMax {
 			continue
 		}
 		results[i].ran = true
 		valid++
 	}
 	if valid <= 1 || s.workers <= 1 {
+		var cur *index.Cursor
+		if sc != nil {
+			cur = &sc.cur
+		}
 		for i := range results {
 			if results[i].ran {
-				s.searchOne(&subs[i], &results[i])
+				s.searchOne(&subs[i], &results[i], cur)
 			}
 		}
-		return results
+		return
 	}
 	workers := s.workers
 	if workers > valid {
 		workers = valid
 	}
-	work := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				s.searchOne(&subs[i], &results[i])
-			}
-		}()
-	}
-	for i := range results {
-		if results[i].ran {
-			work <- i
-		}
-	}
-	close(work)
-	wg.Wait()
-	return results
+	// Kept out of line so the goroutine closure doesn't force the serial
+	// path's locals to the heap.
+	s.searchParallel(subs, results, sc, workers)
 }
 
-func (s *Server) searchOne(sub *SubQuery, out *subResult) {
-	out.ids, out.io = s.idx.Search(index.Query{
+// searchParallel fans the sub-queries out over a spawn-per-request
+// worker pool, each worker draining indices off a shared atomic counter
+// with its own scratch cursor.
+func (s *Server) searchParallel(subs []SubQuery, results []subResult, sc *Scratch, workers int) {
+	if sc != nil {
+		for len(sc.curs) < workers {
+			sc.curs = append(sc.curs, index.Cursor{})
+		}
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		var cur *index.Cursor
+		if sc != nil {
+			cur = &sc.curs[w]
+		}
+		wg.Add(1)
+		go func(cur *index.Cursor) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(subs) {
+					return
+				}
+				if results[i].ran {
+					s.searchOne(&subs[i], &results[i], cur)
+				}
+			}
+		}(cur)
+	}
+	wg.Wait()
+}
+
+func (s *Server) queryOf(sub *SubQuery) index.Query {
+	return index.Query{
 		Region: sub.Region,
 		ZMin:   s.zMin, ZMax: s.zMax,
 		WMin: sub.WMin, WMax: sub.WMax,
-	})
+	}
+}
+
+// searchOne answers one sub-query: through the hot cache when one is
+// wired (Get, else search-and-Put under the seqlock epoch protocol),
+// directly against the index otherwise. out.ids is reused as the result
+// buffer when present.
+func (s *Server) searchOne(sub *SubQuery, out *subResult, cur *index.Cursor) {
+	q := s.queryOf(sub)
+	if s.hot == nil {
+		if cur == nil {
+			// Fresh-allocation path (Execute): hand the index's own result
+			// slice through instead of copying it.
+			out.ids, out.io = s.idx.Search(q)
+			return
+		}
+		out.ids, out.io = s.runSearch(q, out.ids[:0], cur)
+		return
+	}
+	e0 := s.epoch.Epoch()
+	var ok bool
+	if out.ids, out.io, ok = s.hot.Get(q, e0, out.ids[:0]); ok {
+		// The cached io is replayed so the response is byte-identical to
+		// the uncached serve that populated the entry.
+		out.hot, out.epoch = true, e0
+		return
+	}
+	out.ids, out.io = s.runSearch(q, out.ids[:0], cur)
+	e1 := s.epoch.Epoch()
+	s.hot.Put(q, e0, e1, out.ids, out.io)
+	if e0 == e1 && e0%2 == 0 {
+		out.hot, out.epoch = true, e0
+	}
+}
+
+// runSearch performs the raw index search, appending into buf via the
+// cursor path when the index supports it.
+func (s *Server) runSearch(q index.Query, buf []int64, cur *index.Cursor) ([]int64, int64) {
+	if cur != nil {
+		if is, ok := s.idx.(index.IntoSearcher); ok {
+			return is.SearchInto(q, buf, cur)
+		}
+	}
+	ids, io := s.idx.Search(q)
+	return append(buf, ids...), io
 }
 
 // RegionBytes returns the payload size and index I/O of a one-shot window
@@ -273,6 +436,10 @@ func (s *Server) BlockBytes(region geom.Rect2, wmin float64) (int64, int64) {
 type Session struct {
 	srv       *Server
 	delivered map[int64]bool
+	// scratch backs RetrieveScratch: per-session search cursors and
+	// result buffers reused across frames. Single ownership comes free
+	// with the session's one-request-at-a-time contract.
+	scratch Scratch
 }
 
 // NewSession opens a session against the server.
@@ -280,9 +447,19 @@ func NewSession(srv *Server) *Session {
 	return &Session{srv: srv, delivered: make(map[int64]bool)}
 }
 
-// Retrieve executes the sub-queries with duplicate filtering.
+// Retrieve executes the sub-queries with duplicate filtering. The
+// response is freshly allocated and safe to retain.
 func (s *Session) Retrieve(subs []SubQuery) Response {
 	return s.srv.Execute(subs, s.delivered)
+}
+
+// RetrieveScratch is Retrieve on the session's reusable scratch: the
+// response's IDs slice is valid only until this session's next
+// RetrieveScratch. The steady-state wire server uses it — a serving
+// goroutine consumes each response (encodes it onto the connection)
+// before the next request arrives, so nothing outlives the window.
+func (s *Session) RetrieveScratch(subs []SubQuery) Response {
+	return s.srv.ExecuteScratch(subs, s.delivered, &s.scratch)
 }
 
 // Delivered returns the number of coefficients this client holds.

@@ -1,0 +1,234 @@
+package retrieval
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/hotcache"
+	"repro/internal/index"
+	"repro/internal/mesh"
+	"repro/internal/wavelet"
+)
+
+// testShardedServer builds a server over a Sharded index (the epoch-
+// versioned one the hot cache needs).
+func testShardedServer(t testing.TB, n int, seed int64, shards int) *Server {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	objs := make([]*wavelet.Decomposition, n)
+	for i := 0; i < n; i++ {
+		ground := geom.V2(rng.Float64()*900+50, rng.Float64()*900+50)
+		s := mesh.RandomBuilding(rng, ground, mesh.DefaultBuildingSpec())
+		objs[i] = wavelet.Decompose(int32(i), mesh.BaseMeshFor(s), s, 3)
+	}
+	store := index.NewStore(objs)
+	srv := NewServer(store, index.NewSharded(store, index.XYW, index.ShardedConfig{Shards: shards}))
+	srv.SetStats(nil)
+	return srv
+}
+
+func respEqual(a, b Response) bool {
+	return slices.Equal(a.IDs, b.IDs) && a.Bytes == b.Bytes && a.IO == b.IO && a.Queries == b.Queries
+}
+
+// randSubs draws a frame-shaped batch of sub-queries, sometimes with
+// degenerate members (Execute must skip them identically either way).
+func randSubs(rng *rand.Rand) []SubQuery {
+	n := 1 + rng.Intn(4)
+	subs := make([]SubQuery, n)
+	for i := range subs {
+		x, y := rng.Float64()*800, rng.Float64()*800
+		subs[i] = SubQuery{
+			Region: geom.R2(x, y, x+rng.Float64()*400, y+rng.Float64()*400),
+			WMin:   rng.Float64() * 0.5,
+			WMax:   1,
+		}
+		if rng.Intn(10) == 0 {
+			subs[i].WMin, subs[i].WMax = 1, 0 // degenerate: skipped
+		}
+	}
+	return subs
+}
+
+// TestExecuteScratchMatchesExecute is the oracle property: for identical
+// request streams against identical delivered sets, the scratch path
+// returns field-identical responses to the fresh-allocation path —
+// with and without the hot cache, across index mutations.
+func TestExecuteScratchMatchesExecute(t *testing.T) {
+	for _, withCache := range []bool{false, true} {
+		srv := testShardedServer(t, 8, 21, 4)
+		oracle := testShardedServer(t, 8, 21, 4)
+		if withCache {
+			srv.SetHotCache(hotcache.New(hotcache.Config{}))
+			if srv.HotCache() == nil {
+				t.Fatal("cache not wired despite Epocher index")
+			}
+		}
+		mut := srv.Index().(index.Mutable)
+		mutOracle := oracle.Index().(index.Mutable)
+
+		rng := rand.New(rand.NewSource(31))
+		// A recurring pool alongside fresh random frames: exact-match
+		// verification means only repeated queries can hit the cache.
+		pool := make([][]SubQuery, 6)
+		for i := range pool {
+			pool[i] = randSubs(rng)
+		}
+		var sc Scratch
+		dA, dB := map[int64]bool{}, map[int64]bool{}
+		gone := map[int64]bool{}
+		for step := 0; step < 300; step++ {
+			switch rng.Intn(8) {
+			case 0:
+				id := rng.Int63n(srv.Store().NumCoeffs())
+				if !gone[id] {
+					mut.Delete(id)
+					mutOracle.Delete(id)
+					gone[id] = true
+				}
+			case 1:
+				for id := range gone {
+					mut.Insert(id)
+					mutOracle.Insert(id)
+					delete(gone, id)
+					break
+				}
+			default:
+				subs := randSubs(rng)
+				if rng.Intn(2) == 0 {
+					subs = pool[rng.Intn(len(pool))]
+				}
+				got := srv.ExecuteScratch(subs, dA, &sc)
+				want := oracle.Execute(subs, dB)
+				if !respEqual(got, want) {
+					t.Fatalf("cache=%v step %d: scratch response %d ids io %d != oracle %d ids io %d",
+						withCache, step, len(got.IDs), got.IO, len(want.IDs), want.IO)
+				}
+			}
+		}
+		if withCache {
+			if st := srv.HotCache().Stats(); st.Hits == 0 {
+				t.Fatal("300 steps produced no cache hits — property is vacuous")
+			}
+		}
+	}
+}
+
+// TestExecuteRemainsFresh pins the retention contract split: Execute
+// results survive later calls unchanged; ExecuteScratch results are
+// explicitly invalidated by the next call on the same scratch.
+func TestExecuteRemainsFresh(t *testing.T) {
+	srv := testShardedServer(t, 6, 9, 4)
+	all := geom.R2(0, 0, 1000, 1000)
+	subs := []SubQuery{{Region: all, WMin: 0, WMax: 1}}
+	first := srv.Execute(subs, nil)
+	snapshot := slices.Clone(first.IDs)
+	for i := 0; i < 5; i++ {
+		srv.Execute([]SubQuery{{Region: geom.R2(0, 0, 400, 400), WMin: 0, WMax: 1}}, nil)
+	}
+	if !slices.Equal(first.IDs, snapshot) {
+		t.Fatal("Execute result mutated by later Execute calls")
+	}
+}
+
+// TestSessionRetrieveScratchMatchesRetrieve runs the same frame stream
+// through a scratch session and a fresh-alloc session; every response
+// must agree.
+func TestSessionRetrieveScratchMatchesRetrieve(t *testing.T) {
+	srv := testShardedServer(t, 8, 17, 4)
+	srv.SetHotCache(hotcache.New(hotcache.Config{}))
+	a, b := NewSession(srv), NewSession(srv)
+	rng := rand.New(rand.NewSource(5))
+	for step := 0; step < 100; step++ {
+		subs := randSubs(rng)
+		got := a.RetrieveScratch(subs)
+		want := b.Retrieve(subs)
+		if !respEqual(got, want) {
+			t.Fatalf("step %d: scratch session diverged (%d ids vs %d)", step, len(got.IDs), len(want.IDs))
+		}
+	}
+	if a.Delivered() != b.Delivered() {
+		t.Fatalf("delivered sets diverged: %d vs %d", a.Delivered(), b.Delivered())
+	}
+}
+
+// TestHotRefSemantics pins when a response may carry a payload-cache
+// reference: single unfiltered sub-query with nothing suppressed — and
+// never after the delivered set or a filter drops ids, never across an
+// epoch change.
+func TestHotRefSemantics(t *testing.T) {
+	srv := testShardedServer(t, 6, 3, 4)
+	srv.SetHotCache(hotcache.New(hotcache.Config{}))
+	all := geom.R2(0, 0, 1000, 1000)
+	sub := SubQuery{Region: all, WMin: 0, WMax: 1}
+
+	r1 := srv.Execute([]SubQuery{sub}, nil)
+	if !r1.Hot.Valid {
+		t.Fatal("drop-free single-sub response not marked hot")
+	}
+	r2 := srv.Execute([]SubQuery{sub}, nil)
+	if !r2.Hot.Valid || r2.Hot != r1.Hot {
+		t.Fatalf("replayed response HotRef differs: %+v vs %+v", r2.Hot, r1.Hot)
+	}
+	if !respEqual(r1, r2) {
+		t.Fatal("cache hit response differs from populating response")
+	}
+
+	// Two subs: never hot (response concatenates entries).
+	if r := srv.Execute([]SubQuery{sub, sub}, nil); r.Hot.Valid {
+		t.Fatal("multi-sub response marked hot")
+	}
+	// Filter suppression: never hot.
+	if r := srv.Execute([]SubQuery{{Region: all, WMin: 0, WMax: 1,
+		Filter: func(geom.Vec3) bool { return false }}}, nil); r.Hot.Valid {
+		t.Fatal("filtered response marked hot")
+	}
+	// Delivered-set suppression: first pass hot, replay with drops is not.
+	delivered := map[int64]bool{}
+	if r := srv.Execute([]SubQuery{sub}, delivered); !r.Hot.Valid {
+		t.Fatal("first delivered-set pass not hot")
+	}
+	if r := srv.Execute([]SubQuery{sub}, delivered); r.Hot.Valid {
+		t.Fatal("fully-suppressed replay marked hot")
+	}
+	// Mutation moves the epoch: the next response carries the new one.
+	srv.Index().(index.Mutable).Delete(0)
+	srv.Index().(index.Mutable).Insert(0)
+	r3 := srv.Execute([]SubQuery{sub}, nil)
+	if !r3.Hot.Valid || r3.Hot.Epoch == r1.Hot.Epoch {
+		t.Fatalf("post-mutation HotRef = %+v, want new epoch vs %d", r3.Hot, r1.Hot.Epoch)
+	}
+}
+
+// TestExecuteScratchAllocBudget pins the steady-state allocation count
+// of the serve path's core at parallelism 1: after warmup, a cached
+// request costs at most the map-free merge — zero allocations.
+func TestExecuteScratchAllocBudget(t *testing.T) {
+	srv := testShardedServer(t, 8, 29, 4)
+	srv.SetParallelism(1)
+	srv.SetHotCache(hotcache.New(hotcache.Config{}))
+	subs := []SubQuery{{Region: geom.R2(100, 100, 700, 700), WMin: 0.2, WMax: 1}}
+	var sc Scratch
+	srv.ExecuteScratch(subs, nil, &sc) // warm scratch + populate cache
+	allocs := testing.AllocsPerRun(100, func() {
+		srv.ExecuteScratch(subs, nil, &sc)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state cached ExecuteScratch allocates %.1f times per run, want 0", allocs)
+	}
+
+	// Uncached (cache disabled) serial path: still zero — the cursor and
+	// slabs absorb everything.
+	srv2 := testShardedServer(t, 8, 29, 4)
+	srv2.SetParallelism(1)
+	var sc2 Scratch
+	srv2.ExecuteScratch(subs, nil, &sc2)
+	allocs = testing.AllocsPerRun(100, func() {
+		srv2.ExecuteScratch(subs, nil, &sc2)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state uncached ExecuteScratch allocates %.1f times per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,46 @@
+package rtree
+
+// Cursor is reusable per-caller search scratch: the explicit node stack
+// an iterative traversal uses instead of the call stack. A zero Cursor
+// is ready to use; after the first search its stack is retained, so a
+// steady-state SearchInto performs no allocations beyond growing the
+// caller's result buffer. A Cursor must not be shared by concurrent
+// searches — one cursor per goroutine (or per session), exactly like
+// the result buffer it fills.
+type Cursor struct {
+	stack []*node
+}
+
+// SearchInto appends the payloads of every item intersecting q to buf
+// and returns the extended buffer plus the number of nodes read — the
+// same I/O count Search reports. Traversal order is unspecified (it
+// differs from Search's recursive order); callers needing the Index
+// determinism contract sort the appended region. The cursor provides
+// the traversal stack and is reset on entry, so it can be reused across
+// any number of searches, including against different trees.
+func (t *Tree) SearchInto(q Rect, cur *Cursor, buf []int64) ([]int64, int64) {
+	dims := t.cfg.Dims
+	cur.stack = append(cur.stack[:0], t.root)
+	var io int64
+	for len(cur.stack) > 0 {
+		n := cur.stack[len(cur.stack)-1]
+		cur.stack = cur.stack[:len(cur.stack)-1]
+		io++
+		if n.leaf {
+			for i := range n.entries {
+				if q.intersects(&n.entries[i].rect, dims) {
+					buf = append(buf, n.entries[i].data)
+				}
+			}
+			continue
+		}
+		for i := range n.entries {
+			if q.intersects(&n.entries[i].rect, dims) {
+				cur.stack = append(cur.stack, n.entries[i].child)
+			}
+		}
+	}
+	t.nodesRead.Add(io)
+	t.queries.Add(1)
+	return buf, io
+}

@@ -6,7 +6,7 @@ package rtree
 // remaining entries are reinserted at their original level, per Guttman's
 // CondenseTree.
 func (t *Tree) Delete(r Rect, data int64) bool {
-	path, idx := t.findLeaf(t.root, &r, data, 1, make([]*node, 0, t.height))
+	path, idx := t.findLeaf(t.root, &r, data, 1, t.pathScratch())
 	if path == nil {
 		return false
 	}

@@ -44,13 +44,17 @@ func (t *Tree) search(n *node, q *Rect, fn func(r Rect, data int64) bool) (io in
 	return io, false
 }
 
-// Collect returns the payloads of all items intersecting q.
+// Collect returns the payloads of all items intersecting q. The output
+// is presized from the previous Collect's result count — window queries
+// arrive in continuous streams whose consecutive frames hit similar
+// numbers of items, so the last result is a cheap, usually tight bound.
 func (t *Tree) Collect(q Rect) []int64 {
-	var out []int64
+	out := make([]int64, 0, t.lastHits.Load())
 	t.Search(q, func(_ Rect, data int64) bool {
 		out = append(out, data)
 		return true
 	})
+	t.lastHits.Store(int64(len(out)))
 	return out
 }
 

@@ -85,6 +85,24 @@ type Tree struct {
 	// read-only tree.
 	nodesRead atomic.Int64
 	queries   atomic.Int64
+	// lastHits remembers the previous Collect result size, the presizing
+	// heuristic for the next one (atomic: Collect is a read operation and
+	// may run concurrently with other reads).
+	lastHits atomic.Int64
+	// path is the tree-owned root-to-leaf scratch shared by every
+	// mutation (choosePath on insert, findLeaf on delete). Mutations are
+	// single-threaded by contract, so one buffer serves them all without
+	// a per-call allocation.
+	path []*node
+}
+
+// pathScratch returns the mutation path buffer, emptied and grown to the
+// current height so the callers below never reallocate it mid-descent.
+func (t *Tree) pathScratch() []*node {
+	if cap(t.path) < t.height {
+		t.path = make([]*node, 0, t.height)
+	}
+	return t.path[:0]
 }
 
 // New creates an empty tree. Invalid configuration panics: index
@@ -223,7 +241,7 @@ func (t *Tree) place(e entry, level int, reinserted map[int]bool) []pendingInser
 // target minimize overlap enlargement; higher up minimize area
 // enlargement. The Guttman variant always minimizes area enlargement.
 func (t *Tree) choosePath(r *Rect, level int) []*node {
-	path := make([]*node, 0, t.height)
+	path := t.pathScratch()
 	n := t.root
 	path = append(path, n)
 	for depth := t.height; depth > level; depth-- {

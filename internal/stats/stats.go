@@ -16,6 +16,7 @@ package stats
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -163,7 +164,59 @@ type Stats struct {
 	requestIO Histogram // index node reads per request
 	backoff   Histogram // client backoff sleeps in nanoseconds
 
+	// Hot-region cache gauge sources (see AddHotCacheSource): pulled at
+	// Snapshot time rather than recorded, because the caches own their
+	// counters. Registration happens at startup; the mutex only guards
+	// against a snapshot racing a late registration.
+	hotMu      sync.Mutex
+	hotSources []func() HotCacheStats
+
 	breakdowns // per-scene and per-shard attribution (breakdown.go)
+}
+
+// HotCacheStats is one hot-region result cache's gauge set, pulled from
+// a registered source at Snapshot time.
+type HotCacheStats struct {
+	Hits          int64
+	Misses        int64
+	Evictions     int64
+	Invalidations int64
+	Entries       int64
+	Bytes         int64
+}
+
+func (a HotCacheStats) add(b HotCacheStats) HotCacheStats {
+	a.Hits += b.Hits
+	a.Misses += b.Misses
+	a.Evictions += b.Evictions
+	a.Invalidations += b.Invalidations
+	a.Entries += b.Entries
+	a.Bytes += b.Bytes
+	return a
+}
+
+// AddHotCacheSource registers a gauge provider for one hot-region cache
+// (typically one per scene). Snapshot sums every registered source into
+// its Hot field. Call at startup, before serving.
+func (s *Stats) AddHotCacheSource(fn func() HotCacheStats) {
+	if s == nil || fn == nil {
+		return
+	}
+	s.hotMu.Lock()
+	s.hotSources = append(s.hotSources, fn)
+	s.hotMu.Unlock()
+}
+
+// hotSnapshot sums the registered cache sources.
+func (s *Stats) hotSnapshot() (HotCacheStats, int) {
+	s.hotMu.Lock()
+	sources := s.hotSources
+	s.hotMu.Unlock()
+	var sum HotCacheStats
+	for _, fn := range sources {
+		sum = sum.add(fn())
+	}
+	return sum, len(sources)
 }
 
 // Default is the process-wide collector. Components record into it
@@ -371,6 +424,12 @@ type Snapshot struct {
 	RequestIO HistogramSnapshot
 	Backoff   HistogramSnapshot
 
+	// Hot sums every registered hot-region cache's gauges (see
+	// AddHotCacheSource); HotCaches is how many sources contributed —
+	// zero means no cache is wired and the field is omitted from String.
+	Hot       HotCacheStats
+	HotCaches int
+
 	// Scenes breaks the request counters down by engine scene (nil unless
 	// RecordScene ran); Shards breaks index search I/O down by shard (nil
 	// unless a sharded index was wired via EnsureShards).
@@ -383,7 +442,10 @@ func (s *Stats) Snapshot() Snapshot {
 	if s == nil {
 		return Snapshot{}
 	}
+	hot, hotCaches := s.hotSnapshot()
 	return Snapshot{
+		Hot:            hot,
+		HotCaches:      hotCaches,
 		SessionsOpened: s.sessionsOpened.Load(),
 		SessionsActive: s.sessionsActive.Load(),
 		Requests:       s.requests.Load(),
@@ -421,6 +483,12 @@ func (s *Stats) Snapshot() Snapshot {
 }
 
 func (s Snapshot) String() string {
+	hot := ""
+	if s.HotCaches > 0 {
+		hot = fmt.Sprintf(" · hot cache %d/%d hit/miss · %d entries / %s · %d evicted · %d invalidated",
+			s.Hot.Hits, s.Hot.Misses, s.Hot.Entries, fmtBytes(s.Hot.Bytes),
+			s.Hot.Evictions, s.Hot.Invalidations)
+	}
 	return fmt.Sprintf(
 		"sessions %d/%d active/opened · requests %d (%d errors) · sub-queries %d · "+
 			"index io %d · delivered %d coeffs / %s · latency mean %v p50 ≤%v p99 ≤%v · "+
@@ -438,7 +506,7 @@ func (s Snapshot) String() string {
 		s.Checkpoints, fmtBytes(s.CheckpointBytes),
 		s.RecordsReplayed, s.TailsTruncated, s.RecordsQuarantined,
 		s.JournalCompactions, s.ResumesRestored) +
-		s.breakdownString()
+		hot + s.breakdownString()
 }
 
 func fmtBytes(b int64) string {
