@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-shards bench-serve soak fault crash fuzz ci
+.PHONY: build test race vet bench bench-shards bench-serve soak fault crash cluster fuzz ci
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,17 @@ crash:
 	$(GO) test -race ./internal/persist/
 	$(GO) test -race -run 'TestSaveAll|TestLoadAll|TestCheckpointer|TestSessionJournal|TestSceneWithoutDataset' ./internal/engine/
 
+# The cluster gate, verbosely, under the race detector: the
+# failover-and-drain acceptance experiment (owning backend killed
+# mid-tour, replica boots from its durable state, then a live drain onto
+# an empty backend — both clients byte-identical to a single-process
+# oracle), the 16-client race soak with a forced drain, and the full
+# cluster package (topology tables, control framing, gateway routing).
+cluster:
+	$(GO) test -race -v -run 'TestRunCluster' ./internal/experiment/
+	$(GO) test -race ./internal/cluster/
+	$(GO) test -race -run 'TestResilientAddrRotation' ./internal/proto/
+
 # Short coverage-guided exploration of every wire-protocol decoder. Each
 # fuzz target needs its own invocation (go test allows one -fuzz at a
 # time); seeds alone also run in `make test`.
@@ -72,8 +83,9 @@ fuzz:
 	$(GO) test -fuzz 'FuzzReadSceneSelect$$' -fuzztime 10s -run '^$$' ./internal/proto/
 	$(GO) test -fuzz 'FuzzCRCRejectsFlips$$' -fuzztime 10s -run '^$$' ./internal/proto/
 	$(GO) test -fuzz 'FuzzScan$$' -fuzztime 10s -run '^$$' ./internal/persist/
+	$(GO) test -fuzz 'FuzzCluster$$' -fuzztime 10s -run '^$$' ./internal/cluster/
 
-ci: build vet test race crash fuzz
+ci: build vet test race crash cluster fuzz
 	# Informational serve-path delta (never fails the gate): regenerates
 	# BENCH_serve.json and prints the change vs the previous artifact.
 	-$(MAKE) bench-serve

@@ -7,8 +7,8 @@
 //
 //	experiments [-quick] [-fig fig8,fig12] [-objects N] [-tours N]
 //	            [-steps N] [-seed N] [-o out.txt] [-stats 0] [-stats-dump]
-//	            [-fault] [-crash] [-shards N] [-bench-shards out.json]
-//	            [-bench-serve out.json]
+//	            [-fault] [-crash] [-cluster] [-shards N]
+//	            [-bench-shards out.json] [-bench-serve out.json]
 package main
 
 import (
@@ -44,6 +44,9 @@ func main() {
 		faultCorrupt = flag.Int64("fault-corrupt", 0, "mean read bytes between bit flips (0 = default 40 KB)")
 		faultLatency = flag.Duration("fault-latency", 0, "injected round-trip latency")
 		faultBW      = flag.Int64("fault-bw", 0, "link throughput in bytes/second (0 = unthrottled)")
+
+		clusterRun = flag.Bool("cluster", false, "run the cluster failover-and-drain experiment instead of the figures")
+		clusterDir = flag.String("cluster-dir", "", "durable state root for the cluster experiment (default: fresh temp dir)")
 
 		crash      = flag.Bool("crash", false, "run the kill-restart crash experiment instead of the figures")
 		crashKills = flag.Int("crash-kills", 0, "mid-tour server kills (0 = default 3)")
@@ -106,6 +109,21 @@ func main() {
 			Runs:    *benchServeRuns,
 		}
 		if _, err := experiment.RunServeBench(spec, *benchServe, w); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *clusterRun {
+		spec := experiment.ClusterSpec{
+			Seed:    *seed,
+			Objects: *objects,
+			Steps:   *steps,
+			Shards:  *shards,
+			DataDir: *clusterDir,
+		}
+		if err := experiment.RunCluster(spec, w); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}

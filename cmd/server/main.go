@@ -13,7 +13,7 @@
 //
 // Usage:
 //
-//	server [-addr :7333] [-objects 100] [-levels 5] [-zipf] [-seed 1]
+//	server [-addr :7333] [-advertise host:port] [-objects 100] [-levels 5] [-zipf] [-seed 1]
 //	       [-shards 1] [-scene default] [-scenes name=file,name2=file2]
 //	       [-data-dir dir] [-checkpoint-interval 1m]
 //	       [-stats 30s] [-stats-dump] [-workers 0] [-max-sessions 0]
@@ -43,7 +43,8 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":7333", "listen address")
+		addr      = flag.String("addr", ":7333", "listen address")
+		advertise = flag.String("advertise", "", "address cluster gateways and controllers should reach this server at (default: the listen address)")
 		objects = flag.Int("objects", 100, "number of 3D objects")
 		levels  = flag.Int("levels", 5, "subdivision levels per object")
 		zipf    = flag.Bool("zipf", false, "Zipfian object placement")
@@ -174,6 +175,15 @@ func main() {
 				log.Printf("pprof: %v", err)
 			}
 		}()
+	}
+
+	// The advertised address is what a cluster topology names this
+	// backend as; behind NAT or a bind-all listen address it differs
+	// from -addr.
+	if *advertise != "" {
+		reg.SetAdvertise(*advertise)
+	} else {
+		reg.SetAdvertise(*addr)
 	}
 
 	srv := proto.NewMultiServer(reg, log.Printf)

@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// ServeAdmin answers control requests on lis until it closes: one
+// request per connection, one reply, hang up. Status reports the
+// gateway's routing and health view; drain runs the controller's drain
+// state machine (which requires co-located backends — a pure proxy
+// deployment gets a clean error, not a half-drain).
+func (c *Controller) ServeAdmin(lis net.Listener) error {
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go c.handleAdmin(conn)
+	}
+}
+
+func (c *Controller) handleAdmin(conn net.Conn) {
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	reply := func(rep ControlReply) {
+		conn.Write(EncodeControlReply(rep))
+	}
+	req, err := ReadControlRequest(conn)
+	if err != nil {
+		reply(ControlReply{OK: false, Msg: "bad control request"})
+		return
+	}
+	switch req.Op {
+	case OpStatus:
+		reply(ControlReply{OK: true, Msg: c.gw.StatusString()})
+	case OpDrain:
+		rep, err := c.Drain(req.Scene, req.Target)
+		if err != nil {
+			reply(ControlReply{OK: false, Msg: err.Error()})
+			return
+		}
+		reply(ControlReply{OK: true, Msg: fmt.Sprintf(
+			"drained %s: %s -> %s (severed %d, shipped %d, adopted %d)",
+			rep.Scene, rep.From, rep.To, rep.Severed, rep.Shipped, rep.Adopted)})
+	}
+}
+
+// ControlCall sends one control request to a gateway's admin address
+// and returns the reply.
+func ControlCall(addr string, req ControlRequest, timeout time.Duration) (ControlReply, error) {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return ControlReply{}, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write(EncodeControlRequest(req)); err != nil {
+		return ControlReply{}, err
+	}
+	return ReadControlReply(conn)
+}

@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+
+	"repro/internal/engine"
+)
+
+// The gateway's admin port speaks a minimal control protocol, separate
+// from the client-facing retrieval protocol: one length-prefixed,
+// CRC32-C-trailed frame per command, one frame back, connection closed.
+// It exists so an operator (or the experiments harness) can ask a
+// running gateway for its routing view and request drains without
+// linking against it; the codec is bounds-checked like every other wire
+// decoder in this repo and fuzzed alongside the topology parser.
+
+// Control ops.
+const (
+	OpStatus = byte(1) // reply Msg is the gateway's routing/health view
+	OpDrain  = byte(2) // relocate Scene to backend Target
+)
+
+// maxControlFrame bounds a control frame's payload; scene and target
+// are short strings, so anything bigger is garbage.
+const maxControlFrame = 4096
+
+var controlCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// ControlRequest is one admin command.
+type ControlRequest struct {
+	Op     byte
+	Scene  string // OpDrain: the scene to relocate
+	Target string // OpDrain: the adopting backend's address
+}
+
+// ControlReply is the gateway's answer.
+type ControlReply struct {
+	OK  bool
+	Msg string
+}
+
+// appendControlPayload serializes op + two length-prefixed strings —
+// shared shape of requests (op, scene, target) and replies (ok flag,
+// msg, empty).
+func appendControlPayload(buf []byte, b0 byte, s1, s2 string) []byte {
+	buf = append(buf, b0)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s1)))
+	buf = append(buf, s1...)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s2)))
+	buf = append(buf, s2...)
+	return buf
+}
+
+// frameControl wraps a payload with the u32 length prefix and CRC32-C
+// trailer.
+func frameControl(payload []byte) []byte {
+	out := make([]byte, 0, 8+len(payload))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(payload, controlCRC))
+	return out
+}
+
+// decodeControlPayload splits a verified payload back into its op byte
+// and two strings.
+func decodeControlPayload(p []byte) (b0 byte, s1, s2 string, err error) {
+	if len(p) < 5 {
+		return 0, "", "", fmt.Errorf("cluster: control payload too short")
+	}
+	b0 = p[0]
+	off := 1
+	read := func() (string, error) {
+		if off+2 > len(p) {
+			return "", fmt.Errorf("cluster: control payload truncated")
+		}
+		n := int(binary.LittleEndian.Uint16(p[off:]))
+		off += 2
+		if off+n > len(p) {
+			return "", fmt.Errorf("cluster: control string overflow")
+		}
+		s := string(p[off : off+n])
+		off += n
+		return s, nil
+	}
+	if s1, err = read(); err != nil {
+		return 0, "", "", err
+	}
+	if s2, err = read(); err != nil {
+		return 0, "", "", err
+	}
+	if off != len(p) {
+		return 0, "", "", fmt.Errorf("cluster: control payload trailing bytes")
+	}
+	return b0, s1, s2, nil
+}
+
+// EncodeControlRequest frames one request for the wire.
+func EncodeControlRequest(req ControlRequest) []byte {
+	return frameControl(appendControlPayload(nil, req.Op, req.Scene, req.Target))
+}
+
+// EncodeControlReply frames one reply for the wire.
+func EncodeControlReply(rep ControlReply) []byte {
+	ok := byte(0)
+	if rep.OK {
+		ok = 1
+	}
+	return frameControl(appendControlPayload(nil, ok, rep.Msg, ""))
+}
+
+// readControlFrame reads and CRC-verifies one framed payload.
+func readControlFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxControlFrame {
+		return nil, fmt.Errorf("cluster: control frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n+4)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	payload, sum := buf[:n], binary.LittleEndian.Uint32(buf[n:])
+	if crc32.Checksum(payload, controlCRC) != sum {
+		return nil, fmt.Errorf("cluster: control frame checksum mismatch")
+	}
+	return payload, nil
+}
+
+// ReadControlRequest reads, verifies, and decodes one request.
+func ReadControlRequest(r io.Reader) (ControlRequest, error) {
+	payload, err := readControlFrame(r)
+	if err != nil {
+		return ControlRequest{}, err
+	}
+	return DecodeControlRequest(payload)
+}
+
+// DecodeControlRequest decodes a verified request payload (no frame
+// header/trailer). Bounds are enforced even though the payload passed
+// its CRC — the decoder must be total on arbitrary bytes.
+func DecodeControlRequest(p []byte) (ControlRequest, error) {
+	op, scene, target, err := decodeControlPayload(p)
+	if err != nil {
+		return ControlRequest{}, err
+	}
+	req := ControlRequest{Op: op, Scene: scene, Target: target}
+	switch op {
+	case OpStatus:
+		if scene != "" || target != "" {
+			return ControlRequest{}, fmt.Errorf("cluster: status request carries operands")
+		}
+	case OpDrain:
+		if err := engine.ValidateSceneName(scene); err != nil {
+			return ControlRequest{}, err
+		}
+		if _, _, err := net.SplitHostPort(target); err != nil {
+			return ControlRequest{}, fmt.Errorf("cluster: bad drain target %q: %v", target, err)
+		}
+	default:
+		return ControlRequest{}, fmt.Errorf("cluster: unknown control op %d", op)
+	}
+	return req, nil
+}
+
+// ReadControlReply reads, verifies, and decodes one reply.
+func ReadControlReply(r io.Reader) (ControlReply, error) {
+	payload, err := readControlFrame(r)
+	if err != nil {
+		return ControlReply{}, err
+	}
+	ok, msg, rest, err := decodeControlPayload(payload)
+	if err != nil {
+		return ControlReply{}, err
+	}
+	if ok > 1 || rest != "" {
+		return ControlReply{}, fmt.Errorf("cluster: malformed control reply")
+	}
+	return ControlReply{OK: ok == 1, Msg: msg}, nil
+}

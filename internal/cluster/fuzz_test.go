@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzCluster throws arbitrary bytes at the cluster layer's two
+// operator-facing decoders: the topology parser (config files are
+// hand-edited — the classic source of hostile input) and the control
+// frame reader (network-facing). The invariant is totality plus
+// validated outputs: no panic, no over-allocation, and anything
+// accepted must satisfy the documented shape — every scene named
+// validly with at least one well-formed replica address, every decoded
+// control frame surviving an encode/decode round trip.
+func FuzzCluster(f *testing.F) {
+	// Topology seeds: a valid file, then structurally damaged variants.
+	valid := "city = 127.0.0.1:7001, 127.0.0.1:7002\npark = 127.0.0.1:7002\n"
+	f.Add([]byte(valid))
+	f.Add([]byte("# only a comment\n"))
+	f.Add([]byte("city 127.0.0.1:7001\n"))
+	f.Add([]byte("city = \n"))
+	f.Add([]byte(strings.Replace(valid, "=", "==", 1)))
+	f.Add(bytes.Repeat([]byte("a = b:1\n"), 4))
+
+	// Control seeds: valid frames, a bit-flipped frame, a torn frame.
+	status := EncodeControlRequest(ControlRequest{Op: OpStatus})
+	drain := EncodeControlRequest(ControlRequest{Op: OpDrain, Scene: "city", Target: "127.0.0.1:7002"})
+	f.Add(status)
+	f.Add(drain)
+	flipped := append([]byte(nil), drain...)
+	flipped[6] ^= 0x10
+	f.Add(flipped)
+	f.Add(drain[:len(drain)-3])
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if top, err := ParseTopology(bytes.NewReader(data)); err == nil {
+			if len(top.Order) == 0 {
+				t.Fatal("accepted topology with no scenes")
+			}
+			if top.Default() == "" {
+				t.Fatal("accepted topology without a default scene")
+			}
+			for _, scene := range top.Order {
+				reps, ok := top.Replicas[scene]
+				if !ok || len(reps) == 0 {
+					t.Fatalf("accepted scene %q with no replicas", scene)
+				}
+			}
+			if len(top.Replicas) != len(top.Order) {
+				t.Fatal("order and replica map disagree")
+			}
+		}
+
+		if req, err := ReadControlRequest(bytes.NewReader(data)); err == nil {
+			// Whatever the decoder accepts must re-encode to a frame the
+			// decoder accepts identically — no lossy or ambiguous parses.
+			back, err := ReadControlRequest(bytes.NewReader(EncodeControlRequest(req)))
+			if err != nil {
+				t.Fatalf("re-decode of accepted request %+v: %v", req, err)
+			}
+			if back != req {
+				t.Fatalf("control round trip drifted: %+v -> %+v", req, back)
+			}
+		}
+		if rep, err := ReadControlReply(bytes.NewReader(data)); err == nil {
+			back, err := ReadControlReply(bytes.NewReader(EncodeControlReply(rep)))
+			if err != nil || back != rep {
+				t.Fatalf("reply round trip drifted: %+v -> %+v (%v)", rep, back, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseTopologyValid(t *testing.T) {
+	src := `
+# cluster map
+city = 127.0.0.1:7001, 127.0.0.1:7002
+
+park = 127.0.0.1:7002
+museum = [::1]:7003
+`
+	top, err := ParseTopology(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := top.Default(); got != "city" {
+		t.Fatalf("default scene %q, want city (first listed)", got)
+	}
+	if len(top.Order) != 3 {
+		t.Fatalf("parsed %d scenes, want 3", len(top.Order))
+	}
+	if got := top.Replicas["city"]; len(got) != 2 || got[0] != "127.0.0.1:7001" || got[1] != "127.0.0.1:7002" {
+		t.Fatalf("city replicas = %v", got)
+	}
+	if got := top.Replicas["museum"]; len(got) != 1 || got[0] != "[::1]:7003" {
+		t.Fatalf("museum replicas = %v", got)
+	}
+	// Backends dedups across scenes, preserving first-appearance order.
+	backends := top.Backends()
+	want := []string{"127.0.0.1:7001", "127.0.0.1:7002", "[::1]:7003"}
+	if len(backends) != len(want) {
+		t.Fatalf("backends = %v, want %v", backends, want)
+	}
+	for i := range want {
+		if backends[i] != want[i] {
+			t.Fatalf("backends = %v, want %v", backends, want)
+		}
+	}
+}
+
+// TestParseTopologyErrors pins the exact failure modes a malformed
+// topology must produce — each case names the substring operators will
+// grep for.
+func TestParseTopologyErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "duplicate scene",
+			src:  "city = 127.0.0.1:7001\ncity = 127.0.0.1:7002\n",
+			want: `line 2: duplicate scene "city"`,
+		},
+		{
+			name: "empty replica list",
+			src:  "city = 127.0.0.1:7001\npark =  , \n",
+			want: `line 2: scene "park" has no replicas`,
+		},
+		{
+			name: "unparseable address",
+			src:  "city = 127.0.0.1\n",
+			want: `line 1: bad address "127.0.0.1"`,
+		},
+		{
+			name: "empty port",
+			src:  "city = 127.0.0.1:\n",
+			want: `line 1: bad address "127.0.0.1:": empty host or port`,
+		},
+		{
+			name: "missing equals",
+			src:  "# ok\ncity 127.0.0.1:7001\n",
+			want: "line 2: missing '='",
+		},
+		{
+			name: "bad scene name",
+			src:  "ci/ty = 127.0.0.1:7001\n",
+			want: "line 1: engine: scene name contains invalid byte",
+		},
+		{
+			name: "empty scene name",
+			src:  " = 127.0.0.1:7001\n",
+			want: "line 1: engine: empty scene name",
+		},
+		{
+			name: "no scenes",
+			src:  "# only comments\n\n",
+			want: "topology: no scenes",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseTopology(strings.NewReader(tc.src))
+			if err == nil {
+				t.Fatalf("parse accepted %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestControlRoundTrip(t *testing.T) {
+	reqs := []ControlRequest{
+		{Op: OpStatus},
+		{Op: OpDrain, Scene: "city", Target: "127.0.0.1:7002"},
+	}
+	for _, req := range reqs {
+		wire := EncodeControlRequest(req)
+		got, err := ReadControlRequest(bytes.NewReader(wire))
+		if err != nil {
+			t.Fatalf("round-trip %+v: %v", req, err)
+		}
+		if got != req {
+			t.Fatalf("round-trip %+v -> %+v", req, got)
+		}
+	}
+	reps := []ControlReply{
+		{OK: true, Msg: "drained"},
+		{OK: false, Msg: "unknown scene"},
+	}
+	for _, rep := range reps {
+		got, err := ReadControlReply(bytes.NewReader(EncodeControlReply(rep)))
+		if err != nil {
+			t.Fatalf("round-trip %+v: %v", rep, err)
+		}
+		if got != rep {
+			t.Fatalf("round-trip %+v -> %+v", rep, got)
+		}
+	}
+}
+
+func TestControlRejectsDamage(t *testing.T) {
+	wire := EncodeControlRequest(ControlRequest{Op: OpDrain, Scene: "city", Target: "127.0.0.1:7002"})
+	// Flip one payload bit: the CRC must catch it.
+	bad := append([]byte(nil), wire...)
+	bad[5] ^= 0x40
+	if _, err := ReadControlRequest(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bit-flipped control frame accepted")
+	}
+	// A frame claiming an absurd length must be refused before allocation.
+	huge := []byte{0xff, 0xff, 0xff, 0x7f}
+	if _, err := ReadControlRequest(bytes.NewReader(huge)); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversize frame: err = %v", err)
+	}
+	// Unknown op and malformed operands are rejected at decode.
+	if _, err := DecodeControlRequest([]byte{99, 0, 0, 0, 0}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if _, err := DecodeControlRequest([]byte{OpDrain, 1, 0, 'c', 0, 0}); err == nil {
+		t.Fatal("drain without target accepted")
+	}
+}

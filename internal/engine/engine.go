@@ -102,6 +102,11 @@ type Registry struct {
 	scenes  map[string]*Scene
 	order   []string
 	journal *SessionJournal
+	// advertise is the address this process serves on as cluster
+	// topology files name it — usually the listener address, but
+	// explicitly configurable (-advertise) for NAT or multi-homed hosts,
+	// so gateway-side per-backend stats and routing keys stay stable.
+	advertise string
 }
 
 // NewRegistry creates an empty registry.
@@ -273,6 +278,22 @@ func (r *Registry) Journal() *SessionJournal {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.journal
+}
+
+// SetAdvertise records the address this process should be known by in
+// cluster topology files (see Registry.advertise).
+func (r *Registry) SetAdvertise(addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.advertise = addr
+}
+
+// Advertise returns the configured cluster-facing address ("" when the
+// process serves standalone).
+func (r *Registry) Advertise() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.advertise
 }
 
 // ResumeLen sums the parked sessions across every scene's resume cache

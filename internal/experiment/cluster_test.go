@@ -1,0 +1,31 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunCluster is the cluster acceptance test: two resilient clients
+// tour a scene through the gateway while the harness kills the owning
+// backend (failover onto a replica booted from its durable state) and
+// then live-drains the scene onto an initially empty backend. RunCluster
+// itself enforces the acceptance criteria — both clients byte-identical
+// to a single-process oracle with zero re-plans, exactly one resume
+// each served from restored sessions (journal replay, then drain ship),
+// the failover and drain recorded, and the replica's probe ejection and
+// re-admission both observed — and returns an error if any fails.
+func TestRunCluster(t *testing.T) {
+	var b strings.Builder
+	if err := RunCluster(ClusterSpec{Seed: 7}, &b); err != nil {
+		t.Fatalf("cluster experiment failed: %v\n%s", err, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{
+		"phase 1 failover", "phase 2 drain", "drains 1",
+		"re-plans 0+0", "convergence OK",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

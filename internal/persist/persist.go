@@ -342,6 +342,45 @@ func ReadFile(path string) ([][]byte, Recovery, error) {
 	return recs, rec, err
 }
 
+// CopyVerified copies a persist-format file from src to dst with strict
+// verification: every record must pass its CRC and the file must end
+// cleanly — any torn tail or quarantined record aborts the copy. The
+// destination is written atomically, so dst is never left half-shipped.
+// This is the checkpoint-shipping primitive a cluster drain uses: a
+// damaged source checkpoint must fail the drain, not silently relocate
+// a scene missing records. Returns the records copied.
+func CopyVerified(src, dst string) (int, error) {
+	f, err := os.Open(src)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	recs, rec, _, err := Scan(f, st.Size())
+	if err != nil {
+		return 0, fmt.Errorf("persist: copy source %s: %w", src, err)
+	}
+	if rec.TailTruncated > 0 || rec.Quarantined > 0 {
+		return 0, fmt.Errorf("persist: copy source %s damaged (%d quarantined, torn tail %v)",
+			src, rec.Quarantined, rec.TailTruncated > 0)
+	}
+	_, err = WriteFileAtomic(dst, func(w *Writer) error {
+		for _, p := range recs {
+			if err := w.WriteRecord(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return len(recs), nil
+}
+
 // WriteFileAtomic writes a persist-format file so that a crash at any
 // point leaves either the old file or the new one, never a mix: the
 // content goes to a temp file in the same directory, is fsynced, then

@@ -438,6 +438,29 @@ func (r *Reader) Reset(src io.Reader) {
 	r.hashing = false
 }
 
+// Buffered returns the number of bytes the Reader has read from its
+// stream but not yet consumed by a decoder.
+func (r *Reader) Buffered() int { return r.r.Buffered() }
+
+// WriteBufferedTo drains the Reader's buffered bytes into w, returning
+// how many moved. A proxy that stops decoding a stream mid-connection
+// (the cluster gateway after its routing handshake) must flush this
+// remainder before splicing the raw connections together, or bytes the
+// Reader had already pulled off the socket would be lost.
+func (r *Reader) WriteBufferedTo(w io.Writer) (int64, error) {
+	n := r.r.Buffered()
+	if n == 0 {
+		return 0, nil
+	}
+	b, err := r.r.Peek(n)
+	if err != nil {
+		return 0, err
+	}
+	m, werr := w.Write(b)
+	r.r.Discard(m)
+	return int64(m), werr
+}
+
 // bufPool recycles the transient byte buffers string decoding reads
 // into (the string itself is always a fresh copy, so pooled buffers
 // never escape). Oversized requests bypass the pool — see readStringN.

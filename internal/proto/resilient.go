@@ -12,12 +12,24 @@ import (
 )
 
 // ResilientConfig tunes a ResilientClient. The zero value of every field
-// except Dial gets a sensible default.
+// except Dial/Addrs gets a sensible default.
 type ResilientConfig struct {
-	// Dial opens a fresh connection to the server. Required. Called for
-	// the initial connection and after every transport failure; wrap it
-	// with faultnet to model a degraded wireless link.
+	// Dial opens a fresh connection to the server. Called for the
+	// initial connection and after every transport failure; wrap it
+	// with faultnet to model a degraded wireless link. Exactly one of
+	// Dial and Addrs is required; when both are set, Dial wins.
 	Dial func() (net.Conn, error)
+	// Addrs is the gateway-aware alternative to Dial: a list of
+	// equivalent serving addresses (several gateways, or a scene's
+	// replica set) tried in rotation. A dial failure rotates to the next
+	// address, so a permanently dead entry costs one failed attempt per
+	// revolution instead of wedging the client; a successful dial pins
+	// the rotation to that address until it fails. Resume semantics are
+	// unchanged — the token travels with the client, not the address.
+	Addrs []string
+	// DialTimeout bounds one Addrs dial attempt (default: FrameTimeout).
+	// Ignored when Dial is set.
+	DialTimeout time.Duration
 	// MapSpeed is the speed→resolution mapping of §IV (nil = Identity).
 	// Degraded mode composes on top of it.
 	MapSpeed retrieval.MapSpeedToResolution
@@ -63,6 +75,10 @@ type ResilientClient struct {
 	rng  *rand.Rand
 	dead bool // connection must be re-established before the next frame
 
+	// addrIdx points at the Addrs entry the rotation is currently pinned
+	// to; dial failures advance it.
+	addrIdx int
+
 	consecTimeouts int
 	floor          float64 // degraded-mode wmin floor (0 = full resolution)
 
@@ -76,11 +92,14 @@ type ResilientClient struct {
 // DialResilient connects (retrying per the config) and performs the
 // handshake.
 func DialResilient(cfg ResilientConfig) (*ResilientClient, error) {
-	if cfg.Dial == nil {
-		return nil, fmt.Errorf("proto: ResilientConfig.Dial is required")
+	if cfg.Dial == nil && len(cfg.Addrs) == 0 {
+		return nil, fmt.Errorf("proto: ResilientConfig needs Dial or Addrs")
 	}
 	if cfg.FrameTimeout <= 0 {
 		cfg.FrameTimeout = 10 * time.Second
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = cfg.FrameTimeout
 	}
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = 8
@@ -127,11 +146,43 @@ func (rc *ResilientClient) mapSpeed(speed float64) float64 {
 	return w
 }
 
+// dial opens one connection: through cfg.Dial when set, otherwise to
+// the address the rotation is pinned to.
+func (rc *ResilientClient) dial() (net.Conn, error) {
+	if rc.cfg.Dial != nil {
+		return rc.cfg.Dial()
+	}
+	addr := rc.cfg.Addrs[rc.addrIdx%len(rc.cfg.Addrs)]
+	conn, err := net.DialTimeout("tcp", addr, rc.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("proto: dial %s: %w", addr, err)
+	}
+	return conn, nil
+}
+
+// Addr returns the rotation's current address ("" when a custom Dial is
+// configured).
+func (rc *ResilientClient) Addr() string {
+	if len(rc.cfg.Addrs) == 0 {
+		return ""
+	}
+	return rc.cfg.Addrs[rc.addrIdx%len(rc.cfg.Addrs)]
+}
+
 // connect establishes (or re-establishes) the connection. After the
 // first success it reconnects the existing client, preserving planner
-// and reconstruction state and attempting a session resume.
-func (rc *ResilientClient) connect() error {
-	conn, err := rc.cfg.Dial()
+// and reconstruction state and attempting a session resume. In Addrs
+// mode any failure — dial or handshake — advances the rotation, so a
+// permanently dead or broken replica costs one attempt per revolution.
+func (rc *ResilientClient) connect() (err error) {
+	if len(rc.cfg.Addrs) > 0 {
+		defer func() {
+			if err != nil {
+				rc.addrIdx++
+			}
+		}()
+	}
+	conn, err := rc.dial()
 	if err != nil {
 		return err
 	}

@@ -48,8 +48,18 @@ type Server struct {
 	mu     sync.Mutex
 	closed bool
 	lis    net.Listener
-	conns  map[net.Conn]struct{}
+	conns  map[net.Conn]*connInfo
 	wg     sync.WaitGroup
+}
+
+// connInfo is the server's bookkeeping for one live connection: the
+// scene the session is currently bound to, so a cluster drain can sever
+// exactly the connections of the scene being relocated, and whether the
+// session has started (served a request or resume) — only those carry
+// state worth parking when severed.
+type connInfo struct {
+	scene   string
+	started bool
 }
 
 // defaultDrainTimeout bounds graceful Close; override with
@@ -86,7 +96,7 @@ func NewMultiServer(reg *engine.Registry, logf func(string, ...any)) *Server {
 		logf:         logf,
 		st:           stats.Default,
 		drainTimeout: defaultDrainTimeout,
-		conns:        make(map[net.Conn]struct{}),
+		conns:        make(map[net.Conn]*connInfo),
 	}
 }
 
@@ -147,7 +157,7 @@ func (s *Server) Serve(lis net.Listener) error {
 			go s.shed(conn)
 			continue
 		}
-		s.conns[conn] = struct{}{}
+		s.conns[conn] = &connInfo{}
 		s.wg.Add(1)
 		s.mu.Unlock()
 		go s.handle(conn)
@@ -200,6 +210,69 @@ func (s *Server) Close() {
 	<-done
 }
 
+// setConnScene records which scene a connection is bound to (for
+// SeverScene/SceneConns). A connection already gone from the map (Close
+// racing the handler) is ignored.
+func (s *Server) setConnScene(conn net.Conn, scene string) {
+	s.mu.Lock()
+	if ci, ok := s.conns[conn]; ok {
+		ci.scene = scene
+	}
+	s.mu.Unlock()
+}
+
+// setConnStarted marks a connection's session as started once it serves
+// its first request or resume.
+func (s *Server) setConnStarted(conn net.Conn) {
+	s.mu.Lock()
+	if ci, ok := s.conns[conn]; ok {
+		ci.started = true
+	}
+	s.mu.Unlock()
+}
+
+// SceneConns reports how many live connections are bound to the named
+// scene.
+func (s *Server) SceneConns(scene string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, ci := range s.conns {
+		if ci.scene == scene {
+			n++
+		}
+	}
+	return n
+}
+
+// SeverScene force-closes every connection bound to the named scene and
+// returns how many live sessions it severed. Each severed handler parks
+// its session in the scene's resume cache (journaled when one is
+// attached) exactly as it would for a vanished peer — the drain hook a
+// cluster controller uses to quiesce a scene before shipping it to
+// another backend. Connections whose session never started (a
+// handshake-only peer caught mid-greeting) are closed too but not
+// counted: they park nothing, so the count matches what the resume
+// cache gains.
+func (s *Server) SeverScene(scene string) int {
+	s.mu.Lock()
+	victims := make([]net.Conn, 0, len(s.conns))
+	n := 0
+	for c, ci := range s.conns {
+		if ci.scene == scene {
+			victims = append(victims, c)
+			if ci.started {
+				n++
+			}
+		}
+	}
+	s.mu.Unlock()
+	for _, c := range victims {
+		c.Close()
+	}
+	return n
+}
+
 // sendHello announces a scene's schema under the connection's token.
 func (s *Server) sendHello(conn net.Conn, w *Writer, scene *engine.Scene, token uint64) error {
 	src := scene.Source
@@ -236,6 +309,7 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		return
 	}
+	s.setConnScene(conn, scene.Name)
 	token := newToken()
 	if err := s.sendHello(conn, w, scene, token); err != nil {
 		s.st.RecordError()
@@ -256,7 +330,12 @@ func (s *Server) handle(conn net.Conn) {
 	// already holds the encoded bytes.
 	var payloadBuf []byte
 	defer func() {
-		if !orderly {
+		// Park only sessions that actually started: an interrupted
+		// connection that never served a request or resume has no
+		// delivered-set worth restoring, and parking it would let
+		// transient handshake-only peers (health probes, port scanners)
+		// pollute the resume cache and session journal.
+		if !orderly && started {
 			scene.Resume.Put(token, sess)
 		}
 	}()
@@ -311,6 +390,7 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 			scene = next
+			s.setConnScene(conn, scene.Name)
 			sess = &engine.ResumeEntry{Session: retrieval.NewSession(scene.Server)}
 			if err := s.sendHello(conn, w, scene, token); err != nil {
 				s.st.RecordError()
@@ -350,7 +430,10 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			prev.LastIDs = prev.LastIDs[:0]
 			sess = prev
-			started = true
+			if !started {
+				started = true
+				s.setConnStarted(conn)
+			}
 			s.st.RecordResume(true)
 			if prev.Restored {
 				// This session crossed a server restart via the recovered
@@ -373,7 +456,10 @@ func (s *Server) handle(conn net.Conn) {
 				}
 				return
 			}
-			started = true
+			if !started {
+				started = true
+				s.setConnStarted(conn)
+			}
 			resp := sess.Session.RetrieveScratch(req.Subs)
 			sess.Seq++
 			// resp.IDs aliases the session's scratch (overwritten by the

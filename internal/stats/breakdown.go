@@ -24,6 +24,56 @@ type shardCounter struct {
 	io       atomic.Int64
 }
 
+// backendCounter holds one cluster backend's gateway-side accounting:
+// client connections routed to it, failovers recorded against it (a
+// route skipped it as down or failed to dial it), and health probes it
+// answered or failed.
+type backendCounter struct {
+	routes     atomic.Int64
+	failovers  atomic.Int64
+	probes     atomic.Int64
+	probeFails atomic.Int64
+}
+
+func (s *Stats) backend(addr string) *backendCounter {
+	v, ok := s.backends.Load(addr)
+	if !ok {
+		v, _ = s.backends.LoadOrStore(addr, &backendCounter{})
+	}
+	return v.(*backendCounter)
+}
+
+// RecordRoute attributes one proxied client connection to the backend
+// that received it.
+func (s *Stats) RecordRoute(addr string) {
+	if s == nil || addr == "" {
+		return
+	}
+	s.backend(addr).routes.Add(1)
+}
+
+// RecordFailover counts one routing step past a backend: the gateway
+// wanted to use addr but it was marked down or refused the dial, so the
+// connection moved on to the next replica (or was refused).
+func (s *Stats) RecordFailover(addr string) {
+	if s == nil || addr == "" {
+		return
+	}
+	s.backend(addr).failovers.Add(1)
+}
+
+// RecordProbe counts one health probe against a backend by outcome.
+func (s *Stats) RecordProbe(addr string, ok bool) {
+	if s == nil || addr == "" {
+		return
+	}
+	c := s.backend(addr)
+	c.probes.Add(1)
+	if !ok {
+		c.probeFails.Add(1)
+	}
+}
+
 // RecordScene attributes one executed request to a named scene. The
 // aggregate counters are recorded separately via RecordRequest; this adds
 // the per-scene breakdown a multi-scene engine reports in Snapshot.Scenes.
@@ -84,6 +134,14 @@ func (s *Stats) RecordShard(shard int, io int64) {
 	c.io.Add(io)
 }
 
+// BackendSnapshot is one cluster backend's gateway-side totals.
+type BackendSnapshot struct {
+	Routes     int64
+	Failovers  int64
+	Probes     int64
+	ProbeFails int64
+}
+
 // SceneSnapshot is one scene's share of the request counters.
 type SceneSnapshot struct {
 	Requests int64
@@ -115,6 +173,29 @@ func (s *Stats) sceneSnapshots() map[string]SceneSnapshot {
 			IndexIO:  c.indexIO.Load(),
 			Coeffs:   c.coeffs.Load(),
 			Bytes:    c.bytes.Load(),
+		}
+		return true
+	})
+	return out
+}
+
+// backendSnapshots copies the per-backend breakdown (nil when no
+// gateway has recorded anything).
+func (s *Stats) backendSnapshots() map[string]BackendSnapshot {
+	if s == nil {
+		return nil
+	}
+	var out map[string]BackendSnapshot
+	s.backends.Range(func(k, v any) bool {
+		if out == nil {
+			out = make(map[string]BackendSnapshot)
+		}
+		c := v.(*backendCounter)
+		out[k.(string)] = BackendSnapshot{
+			Routes:     c.routes.Load(),
+			Failovers:  c.failovers.Load(),
+			Probes:     c.probes.Load(),
+			ProbeFails: c.probeFails.Load(),
 		}
 		return true
 	})
@@ -166,6 +247,19 @@ func (s Snapshot) breakdownString() string {
 		fmt.Fprintf(&b, " · shards %d (searches %d io %d hottest #%d io %d)",
 			len(s.Shards), searches, io, hot, hotIO)
 	}
+	if len(s.Backends) > 0 {
+		addrs := make([]string, 0, len(s.Backends))
+		for addr := range s.Backends {
+			addrs = append(addrs, addr)
+		}
+		sort.Strings(addrs)
+		b.WriteString(" · backends")
+		for _, addr := range addrs {
+			bk := s.Backends[addr]
+			fmt.Fprintf(&b, " %s[routes %d failovers %d probes %d/%d ok]",
+				addr, bk.Routes, bk.Failovers, bk.Probes-bk.ProbeFails, bk.Probes)
+		}
+	}
 	return b.String()
 }
 
@@ -173,7 +267,8 @@ func (s Snapshot) breakdownString() string {
 // to keep the breakdown layer self-contained; see stats.go for the
 // embedding.
 type breakdowns struct {
-	scenes  sync.Map // string -> *sceneCounter
-	shardMu sync.Mutex
-	shards  atomic.Pointer[[]*shardCounter]
+	scenes   sync.Map // string -> *sceneCounter
+	backends sync.Map // string -> *backendCounter
+	shardMu  sync.Mutex
+	shards   atomic.Pointer[[]*shardCounter]
 }

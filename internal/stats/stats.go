@@ -160,6 +160,11 @@ type Stats struct {
 	journalCompactions atomic.Int64
 	resumesRestored    atomic.Int64
 
+	// Cluster counters (see internal/cluster): live scene drains
+	// completed by a gateway controller. Per-backend route/failover/probe
+	// attribution lives in the breakdown layer (RecordRoute and friends).
+	drains atomic.Int64
+
 	latency   Histogram // per-request latency in nanoseconds
 	requestIO Histogram // index node reads per request
 	backoff   Histogram // client backoff sleeps in nanoseconds
@@ -375,6 +380,15 @@ func (s *Stats) RecordResumeRestored() {
 	s.resumesRestored.Add(1)
 }
 
+// RecordDrain counts one completed live scene drain (a scene relocated
+// between cluster backends by checkpoint-ship-replay).
+func (s *Stats) RecordDrain() {
+	if s == nil {
+		return
+	}
+	s.drains.Add(1)
+}
+
 // RecordBuffer accounts one buffer-manager step: blocks found in the
 // buffer, blocks fetched on demand, and the bytes moved over the link.
 func (s *Stats) RecordBuffer(hits, misses int, demandBytes, prefetchBytes int64) {
@@ -420,6 +434,8 @@ type Snapshot struct {
 	JournalCompactions int64
 	ResumesRestored    int64
 
+	Drains int64
+
 	Latency   HistogramSnapshot
 	RequestIO HistogramSnapshot
 	Backoff   HistogramSnapshot
@@ -432,9 +448,12 @@ type Snapshot struct {
 
 	// Scenes breaks the request counters down by engine scene (nil unless
 	// RecordScene ran); Shards breaks index search I/O down by shard (nil
-	// unless a sharded index was wired via EnsureShards).
-	Scenes map[string]SceneSnapshot
-	Shards []ShardSnapshot
+	// unless a sharded index was wired via EnsureShards); Backends breaks
+	// gateway routing down by backend address (nil unless a cluster
+	// gateway recorded routes or probes).
+	Scenes   map[string]SceneSnapshot
+	Shards   []ShardSnapshot
+	Backends map[string]BackendSnapshot
 }
 
 // Snapshot copies the current counter values.
@@ -474,11 +493,14 @@ func (s *Stats) Snapshot() Snapshot {
 		JournalCompactions: s.journalCompactions.Load(),
 		ResumesRestored:    s.resumesRestored.Load(),
 
-		Latency:        s.latency.Snapshot(),
-		RequestIO:      s.requestIO.Snapshot(),
-		Backoff:        s.backoff.Snapshot(),
-		Scenes:         s.sceneSnapshots(),
-		Shards:         s.shardSnapshots(),
+		Drains: s.drains.Load(),
+
+		Latency:   s.latency.Snapshot(),
+		RequestIO: s.requestIO.Snapshot(),
+		Backoff:   s.backoff.Snapshot(),
+		Scenes:    s.sceneSnapshots(),
+		Shards:    s.shardSnapshots(),
+		Backends:  s.backendSnapshots(),
 	}
 }
 
@@ -495,7 +517,7 @@ func (s Snapshot) String() string {
 			"buffer %d/%d hit/miss · link %s demand + %s prefetch · "+
 			"retries %d (%d timeouts) · resume %d/%d hit/miss · degraded %d · shed %d · faults %d · "+
 			"checkpoints %d / %s · recovery %d replayed / %d truncated / %d quarantined · "+
-			"compactions %d · restored resumes %d",
+			"compactions %d · restored resumes %d · drains %d",
 		s.SessionsActive, s.SessionsOpened, s.Requests, s.Errors, s.SubQueries,
 		s.IndexIO, s.Coeffs, fmtBytes(s.Bytes),
 		time.Duration(int64(s.Latency.Mean())).Round(time.Microsecond),
@@ -505,7 +527,7 @@ func (s Snapshot) String() string {
 		s.Retries, s.Timeouts, s.ResumeHits, s.ResumeMisses, s.Degraded, s.Shed, s.Faults,
 		s.Checkpoints, fmtBytes(s.CheckpointBytes),
 		s.RecordsReplayed, s.TailsTruncated, s.RecordsQuarantined,
-		s.JournalCompactions, s.ResumesRestored) +
+		s.JournalCompactions, s.ResumesRestored, s.Drains) +
 		hot + s.breakdownString()
 }
 
