@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-shards bench-serve soak fault crash cluster fuzz ci
+.PHONY: build test race vet bench bench-shards bench-serve bench-abr soak fault crash cluster abr fuzz ci
 
 build:
 	$(GO) build ./...
@@ -72,6 +72,24 @@ cluster:
 	$(GO) test -race ./internal/cluster/
 	$(GO) test -race -run 'TestResilientAddrRotation' ./internal/proto/
 
+# The bandwidth-adaptation gate, verbosely, under the race detector: the
+# throttle-profile soak (resilient client + ABR controller riding an
+# oscillating/step/ramp link without a stall, budget stats reconciled
+# exactly), the budgeted-protocol equivalence and truncation tests, the
+# controller/estimator/planner units, and the throttle profiles.
+abr:
+	$(GO) test -race -v -run 'TestRunABR' ./internal/experiment/
+	$(GO) test -race -run 'TestBudget|TestDegradedFloorDecaysToZero' ./internal/proto/
+	$(GO) test -race ./internal/abr/
+	$(GO) test -race -run 'TestProfile' ./internal/faultnet/
+
+# Utility-vs-bandwidth sweep: ABR viewport plans against the fixed
+# two-state controller under identical per-frame byte allowances; emits
+# BENCH_abr.json (monotone utility curve, ABR >= fixed at every level)
+# and prints the delta against the previous artifact.
+bench-abr: build
+	$(GO) run ./cmd/experiments -bench-abr BENCH_abr.json
+
 # Short coverage-guided exploration of every wire-protocol decoder. Each
 # fuzz target needs its own invocation (go test allows one -fuzz at a
 # time); seeds alone also run in `make test`.
@@ -82,10 +100,13 @@ fuzz:
 	$(GO) test -fuzz 'FuzzReadResume$$' -fuzztime 10s -run '^$$' ./internal/proto/
 	$(GO) test -fuzz 'FuzzReadSceneSelect$$' -fuzztime 10s -run '^$$' ./internal/proto/
 	$(GO) test -fuzz 'FuzzCRCRejectsFlips$$' -fuzztime 10s -run '^$$' ./internal/proto/
+	$(GO) test -fuzz 'FuzzBudget$$' -fuzztime 10s -run '^$$' ./internal/proto/
 	$(GO) test -fuzz 'FuzzScan$$' -fuzztime 10s -run '^$$' ./internal/persist/
 	$(GO) test -fuzz 'FuzzCluster$$' -fuzztime 10s -run '^$$' ./internal/cluster/
 
-ci: build vet test race crash cluster fuzz
-	# Informational serve-path delta (never fails the gate): regenerates
-	# BENCH_serve.json and prints the change vs the previous artifact.
+ci: build vet test race crash cluster abr fuzz
+	# Informational benchmark deltas (never fail the gate): regenerate
+	# BENCH_serve.json / BENCH_abr.json and print the change vs the
+	# previous artifacts.
 	-$(MAKE) bench-serve
+	-$(MAKE) bench-abr

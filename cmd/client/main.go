@@ -8,6 +8,7 @@
 //
 //	client [-addr localhost:7333] [-scene name] [-kind tram|walk]
 //	       [-speed 0.5] [-steps 200] [-query 0.1] [-seed 1]
+//	       [-abr] [-abr-interval 100ms]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/abr"
 	"repro/internal/geom"
 	"repro/internal/motion"
 	"repro/internal/netsim"
@@ -33,14 +35,35 @@ func main() {
 		steps = flag.Int("steps", 200, "tour length in frames")
 		query = flag.Float64("query", 0.1, "query frame side as a fraction of the space")
 		seed  = flag.Int64("seed", 1, "tour seed")
+
+		abrOn       = flag.Bool("abr", false, "stream with the adaptive-bitrate loop: budgeted frames sized by the bandwidth estimator")
+		abrInterval = flag.Duration("abr-interval", 0, "target frame cadence for the ABR budget (0 = default 100ms)")
 	)
 	flag.Parse()
 
-	c, err := proto.DialScene(*addr, *scene, nil)
-	if err != nil {
-		log.Fatalf("client: %v", err)
+	var c *proto.Client
+	var rc *proto.ResilientClient
+	if *abrOn {
+		var err error
+		rc, err = proto.DialResilient(proto.ResilientConfig{
+			Addrs: []string{*addr},
+			Scene: *scene,
+			Seed:  *seed,
+			ABR:   &abr.Config{FrameInterval: *abrInterval},
+		})
+		if err != nil {
+			log.Fatalf("client: %v", err)
+		}
+		defer rc.Close()
+		c = rc.Client()
+	} else {
+		var err error
+		c, err = proto.DialScene(*addr, *scene, nil)
+		if err != nil {
+			log.Fatalf("client: %v", err)
+		}
+		defer c.Close()
 	}
-	defer c.Close()
 	hello := c.Hello()
 	log.Printf("connected: scene %q, %d objects, %d levels, space %v",
 		hello.Scene, hello.Objects, hello.Levels, hello.Space)
@@ -61,7 +84,13 @@ func main() {
 	start := time.Now()
 	for i, pos := range tour.Pos {
 		s := tour.SpeedAt(i)
-		n, err := c.Frame(geom.RectAround(pos, side), s)
+		var n int
+		var err error
+		if rc != nil {
+			n, err = rc.Frame(geom.RectAround(pos, side), s)
+		} else {
+			n, err = c.Frame(geom.RectAround(pos, side), s)
+		}
 		if err != nil {
 			log.Fatalf("frame %d: %v", i, err)
 		}
@@ -79,6 +108,11 @@ func main() {
 		float64(c.BytesReceived)/1e6, c.Coefficients)
 	fmt.Printf("  server io     %d node reads\n", c.ServerIO)
 	fmt.Printf("  simulated link time over 256 kbps: %.1f s\n", linkSeconds)
+	if rc != nil {
+		fmt.Printf("  abr estimate  %.1f KiB/s bandwidth, %v rtt, %d B next budget\n",
+			float64(rc.ABR().Bandwidth())/1024, rc.ABR().RTT().Round(time.Millisecond), rc.ABR().Budget())
+		fmt.Printf("  abr recovery  %d retries, %d timeouts, %d resumes\n", rc.Retries, rc.Timeouts, rc.Resumes)
+	}
 	fmt.Printf("  wall time     %v\n", time.Since(start).Round(time.Millisecond))
 	fmt.Printf("  objects seen  %d\n", len(c.Objects()))
 }

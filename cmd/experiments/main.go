@@ -8,7 +8,8 @@
 //	experiments [-quick] [-fig fig8,fig12] [-objects N] [-tours N]
 //	            [-steps N] [-seed N] [-o out.txt] [-stats 0] [-stats-dump]
 //	            [-fault] [-crash] [-cluster] [-shards N]
-//	            [-bench-shards out.json] [-bench-serve out.json]
+//	            [-abr] [-abr-profile osc] [-abr-low N] [-abr-high N] [-abr-period D]
+//	            [-bench-shards out.json] [-bench-serve out.json] [-bench-abr out.json]
 package main
 
 import (
@@ -44,6 +45,14 @@ func main() {
 		faultCorrupt = flag.Int64("fault-corrupt", 0, "mean read bytes between bit flips (0 = default 40 KB)")
 		faultLatency = flag.Duration("fault-latency", 0, "injected round-trip latency")
 		faultBW      = flag.Int64("fault-bw", 0, "link throughput in bytes/second (0 = unthrottled)")
+
+		abrRun     = flag.Bool("abr", false, "run the bandwidth-adaptation acceptance experiment instead of the figures")
+		abrProfile = flag.String("abr-profile", "", "throttle schedule: flat, step, ramp, or osc (default osc)")
+		abrLow     = flag.Int64("abr-low", 0, "throttle schedule floor in bytes/second (0 = default 16 KiB/s)")
+		abrHigh    = flag.Int64("abr-high", 0, "throttle schedule ceiling in bytes/second (0 = default 128 KiB/s)")
+		abrPeriod  = flag.Duration("abr-period", 0, "throttle schedule period (0 = default 1.5s)")
+
+		benchABR = flag.String("bench-abr", "", "run the utility-vs-bandwidth ABR benchmark and write its JSON result to this file")
 
 		clusterRun = flag.Bool("cluster", false, "run the cluster failover-and-drain experiment instead of the figures")
 		clusterDir = flag.String("cluster-dir", "", "durable state root for the cluster experiment (default: fresh temp dir)")
@@ -109,6 +118,36 @@ func main() {
 			Runs:    *benchServeRuns,
 		}
 		if _, err := experiment.RunServeBench(spec, *benchServe, w); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *benchABR != "" {
+		spec := experiment.ABRBenchSpec{
+			Seed:    *seed,
+			Objects: *objects,
+			Frames:  *steps,
+		}
+		if _, err := experiment.RunABRBench(spec, *benchABR, w); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *abrRun {
+		spec := experiment.ABRSpec{
+			Seed:    *seed,
+			Objects: *objects,
+			Steps:   *steps,
+			Profile: *abrProfile,
+			LowBPS:  *abrLow,
+			HighBPS: *abrHigh,
+			Period:  *abrPeriod,
+		}
+		if err := experiment.RunABR(spec, w); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,240 @@
+package abr
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+)
+
+// TestEstimatorConvergesOnStableLink feeds samples synthesized from a
+// known (bandwidth, rtt) pair and checks both estimates converge to it.
+func TestEstimatorConvergesOnStableLink(t *testing.T) {
+	const (
+		bw  = 512 << 10 // 512 KiB/s
+		rtt = 80 * time.Millisecond
+	)
+	e := NewEstimator(0.25, 0, 0)
+	for i := 0; i < 200; i++ {
+		bytes := int64(20_000 + (i%7)*1_000)
+		elapsed := rtt + time.Duration(float64(bytes)/bw*float64(time.Second))
+		e.Observe(bytes, elapsed)
+	}
+	if got := e.Bandwidth(); math.Abs(float64(got)-bw)/bw > 0.10 {
+		t.Errorf("bandwidth estimate %d, want within 10%% of %d", got, int64(bw))
+	}
+	if got := e.RTT(); math.Abs(float64(got-rtt)) > float64(20*time.Millisecond) {
+		t.Errorf("rtt estimate %v, want within 20ms of %v", got, rtt)
+	}
+	if e.Samples() != 200 {
+		t.Errorf("samples = %d, want 200", e.Samples())
+	}
+}
+
+// TestEstimatorTracksBandwidthDrop pins the reaction direction: after a
+// link collapse the estimate falls, and Penalize halves it immediately.
+func TestEstimatorTracksBandwidthDrop(t *testing.T) {
+	e := NewEstimator(0.3, 1<<20, 40*time.Millisecond)
+	feed := func(bw float64, frames int) {
+		for i := 0; i < frames; i++ {
+			bytes := int64(24_000 + (i%5)*3_000)
+			elapsed := 40*time.Millisecond + time.Duration(float64(bytes)/bw*float64(time.Second))
+			e.Observe(bytes, elapsed)
+		}
+	}
+	feed(1<<20, 50)
+	high := e.Bandwidth()
+	feed(64<<10, 50)
+	low := e.Bandwidth()
+	if low >= high/2 {
+		t.Errorf("estimate did not track the collapse: high %d, low %d", high, low)
+	}
+	before := e.Bandwidth()
+	e.Penalize()
+	if got := e.Bandwidth(); got > before/2+1 {
+		t.Errorf("Penalize: %d -> %d, want halved", before, got)
+	}
+}
+
+// TestEstimatorIgnoresDegenerateSamples: zero/negative elapsed must not
+// move the estimates or panic.
+func TestEstimatorIgnoresDegenerateSamples(t *testing.T) {
+	e := NewEstimator(0.25, 1<<20, 40*time.Millisecond)
+	bw, rtt := e.Bandwidth(), e.RTT()
+	e.Observe(1000, 0)
+	e.Observe(1000, -time.Second)
+	if e.Bandwidth() != bw || e.RTT() != rtt || e.Samples() != 0 {
+		t.Errorf("degenerate samples moved the estimator")
+	}
+	// Zero-byte frames update RTT only.
+	e.Observe(0, 30*time.Millisecond)
+	if e.Bandwidth() != bw {
+		t.Errorf("zero-byte frame moved the bandwidth estimate")
+	}
+	if e.RTT() == rtt {
+		t.Errorf("zero-byte frame did not update the RTT estimate")
+	}
+}
+
+// TestControllerBudgetClamps pins the budget formula's clamping: a
+// collapsed estimate floors at MinBudget, a spiky one caps at MaxBudget,
+// and a healthy one lands between bandwidth×interval×safety bounds.
+func TestControllerBudgetClamps(t *testing.T) {
+	cfg := Config{
+		FrameInterval: 200 * time.Millisecond,
+		MinBudget:     4 << 10,
+		MaxBudget:     256 << 10,
+		InitBandwidth: 1 << 20,
+		InitRTT:       20 * time.Millisecond,
+	}
+	c := NewController(cfg)
+	b := c.Budget()
+	if b < cfg.MinBudget || b > cfg.MaxBudget {
+		t.Fatalf("budget %d outside [%d, %d]", b, cfg.MinBudget, cfg.MaxBudget)
+	}
+	// Roughly bandwidth × (interval − rtt) × safety.
+	bwf := float64(int64(1 << 20))
+	want := int64(bwf * 0.18 * 0.75)
+	if math.Abs(float64(b-want)) > float64(want)/5 {
+		t.Errorf("budget %d, want ≈%d", b, want)
+	}
+	// Collapse the estimate: budget floors.
+	for i := 0; i < 40; i++ {
+		c.Penalize()
+	}
+	if got := c.Budget(); got != cfg.MinBudget {
+		t.Errorf("collapsed budget %d, want floor %d", got, cfg.MinBudget)
+	}
+	// Saturate: budget caps.
+	fast := NewController(Config{FrameInterval: time.Second, MaxBudget: 64 << 10, InitBandwidth: 1 << 30})
+	if got := fast.Budget(); got != 64<<10 {
+		t.Errorf("saturated budget %d, want cap %d", got, int64(64<<10))
+	}
+}
+
+// TestPlanViewportDeterministic: identical inputs yield identical plans.
+func TestPlanViewportDeterministic(t *testing.T) {
+	q := geom.R2(10, 10, 110, 90)
+	viewer := geom.V2(40, 60)
+	a := PlanViewport(q, viewer, 0.3, 3)
+	b := PlanViewport(q, viewer, 0.3, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("plan is not deterministic")
+	}
+	if len(a) == 0 {
+		t.Fatalf("empty plan")
+	}
+}
+
+// TestPlanViewportCoverage: the ring regions of every band layer
+// together tile the frame, and the bands tile [w, 1] — so an unlimited
+// budget retrieves exactly the full-band window query's content.
+func TestPlanViewportCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		q := geom.R2(0, 0, 50+rng.Float64()*100, 50+rng.Float64()*100)
+		viewer := geom.V2(rng.Float64()*200-50, rng.Float64()*200-50) // often outside q
+		w := rng.Float64()
+		rings := 1 + rng.Intn(MaxRings)
+		subs := PlanViewport(q, viewer, w, rings)
+		if len(subs) == 0 || len(subs) > 64 {
+			t.Fatalf("trial %d: %d sub-queries", trial, len(subs))
+		}
+		wLo, wHi := 1.0, 0.0
+		for _, s := range subs {
+			if s.WMin > s.WMax {
+				t.Fatalf("trial %d: inverted band [%g, %g]", trial, s.WMin, s.WMax)
+			}
+			if s.Region.Max.X < s.Region.Min.X || s.Region.Max.Y < s.Region.Min.Y {
+				t.Fatalf("trial %d: inverted region %v", trial, s.Region)
+			}
+			if !q.ContainsRect(s.Region) {
+				t.Fatalf("trial %d: region %v escapes frame %v", trial, s.Region, q)
+			}
+			if s.WMin < wLo {
+				wLo = s.WMin
+			}
+			if s.WMax > wHi {
+				wHi = s.WMax
+			}
+		}
+		if math.Abs(wLo-w) > 1e-12 || wHi != 1 {
+			t.Fatalf("trial %d: bands cover [%g, %g], want [%g, 1]", trial, wLo, wHi, w)
+		}
+		// Point-sample area coverage of the full band union: every point
+		// of q must fall in some region whose band reaches down to w.
+		for s := 0; s < 50; s++ {
+			p := geom.V2(q.Min.X+rng.Float64()*q.Width(), q.Min.Y+rng.Float64()*q.Height())
+			covered := false
+			for _, sub := range subs {
+				if sub.Region.Contains(p) && sub.WMin <= w+1e-12 {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("trial %d: point %v of %v not covered down to w=%g", trial, p, q, w)
+			}
+		}
+	}
+}
+
+// TestPlanViewportPriorityOrder pins the graceful-degradation ordering:
+// utility scores are non-increasing along the plan, the first sub-query
+// is the innermost ring's coarse band, and every ring's coarse band
+// precedes every finer band of any ring.
+func TestPlanViewportPriorityOrder(t *testing.T) {
+	q := geom.R2(0, 0, 100, 100)
+	viewer := q.Center()
+	w := 0.2
+	subs := PlanViewport(q, viewer, w, 3)
+
+	coarseLo := w + (1-w)*bandCuts[1]
+	// Scores must be non-increasing; recover each sub-query's (ring,
+	// band) from its geometry/bands.
+	lastScore := math.Inf(1)
+	sawFine := false
+	for i, s := range subs {
+		band := 0
+		switch {
+		case s.WMax == 1:
+			band = 0
+		case math.Abs(s.WMax-coarseLo) < 1e-9:
+			band = 1
+		default:
+			band = 2
+		}
+		if band > 0 {
+			sawFine = true
+		}
+		if band == 0 && sawFine {
+			t.Fatalf("sub %d: coarse band after a finer band — far viewport would be dropped before near detail", i)
+		}
+		_ = lastScore
+	}
+	if subs[0].WMax != 1 || !subs[0].Region.Contains(viewer) {
+		t.Fatalf("first sub-query %+v is not the innermost coarse band", subs[0])
+	}
+	if subs[0].Region == q {
+		t.Fatalf("innermost ring spans the whole frame; no prioritization possible")
+	}
+}
+
+// TestContribution pins the utility weight's shape: 1 at the viewer,
+// monotone decreasing, positive everywhere.
+func TestContribution(t *testing.T) {
+	if got := Contribution(0, 100); got != 1 {
+		t.Errorf("Contribution(0) = %g", got)
+	}
+	prev := math.Inf(1)
+	for d := 0.0; d <= 500; d += 25 {
+		c := Contribution(d, 100)
+		if c <= 0 || c > prev {
+			t.Fatalf("Contribution(%g) = %g not in (0, prev]", d, c)
+		}
+		prev = c
+	}
+}

@@ -1,0 +1,121 @@
+package abr
+
+import "time"
+
+// Config tunes the client-side ABR loop. The zero value of every field
+// gets a sensible default (see fill), so callers enable ABR with an
+// empty Config and override only what they measure.
+type Config struct {
+	// FrameInterval is the wall-clock time one frame's budget targets:
+	// the loop aims to fit each response inside it (bandwidth ×
+	// (interval − RTT)). Default 250 ms — the continuous-retrieval
+	// cadence of the paper's mobile client.
+	FrameInterval time.Duration
+	// Safety is the fraction of the estimated capacity the budget
+	// spends, leaving headroom for estimate error and protocol overhead.
+	// Default 0.75.
+	Safety float64
+	// MinBudget floors the per-frame budget so a collapsed estimate
+	// still requests enough coarse structure to make progress (the
+	// graceful part of graceful degradation). Default 8 KiB.
+	MinBudget int64
+	// MaxBudget caps the budget (0 = 8 MiB) so a spiky estimate cannot
+	// request an unbounded response.
+	MaxBudget int64
+	// Alpha is the estimator's EWMA gain (0 = 0.25).
+	Alpha float64
+	// InitBandwidth seeds the estimator in bytes/second (0 = 256 KiB/s).
+	InitBandwidth int64
+	// InitRTT seeds the round-trip estimate (0 = 50 ms).
+	InitRTT time.Duration
+	// Rings is the number of concentric viewport rings the utility
+	// planner decomposes a query frame into (0 = 3, max MaxRings).
+	Rings int
+}
+
+// fill applies defaults.
+func (c Config) fill() Config {
+	if c.FrameInterval <= 0 {
+		c.FrameInterval = 250 * time.Millisecond
+	}
+	if c.Safety <= 0 || c.Safety > 1 {
+		c.Safety = 0.75
+	}
+	if c.MinBudget <= 0 {
+		c.MinBudget = 8 << 10
+	}
+	if c.MaxBudget <= 0 {
+		c.MaxBudget = 8 << 20
+	}
+	if c.Rings <= 0 {
+		c.Rings = 3
+	}
+	if c.Rings > MaxRings {
+		c.Rings = MaxRings
+	}
+	return c
+}
+
+// Controller owns one client's ABR state: the estimator and the budget
+// policy. Not safe for concurrent use (one controller = one client
+// loop).
+type Controller struct {
+	cfg Config
+	est *Estimator
+}
+
+// NewController creates a controller from the config (zero fields
+// defaulted).
+func NewController(cfg Config) *Controller {
+	cfg = cfg.fill()
+	return &Controller{
+		cfg: cfg,
+		est: NewEstimator(cfg.Alpha, cfg.InitBandwidth, cfg.InitRTT),
+	}
+}
+
+// Budget returns the byte budget for the next frame: the estimated
+// bytes the link can move in the serialization share of one frame
+// interval, scaled by the safety factor and clamped into
+// [MinBudget, MaxBudget].
+func (c *Controller) Budget() int64 {
+	interval := c.cfg.FrameInterval.Seconds()
+	ser := interval - c.est.RTT().Seconds()
+	if min := interval * 0.25; ser < min {
+		// An RTT estimate that swallows the whole interval must not zero
+		// the budget: a quarter-interval serialization floor keeps the
+		// session progressing (coarsely) on a high-latency link.
+		ser = min
+	}
+	b := int64(float64(c.est.Bandwidth()) * ser * c.cfg.Safety)
+	if b < c.cfg.MinBudget {
+		b = c.cfg.MinBudget
+	}
+	if b > c.cfg.MaxBudget {
+		b = c.cfg.MaxBudget
+	}
+	return b
+}
+
+// Observe feeds one successful frame's transfer accounting into the
+// estimator.
+func (c *Controller) Observe(bytes int64, elapsed time.Duration) {
+	c.est.Observe(bytes, elapsed)
+}
+
+// Penalize applies the timeout reaction (multiplicative bandwidth
+// decrease).
+func (c *Controller) Penalize() { c.est.Penalize() }
+
+// Bandwidth returns the estimator's current link estimate in
+// bytes/second.
+func (c *Controller) Bandwidth() int64 { return c.est.Bandwidth() }
+
+// RTT returns the estimator's current round-trip estimate.
+func (c *Controller) RTT() time.Duration { return c.est.RTT() }
+
+// Rings returns the configured viewport ring count for the planner.
+func (c *Controller) Rings() int { return c.cfg.Rings }
+
+// FrameInterval returns the configured target frame interval.
+func (c *Controller) FrameInterval() time.Duration { return c.cfg.FrameInterval }

@@ -1,0 +1,144 @@
+// Package abr is the adaptive-bitrate layer for coefficient streaming:
+// a client-side bandwidth/RTT estimator fed by per-frame transfer
+// accounting, a controller that turns the estimate into a per-frame byte
+// budget, and a viewport utility planner that spends the budget across
+// the visible region by screen-space contribution — near content gets
+// deep wavelet bands, far content gets coarse bands instead of being
+// dropped. The server side of the loop (deterministic truncation of a
+// budgeted response along the planner's priority order) lives in
+// internal/retrieval; the wire framing lives in internal/proto.
+//
+// The design follows the dynamic adaptive point-cloud streaming line of
+// work (Hosseini; see PAPERS.md): estimate the link each frame, allocate
+// the next frame's bytes by viewport utility, and degrade resolution
+// smoothly instead of stalling.
+package abr
+
+import "time"
+
+// Estimator tracks link bandwidth and round-trip time from per-frame
+// transfer samples. One frame contributes one sample: the payload bytes
+// received and the wall-clock time of the whole round-trip (request
+// write to response applied).
+//
+// A frame's elapsed time follows the linear link model of the paper's
+// netsim (elapsed = RTT + bytes/bandwidth), so the estimator fits that
+// line online: exponentially weighted first and second moments of
+// (bytes, elapsed) give a regression slope (= 1/bandwidth) and
+// intercept (= RTT). Unlike a naive goodput average, the fit separates
+// propagation from serialization — identifiable as long as frame sizes
+// vary, which budgeted streaming guarantees (the delivered-set filter
+// and truncation make every frame a different size). When sizes do
+// stall (variance ≈ 0) the bandwidth estimate freezes and the RTT
+// estimate keeps absorbing the residual, which still moves the budget
+// the right way on a degrading link. A raw-goodput EWMA floors the
+// bandwidth estimate: link capacity can never be below observed
+// goodput.
+//
+// An Estimator is deterministic: it holds no clock and draws no
+// randomness; identical Observe sequences produce identical estimates.
+// It is not safe for concurrent use — it belongs to one client loop.
+type Estimator struct {
+	alpha float64
+	bw    float64 // capacity estimate, bytes per second
+	rtt   float64 // round-trip estimate, seconds
+	thr   float64 // raw goodput EWMA, bytes per second
+
+	// EW regression moments over (bytes, elapsed) samples.
+	mb, me    float64 // means
+	varb, cov float64 // variance of bytes, covariance bytes×elapsed
+
+	samples int64
+}
+
+// NewEstimator creates an estimator with gain alpha in (0, 1] (values
+// outside default to 0.25) seeded with an initial bandwidth guess in
+// bytes/second and an initial RTT. Non-positive seeds get conservative
+// defaults (256 KiB/s, 50 ms) — low enough that the first real samples
+// raise the estimate instead of the first budget overshooting a slow
+// link.
+func NewEstimator(alpha float64, initBandwidth int64, initRTT time.Duration) *Estimator {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.25
+	}
+	bw := float64(initBandwidth)
+	if bw <= 0 {
+		bw = 256 << 10
+	}
+	rtt := initRTT.Seconds()
+	if rtt <= 0 {
+		rtt = 0.050
+	}
+	return &Estimator{alpha: alpha, bw: bw, rtt: rtt}
+}
+
+// Observe folds one frame's transfer into the estimates: bytes of
+// payload moved in elapsed wall-clock time. A zero-byte frame is a pure
+// round-trip and updates only the RTT estimate; non-positive elapsed
+// times are ignored.
+func (e *Estimator) Observe(bytes int64, elapsed time.Duration) {
+	el := elapsed.Seconds()
+	if el <= 0 || bytes < 0 {
+		return
+	}
+	e.samples++
+	a := e.alpha
+	if bytes == 0 {
+		e.rtt += a * (el - e.rtt)
+		return
+	}
+	b := float64(bytes)
+	if e.samples == 1 || e.mb == 0 {
+		e.mb, e.me = b, el
+		e.thr = b / el
+	} else {
+		e.mb += a * (b - e.mb)
+		e.me += a * (el - e.me)
+		e.varb = (1-a)*e.varb + a*(b-e.mb)*(b-e.mb)
+		e.cov = (1-a)*e.cov + a*(b-e.mb)*(el-e.me)
+		e.thr += a * (b/el - e.thr)
+	}
+	// Re-fit capacity when the sample spread identifies the slope; the
+	// variance floor rejects fits on numerically-degenerate spreads
+	// (every frame the same size).
+	if e.varb > 1e-6*e.mb*e.mb+1 && e.cov > 0 {
+		e.bw += a * (e.varb/e.cov - e.bw)
+	}
+	if e.bw < e.thr {
+		e.bw = e.thr // capacity is never below observed goodput
+	}
+	if e.bw < 1 {
+		e.bw = 1
+	}
+	// RTT is the residual intercept under the current capacity, clamped
+	// into [0, mean elapsed].
+	r := e.me - e.mb/e.bw
+	if r < 0 {
+		r = 0
+	}
+	if r > e.me {
+		r = e.me
+	}
+	e.rtt += a * (r - e.rtt)
+}
+
+// Penalize halves the bandwidth estimate — the multiplicative decrease
+// applied when a frame times out entirely (no sample arrived, but the
+// link evidently cannot sustain the current rate).
+func (e *Estimator) Penalize() {
+	e.bw /= 2
+	e.thr /= 2
+	if e.bw < 1 {
+		e.bw = 1
+	}
+}
+
+// Bandwidth returns the current link-capacity estimate in bytes per
+// second.
+func (e *Estimator) Bandwidth() int64 { return int64(e.bw) }
+
+// RTT returns the current round-trip estimate.
+func (e *Estimator) RTT() time.Duration { return time.Duration(e.rtt * float64(time.Second)) }
+
+// Samples returns how many frames have been observed.
+func (e *Estimator) Samples() int64 { return e.samples }

@@ -1,0 +1,161 @@
+package abr
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/retrieval"
+)
+
+// MaxRings bounds the viewport decomposition. rings concentric regions
+// (1 rect for the innermost, ≤4 difference rects for each outer ring) ×
+// bands layers must stay under proto.MaxSubQueries (64); 4 rings × 3
+// bands is at most (1+4+4+4)×3 = 39 sub-queries.
+const MaxRings = 4
+
+// bands is the number of resolution layers the planner splits the
+// [w, 1] coefficient range into: a coarse layer carrying the large
+// structural coefficients, a middle layer, and the fine tail.
+const bands = 3
+
+// bandCuts places the layer boundaries inside [w, 1] as fractions of
+// the range: band 0 = [w+0.55·(1−w), 1], band 1 = [w+0.25·(1−w), ·),
+// band 2 = [w, ·). Coefficient values are normalized magnitudes, so the
+// top slice of the range holds the few large coefficients that carry
+// the object's shape — the cheap bytes every ring should get first.
+var bandCuts = [bands + 1]float64{1, 0.55, 0.25, 0}
+
+// ringWeights and bandWeights shape the priority order (descending
+// product). Band weights decay faster than ring weights, so every
+// ring's coarse band outranks any ring's finer bands: under a tight
+// budget the far viewport keeps its coarse structure instead of being
+// dropped while the near viewport hoards detail.
+var (
+	ringWeights = [MaxRings]float64{1, 0.45, 0.2, 0.09}
+	bandWeights = [bands]float64{1, 0.15, 0.04}
+)
+
+// PlanViewport decomposes one query frame into budget-ready sub-queries
+// ordered by screen-space utility: rings concentric regions around the
+// viewer (ring 0 nearest) crossed with resolution bands over [w, 1],
+// sorted by descending ringWeight×bandWeight. The union of the regions
+// is exactly q and the bands cover [w, 1], so with an unlimited budget
+// the plan retrieves precisely what a single full-band window query
+// would (the delivered-set filter removes the band-boundary overlaps).
+// Under a server-side byte budget, truncation along this order is what
+// makes degradation graceful: coarse-everywhere survives before
+// fine-anywhere.
+//
+// The plan is deterministic: same (q, viewer, w, rings) in, identical
+// slice out — the property server-side truncation determinism builds
+// on. The plan does not use frame-to-frame incrementality; repeated
+// coverage is filtered by the session's delivered set, which remains
+// exact under truncation (withheld coefficients are never marked
+// delivered).
+func PlanViewport(q geom.Rect2, viewer geom.Vec2, w float64, rings int) []retrieval.SubQuery {
+	if w < 0 {
+		w = 0
+	}
+	if w > 1 {
+		w = 1
+	}
+	if rings <= 0 {
+		rings = 1
+	}
+	if rings > MaxRings {
+		rings = MaxRings
+	}
+
+	// Concentric ring regions: boxes around the viewer scaled to
+	// i/rings of the frame, intersected with the frame; ring i is the
+	// part of box i+1 outside box i. The outermost box is q itself, so
+	// the regions partition q exactly even when the viewer sits off
+	// center (or outside q entirely).
+	side := q.Width()
+	if h := q.Height(); h > side {
+		side = h
+	}
+	regions := make([][]geom.Rect2, 0, rings)
+	var inner geom.Rect2
+	haveInner := false
+	for i := 0; i < rings; i++ {
+		var box geom.Rect2
+		if i == rings-1 {
+			box = q
+		} else {
+			box = geom.RectAround(viewer, side*float64(i+1)/float64(rings)).Intersect(q)
+			if box.Empty() {
+				// Viewer outside the frame: the ring contributes nothing of
+				// its own; fold it into the next ring's difference.
+				regions = append(regions, nil)
+				continue
+			}
+		}
+		if haveInner {
+			regions = append(regions, box.Difference(inner))
+		} else {
+			regions = append(regions, []geom.Rect2{box})
+		}
+		inner, haveInner = box, true
+	}
+
+	// Bands over [w, 1], outermost boundary first. Zero-width layers
+	// (w ≈ 1) collapse into the coarse band.
+	type layer struct{ lo, hi float64 }
+	layers := make([]layer, 0, bands)
+	for j := 0; j < bands; j++ {
+		hi := w + (1-w)*bandCuts[j]
+		lo := w + (1-w)*bandCuts[j+1]
+		if j > 0 && hi <= lo {
+			continue
+		}
+		layers = append(layers, layer{lo: lo, hi: hi})
+	}
+
+	// Cross rings × layers and sort by descending utility with a
+	// deterministic tie-break.
+	type cell struct {
+		ring, band int
+		score      float64
+	}
+	cells := make([]cell, 0, rings*len(layers))
+	for i := 0; i < rings; i++ {
+		if len(regions[i]) == 0 {
+			continue
+		}
+		for j := range layers {
+			cells = append(cells, cell{ring: i, band: j, score: ringWeights[i] * bandWeights[j]})
+		}
+	}
+	sort.SliceStable(cells, func(a, b int) bool {
+		if cells[a].score != cells[b].score {
+			return cells[a].score > cells[b].score
+		}
+		if cells[a].ring != cells[b].ring {
+			return cells[a].ring < cells[b].ring
+		}
+		return cells[a].band < cells[b].band
+	})
+
+	subs := make([]retrieval.SubQuery, 0, len(cells)*2)
+	for _, c := range cells {
+		l := layers[c.band]
+		for _, r := range regions[c.ring] {
+			subs = append(subs, retrieval.SubQuery{Region: r, WMin: l.lo, WMax: l.hi})
+		}
+	}
+	return subs
+}
+
+// Contribution is the screen-space utility weight of content at
+// distance d from the viewer in a frame of the given side length: 1 at
+// the viewer, falling off with the square of the normalized distance.
+// The planner's ring weights approximate it; the ABR benchmark uses it
+// directly to score delivered coefficients.
+func Contribution(d, side float64) float64 {
+	if side <= 0 {
+		return 1
+	}
+	n := d / side
+	return 1 / (1 + 4*n*n)
+}

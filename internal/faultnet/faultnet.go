@@ -37,6 +37,13 @@ type Config struct {
 	Jitter time.Duration
 	// BytesPerSecond throttles reads and writes (0 = unthrottled).
 	BytesPerSecond int64
+	// Throttle, when non-nil, replaces BytesPerSecond with a
+	// time-varying schedule. The pointer is shared by every connection
+	// the config wraps (Dialer and Listener copy the config per
+	// connection but keep the pointer), so redials continue the same
+	// trace rather than restarting it; the trace epoch is pinned when
+	// the first throttled connection is wrapped.
+	Throttle *Profile
 	// DropAfterMin/Max: each connection is reset after a total traffic
 	// volume (read + written bytes) drawn uniformly from [Min, Max].
 	// Zero disables drops. A drop that lands mid-write surfaces as a
@@ -82,6 +89,9 @@ func Wrap(conn net.Conn, cfg Config, st *stats.Stats) *Conn {
 	c := &Conn{Conn: conn, cfg: cfg, st: st, rng: rng}
 	c.dropAt = drawOffset(rng, cfg.DropAfterMin, cfg.DropAfterMax)
 	c.corruptAt = drawOffset(rng, cfg.CorruptAfterMin, cfg.CorruptAfterMax)
+	if cfg.Throttle != nil {
+		cfg.Throttle.Start()
+	}
 	return c
 }
 
@@ -105,10 +115,15 @@ func (c *Conn) fault() {
 	c.st.RecordFault()
 }
 
-// throttle spends the pacing budget for n bytes.
+// throttle spends the pacing budget for n bytes at the link's current
+// rate (sampled once per call; a transfer is not re-paced mid-sleep).
 func (c *Conn) throttle(n int) {
-	if c.cfg.BytesPerSecond > 0 && n > 0 {
-		time.Sleep(time.Duration(int64(n) * int64(time.Second) / c.cfg.BytesPerSecond))
+	bps := c.cfg.BytesPerSecond
+	if c.cfg.Throttle != nil {
+		bps = c.cfg.Throttle.Rate(time.Now())
+	}
+	if bps > 0 && n > 0 {
+		time.Sleep(time.Duration(int64(n) * int64(time.Second) / bps))
 	}
 }
 

@@ -1,0 +1,133 @@
+package faultnet
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestProfileShapes pins the three schedule shapes at known trace
+// offsets.
+func TestProfileShapes(t *testing.T) {
+	const period = time.Second
+	step := &Profile{Kind: ProfileStep, Low: 100, High: 1000, Period: period}
+	for _, tc := range []struct {
+		at   time.Duration
+		want int64
+	}{
+		{0, 1000},
+		{period / 4, 1000},
+		{period / 2, 100},
+		{3 * period / 4, 100},
+		{period, 1000}, // wraps
+	} {
+		if got := step.RateAt(tc.at); got != tc.want {
+			t.Fatalf("step at %v = %d, want %d", tc.at, got, tc.want)
+		}
+	}
+
+	ramp := &Profile{Kind: ProfileRamp, Low: 100, High: 1100, Period: period}
+	if got := ramp.RateAt(0); got != 100 {
+		t.Fatalf("ramp at 0 = %d, want 100", got)
+	}
+	if got := ramp.RateAt(period / 2); got != 600 {
+		t.Fatalf("ramp at half period = %d, want 600", got)
+	}
+	if a, b := ramp.RateAt(period/4), ramp.RateAt(3*period/4); a >= b {
+		t.Fatalf("ramp not rising: %d then %d", a, b)
+	}
+
+	osc := &Profile{Kind: ProfileOsc, Low: 100, High: 1100, Period: period}
+	if got := osc.RateAt(0); got != 600 { // midpoint
+		t.Fatalf("osc at 0 = %d, want 600", got)
+	}
+	if got := osc.RateAt(period / 4); got != 1100 { // crest
+		t.Fatalf("osc at quarter period = %d, want 1100", got)
+	}
+	if got := osc.RateAt(3 * period / 4); got != 100 { // trough
+		t.Fatalf("osc at three quarters = %d, want 100", got)
+	}
+	for d := time.Duration(0); d < 2*period; d += period / 7 {
+		if got := osc.RateAt(d); got < 100 || got > 1100 {
+			t.Fatalf("osc at %v = %d escapes [100, 1100]", d, got)
+		}
+	}
+
+	// Degenerate and flat cases.
+	flat := &Profile{Low: 100, High: 1000}
+	if got := flat.RateAt(time.Hour); got != 1000 {
+		t.Fatalf("flat = %d, want 1000", got)
+	}
+	noPeriod := &Profile{Kind: ProfileOsc, Low: 100, High: 1000}
+	if got := noPeriod.RateAt(time.Hour); got != 1000 {
+		t.Fatalf("period-less osc = %d, want flat High", got)
+	}
+}
+
+// TestProfilePhaseShifts pins that Phase advances the trace: a step
+// profile phase-shifted by half a period starts in its low half.
+func TestProfilePhaseShifts(t *testing.T) {
+	p := &Profile{Kind: ProfileStep, Low: 1, High: 2, Period: time.Second, Phase: time.Second / 2}
+	if got := p.RateAt(0); got != 1 {
+		t.Fatalf("phase-shifted step at 0 = %d, want 1", got)
+	}
+	if got := p.RateAt(time.Second / 2); got != 2 {
+		t.Fatalf("phase-shifted step at half period = %d, want 2", got)
+	}
+}
+
+// TestProfileSharedEpochAcrossConns pins the redial semantics: two
+// connections wrapped at different times share the profile's trace
+// epoch, so the second lands mid-trace instead of restarting it.
+func TestProfileSharedEpochAcrossConns(t *testing.T) {
+	p := &Profile{Kind: ProfileStep, Low: 1, High: 2, Period: time.Hour}
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	Wrap(a, Config{Throttle: p}, nil)
+	epoch := p.Start()
+	Wrap(b, Config{Throttle: p}, nil)
+	if got := p.Start(); !got.Equal(epoch) {
+		t.Fatalf("second connection moved the trace epoch %v -> %v", epoch, got)
+	}
+}
+
+func TestValidProfileKind(t *testing.T) {
+	for _, kind := range []string{"", ProfileFlat, ProfileStep, ProfileRamp, ProfileOsc} {
+		if !ValidProfileKind(kind) {
+			t.Fatalf("kind %q rejected", kind)
+		}
+	}
+	if ValidProfileKind("sawtooth") {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+// TestProfileThrottlesConn drives real bytes through a profiled pipe:
+// during the high phase of a generous step profile the transfer must
+// finish promptly, proving the schedule (not the fixed throttle) is in
+// charge.
+func TestProfileThrottlesConn(t *testing.T) {
+	p := &Profile{Kind: ProfileStep, Low: 1, High: 1 << 20, Period: time.Hour}
+	client, server := net.Pipe()
+	defer server.Close()
+	fc := Wrap(client, Config{Throttle: p}, nil)
+	defer fc.Close()
+
+	go func() {
+		buf := make([]byte, 1024)
+		for {
+			if _, err := server.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	start := time.Now()
+	if _, err := fc.Write(make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	// 1 KiB at 1 MiB/s ≈ 1ms; at the Low rate it would sleep ~17 min.
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("write took %v during the high phase", d)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 
+	"repro/internal/abr"
 	"repro/internal/geom"
 	"repro/internal/mesh"
 	"repro/internal/retrieval"
@@ -43,9 +44,10 @@ type Client struct {
 	hello Hello
 	scene string // requested scene; "" accepts the server's default
 
-	planner *retrieval.Client
-	recons  map[int32]*wavelet.Reconstructor
-	resp    Response // frame-decode scratch; consumed before the next read
+	planner  *retrieval.Client
+	mapSpeed retrieval.MapSpeedToResolution
+	recons   map[int32]*wavelet.Reconstructor
+	resp     Response // frame-decode scratch; consumed before the next read
 
 	// Session-resume lineage: the newest server-assigned token and the
 	// sequence number of the last response applied on that lineage.
@@ -85,10 +87,14 @@ func NewClient(conn net.Conn, mapSpeed retrieval.MapSpeedToResolution) (*Client,
 // NewSceneClient performs the handshake over an established connection
 // and binds the session to the named scene ("" accepts the default).
 func NewSceneClient(conn net.Conn, scene string, mapSpeed retrieval.MapSpeedToResolution) (*Client, error) {
+	if mapSpeed == nil {
+		mapSpeed = retrieval.Identity
+	}
 	c := &Client{
-		scene:   scene,
-		planner: retrieval.NewClient(nil, mapSpeed),
-		recons:  make(map[int32]*wavelet.Reconstructor),
+		scene:    scene,
+		planner:  retrieval.NewClient(nil, mapSpeed),
+		mapSpeed: mapSpeed,
+		recons:   make(map[int32]*wavelet.Reconstructor),
 	}
 	if _, err := c.attach(conn, false); err != nil {
 		return nil, err
@@ -264,6 +270,59 @@ func (c *Client) Frame(q geom.Rect2, speed float64) (int, error) {
 		return 0, fmt.Errorf("proto: server error: %s", msg)
 	default:
 		return 0, fmt.Errorf("proto: unexpected tag %d", tag)
+	}
+}
+
+// FrameBudget issues one budgeted query frame: the viewport-utility
+// plan of internal/abr (rings concentric regions around the frame
+// center × resolution bands, ordered by screen-space contribution)
+// shipped with a byte budget, answered by a deterministically truncated
+// response. It returns the number of coefficients received and how many
+// the server withheld to fit the budget.
+//
+// Budgeted frames do not use Algorithm 1's frame-to-frame
+// incrementality — the plan re-covers the whole window every frame and
+// the server's delivered-set filters repeats, which stays exact under
+// truncation (withheld coefficients are never marked delivered, so they
+// arrive in later frames as budget allows). The planner's overlap
+// history is reset, so a subsequent plain Frame re-covers its window
+// rather than trusting a truncated frame's coverage.
+func (c *Client) FrameBudget(q geom.Rect2, speed float64, maxBytes int64, rings int) (n int, droppedCoeffs int64, err error) {
+	w := c.mapSpeed(speed)
+	subs := abr.PlanViewport(q, q.Center(), w, rings)
+	if err := c.w.WriteBudgetRequest(Request{Speed: speed, Subs: subs, MaxBytes: maxBytes}); err != nil {
+		return 0, 0, err
+	}
+	c.planner.Reset()
+	tag, err := c.r.ReadTag()
+	if err != nil {
+		return 0, 0, err
+	}
+	switch tag {
+	case TagBudgetResponse:
+		if err := c.r.ReadBudgetResponseInto(&c.resp); err != nil {
+			return 0, 0, err
+		}
+		resp := &c.resp
+		if resp.Seq != c.appliedSeq+1 {
+			return 0, 0, fmt.Errorf("proto: response seq %d, expected %d", resp.Seq, c.appliedSeq+1)
+		}
+		for i := range resp.Coeffs {
+			c.apply(&resp.Coeffs[i])
+		}
+		c.appliedSeq = resp.Seq
+		c.BytesReceived += int64(len(resp.Coeffs)) * wavelet.WireBytes
+		c.Coefficients += int64(len(resp.Coeffs))
+		c.ServerIO += resp.IO
+		return len(resp.Coeffs), resp.Dropped, nil
+	case TagError:
+		msg, err := c.r.ReadError()
+		if err != nil {
+			return 0, 0, err
+		}
+		return 0, 0, fmt.Errorf("proto: server error: %s", msg)
+	default:
+		return 0, 0, fmt.Errorf("proto: unexpected tag %d", tag)
 	}
 }
 

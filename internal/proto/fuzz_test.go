@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"repro/internal/engine"
+	"repro/internal/geom"
+	"repro/internal/retrieval"
 )
 
 // FuzzReader throws arbitrary bytes at every message decoder. The
@@ -220,6 +222,87 @@ func FuzzCRCRejectsFlips(f *testing.F) {
 		}
 		if _, err := r.ReadResponse(); err == nil {
 			t.Fatalf("bit flip at byte %d bit %d went undetected", pos, bit%8)
+		}
+	})
+}
+
+// FuzzBudget targets the version-4 budgeted-frame decoders: the budget
+// field ahead of the request body, the truncation metadata between the
+// response header and its records, and the CRC trailers covering both.
+// A decode that succeeds must yield bounded, non-negative fields; and —
+// like every checksummed frame — any single-bit flip in a valid
+// budgeted frame must be rejected.
+func FuzzBudget(f *testing.F) {
+	subs := []retrieval.SubQuery{{Region: geom.R2(1, 2, 3, 4), WMin: 0.2, WMax: 0.9}}
+	var reqFrame, respFrame bytes.Buffer
+	if err := NewWriter(&reqFrame).WriteBudgetRequest(Request{Speed: 0.5, Subs: subs, MaxBytes: 4096}); err != nil {
+		f.Fatal(err)
+	}
+	payload := EncodeResponsePayload(nil, []Coeff{{Object: 1, Vertex: 9, Value: 0.5}})
+	if err := NewWriter(&respFrame).WriteBudgetResponsePayload(1, 7, 2, 3, 4096, payload); err != nil {
+		f.Fatal(err)
+	}
+	valid := [2][]byte{reqFrame.Bytes(), respFrame.Bytes()}
+
+	f.Add(uint8(0), reqFrame.Bytes()[1:], 0, uint8(0))
+	f.Add(uint8(0), frameBody(f, func(w *Writer) error {
+		return w.WriteBudgetRequest(Request{Speed: 0.5, Subs: subs}) // unlimited budget
+	}), 1, uint8(7))
+	f.Add(uint8(1), respFrame.Bytes()[1:], 9, uint8(3))
+	f.Add(uint8(1), frameBody(f, func(w *Writer) error {
+		return w.WriteBudgetResponsePayload(0, 0, 1, 12, 4096, nil) // all withheld
+	}), 21, uint8(0))
+	f.Add(uint8(0), []byte{}, 0, uint8(0))
+	f.Add(uint8(1), []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, 0, uint8(0))
+
+	f.Fuzz(func(t *testing.T, which uint8, data []byte, pos int, bit uint8) {
+		// Totality and bounds on arbitrary bodies.
+		r := NewReader(bytes.NewReader(data))
+		switch which % 2 {
+		case 0:
+			if req, err := r.ReadBudgetRequest(); err == nil {
+				if req.MaxBytes < 0 {
+					t.Fatalf("negative budget decoded: %d", req.MaxBytes)
+				}
+				if len(req.Subs) > MaxSubQueries {
+					t.Fatalf("oversized request decoded: %d", len(req.Subs))
+				}
+			}
+		case 1:
+			var resp Response
+			if err := r.ReadBudgetResponseInto(&resp); err == nil {
+				if resp.Dropped < 0 || resp.Budget < 0 {
+					t.Fatalf("negative truncation metadata decoded: %d/%d", resp.Dropped, resp.Budget)
+				}
+				if len(resp.Coeffs) > MaxCoeffs {
+					t.Fatalf("oversized response decoded: %d", len(resp.Coeffs))
+				}
+			}
+		}
+
+		// CRC integrity: a single-bit flip anywhere past the tag of a
+		// valid budgeted frame must not decode.
+		frame := valid[which%2]
+		if pos < 1 || pos >= len(frame) {
+			return
+		}
+		mut := append([]byte(nil), frame...)
+		mut[pos] ^= 1 << (bit % 8)
+		r = NewReader(bytes.NewReader(mut))
+		tag, err := r.ReadTag()
+		if err != nil {
+			return
+		}
+		switch tag {
+		case TagBudgetRequest:
+			if _, err := r.ReadBudgetRequest(); err == nil {
+				t.Fatalf("request bit flip at byte %d bit %d went undetected", pos, bit%8)
+			}
+		case TagBudgetResponse:
+			var resp Response
+			if err := r.ReadBudgetResponseInto(&resp); err == nil {
+				t.Fatalf("response bit flip at byte %d bit %d went undetected", pos, bit%8)
+			}
 		}
 	})
 }

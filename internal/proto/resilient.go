@@ -6,9 +6,11 @@ import (
 	"net"
 	"time"
 
+	"repro/internal/abr"
 	"repro/internal/geom"
 	"repro/internal/retrieval"
 	"repro/internal/stats"
+	"repro/internal/wavelet"
 )
 
 // ResilientConfig tunes a ResilientClient. The zero value of every field
@@ -47,6 +49,15 @@ type ResilientConfig struct {
 	BackoffMax  time.Duration
 	// Seed makes the backoff jitter deterministic (tests, experiments).
 	Seed int64
+	// ABR enables the adaptive-bitrate loop (non-nil): every frame ships
+	// as a budgeted request sized by the bandwidth/RTT estimator, and
+	// the server truncates along the viewport-utility plan instead of
+	// the client coarsening wholesale. The two-state degraded floor
+	// (DegradeAfter/DegradeStep) stays armed underneath as the
+	// last-resort fallback — it only engages after the timeouts that
+	// mean even minimum-budget frames are not completing. Zero-value
+	// abr.Config fields get their defaults.
+	ABR *abr.Config
 	// DegradeAfter is the number of consecutive timeouts before the
 	// client coarsens its requested resolution (raises the effective
 	// wmin) — the paper's speed/resolution tradeoff reused as a
@@ -74,6 +85,7 @@ type ResilientClient struct {
 	c    *Client
 	rng  *rand.Rand
 	dead bool // connection must be re-established before the next frame
+	abr  *abr.Controller // nil unless cfg.ABR enables the budgeted loop
 
 	// addrIdx points at the Addrs entry the rotation is currently pinned
 	// to; dial failures advance it.
@@ -117,6 +129,9 @@ func DialResilient(cfg ResilientConfig) (*ResilientClient, error) {
 		cfg.sleep = time.Sleep
 	}
 	rc := &ResilientClient{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if cfg.ABR != nil {
+		rc.abr = abr.NewController(*cfg.ABR)
+	}
 	var lastErr error
 	for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
@@ -235,7 +250,24 @@ func (rc *ResilientClient) Frame(q geom.Rect2, speed float64) (int, error) {
 			}
 		}
 		rc.c.conn.SetDeadline(time.Now().Add(rc.cfg.FrameTimeout))
-		n, err := rc.c.Frame(q, speed)
+		var n int
+		var err error
+		if rc.abr != nil {
+			// ABR path: budget the frame from the estimator, publish the
+			// loop's state, and feed the transfer accounting back. The
+			// round-trip time measured here spans request write to
+			// response applied — exactly the linear link model the
+			// estimator fits.
+			budget := rc.abr.Budget()
+			rc.cfg.Stats.SetABR(rc.abr.Bandwidth(), rc.abr.RTT(), budget)
+			start := time.Now()
+			n, _, err = rc.c.FrameBudget(q, speed, budget, rc.abr.Rings())
+			if err == nil {
+				rc.abr.Observe(int64(n)*wavelet.WireBytes, time.Since(start))
+			}
+		} else {
+			n, err = rc.c.Frame(q, speed)
+		}
 		if err == nil {
 			rc.c.conn.SetDeadline(time.Time{})
 			rc.noteSuccess()
@@ -270,6 +302,11 @@ func (rc *ResilientClient) noteFailure(err error) {
 	if ne, ok := err.(net.Error); ok && ne.Timeout() {
 		rc.Timeouts++
 		rc.cfg.Stats.RecordTimeout()
+		if rc.abr != nil {
+			// No transfer sample arrived; apply the multiplicative
+			// decrease so the next frame's budget halves.
+			rc.abr.Penalize()
+		}
 		rc.consecTimeouts++
 		if rc.cfg.DegradeAfter > 0 && rc.consecTimeouts >= rc.cfg.DegradeAfter {
 			rc.consecTimeouts = 0
@@ -296,6 +333,11 @@ func (rc *ResilientClient) noteSuccess() {
 // DegradeFloor returns the current degraded-mode wmin floor (0 when
 // running at full resolution).
 func (rc *ResilientClient) DegradeFloor() float64 { return rc.floor }
+
+// ABR returns the adaptive-bitrate controller (nil when the config did
+// not enable it) — the observability hook harnesses read bandwidth, RTT
+// and budget from.
+func (rc *ResilientClient) ABR() *abr.Controller { return rc.abr }
 
 // Client exposes the underlying protocol client (hello, meshes, totals).
 // Do not issue frames on it directly while using the resilient wrapper.

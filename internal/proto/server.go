@@ -44,6 +44,7 @@ type Server struct {
 	idleTimeout  time.Duration // max silence between frames; 0 = none
 	frameTimeout time.Duration // per-frame read/write deadline; 0 = none
 	drainTimeout time.Duration // graceful-close bound
+	budgetCap    int64         // ceiling on budgeted-response sizes; 0 = none
 
 	mu     sync.Mutex
 	closed bool
@@ -116,6 +117,19 @@ func (s *Server) SetLimits(maxSessions int, idle, frame time.Duration) {
 	s.maxSessions = maxSessions
 	s.idleTimeout = idle
 	s.frameTimeout = frame
+}
+
+// SetBudgetCap ceilings the effective byte budget of budgeted requests:
+// a client budget above the cap (or an "unlimited" budget of 0) is
+// clamped down to it, bounding the response a single budgeted frame can
+// demand. Plain (version-3) requests are never capped — their responses
+// must stay byte-identical to an uncapped server, which is what the
+// oracle-equality harnesses pin. 0 disables the cap. Call before Serve.
+func (s *Server) SetBudgetCap(maxBytes int64) {
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	s.budgetCap = maxBytes
 }
 
 // SetResumeCache bounds every scene's closed-session cache: capacity
@@ -445,8 +459,14 @@ func (s *Server) handle(conn net.Conn) {
 				s.logf("proto: resume reply to %v failed: %v", conn.RemoteAddr(), err)
 				return
 			}
-		case TagRequest:
-			req, err := r.ReadRequest()
+		case TagRequest, TagBudgetRequest:
+			var req Request
+			var err error
+			if tag == TagRequest {
+				req, err = r.ReadRequest()
+			} else {
+				req, err = r.ReadBudgetRequest()
+			}
 			if err != nil {
 				s.st.RecordError()
 				s.logf("proto: bad request from %v: %v", conn.RemoteAddr(), err)
@@ -460,7 +480,20 @@ func (s *Server) handle(conn net.Conn) {
 				started = true
 				s.setConnStarted(conn)
 			}
-			resp := sess.Session.RetrieveScratch(req.Subs)
+			var resp retrieval.Response
+			var maxBytes int64
+			if tag == TagBudgetRequest {
+				// The server-side cap clamps over-large (and "unlimited")
+				// client budgets; the truncation itself is the deterministic
+				// prefix cut of retrieval.ExecuteBudget.
+				maxBytes = req.MaxBytes
+				if s.budgetCap > 0 && (maxBytes == 0 || maxBytes > s.budgetCap) {
+					maxBytes = s.budgetCap
+				}
+				resp = sess.Session.RetrieveBudget(req.Subs, maxBytes)
+			} else {
+				resp = sess.Session.RetrieveScratch(req.Subs)
+			}
 			sess.Seq++
 			// resp.IDs aliases the session's scratch (overwritten by the
 			// next frame); the resume lineage keeps its own copy.
@@ -491,7 +524,12 @@ func (s *Server) handle(conn net.Conn) {
 				}
 			}
 			s.setWriteDeadline(conn)
-			if err := w.WriteResponsePayload(len(resp.IDs), resp.IO, sess.Seq, payload); err != nil {
+			if tag == TagBudgetRequest {
+				err = w.WriteBudgetResponsePayload(len(resp.IDs), resp.IO, sess.Seq, resp.Dropped, maxBytes, payload)
+			} else {
+				err = w.WriteResponsePayload(len(resp.IDs), resp.IO, sess.Seq, payload)
+			}
+			if err != nil {
 				s.st.RecordError()
 				s.logf("proto: response to %v failed: %v", conn.RemoteAddr(), err)
 				return

@@ -1,0 +1,207 @@
+package retrieval
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/stats"
+	"repro/internal/wavelet"
+)
+
+// ringPlan builds a priority-ordered multi-band plan by hand (the shape
+// internal/abr's PlanViewport emits): an inner box and the surrounding
+// ring, coarse band first, fine band after. The ABR planner itself is
+// exercised against a live server in internal/abr's integration test —
+// importing abr here would cycle the test binary.
+func ringPlan(q geom.Rect2, viewer geom.Vec2) []SubQuery {
+	inner := geom.RectAround(viewer, q.Width()/3).Intersect(q)
+	outer := q.Difference(inner)
+	var subs []SubQuery
+	for _, band := range []struct{ lo, hi float64 }{{0.6, 1}, {0.1, 0.6}} {
+		subs = append(subs, SubQuery{Region: inner, WMin: band.lo, WMax: band.hi})
+		for _, r := range outer {
+			subs = append(subs, SubQuery{Region: r, WMin: band.lo, WMax: band.hi})
+		}
+	}
+	return subs
+}
+
+// TestExecuteBudgetPrefixOfUnlimited: a budgeted response is exactly the
+// prefix of the unbudgeted response at the same cut, the remainder is
+// counted in Dropped, and withheld coefficients stay retrievable (not
+// marked delivered).
+func TestExecuteBudgetPrefixOfUnlimited(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		srv := testServer(t, 8, seed)
+		q := geom.R2(0, 0, 1000, 1000)
+		subs := ringPlan(q, geom.V2(400, 600))
+
+		full := srv.Execute(subs, make(map[int64]bool))
+		if len(full.IDs) < 10 {
+			t.Fatalf("seed %d: only %d coefficients; test needs a real workload", seed, len(full.IDs))
+		}
+		for _, cutCoeffs := range []int{0, 1, len(full.IDs) / 3, len(full.IDs) - 1, len(full.IDs)} {
+			delivered := make(map[int64]bool)
+			budget := int64(cutCoeffs) * wavelet.WireBytes
+			if cutCoeffs == 0 {
+				budget = 1 // sub-record budget delivers nothing
+			}
+			got := srv.ExecuteBudget(subs, delivered, budget)
+			want := full.IDs[:cutCoeffs]
+			if len(got.IDs) != len(want) || (len(want) > 0 && !reflect.DeepEqual(got.IDs, want)) {
+				t.Fatalf("seed %d cut %d: budgeted response is not the unbudgeted prefix", seed, cutCoeffs)
+			}
+			if got.Dropped != int64(len(full.IDs)-cutCoeffs) {
+				t.Fatalf("seed %d cut %d: Dropped = %d, want %d", seed, cutCoeffs, got.Dropped, len(full.IDs)-cutCoeffs)
+			}
+			if got.Bytes != int64(len(got.IDs))*wavelet.WireBytes {
+				t.Fatalf("seed %d cut %d: Bytes = %d for %d ids", seed, cutCoeffs, got.Bytes, len(got.IDs))
+			}
+			if got.Bytes > budget {
+				t.Fatalf("seed %d cut %d: response %d bytes exceeds budget %d", seed, cutCoeffs, got.Bytes, budget)
+			}
+			if len(delivered) != len(got.IDs) {
+				t.Fatalf("seed %d cut %d: delivered set has %d entries for %d delivered ids — withheld coefficients must stay retrievable",
+					seed, cutCoeffs, len(delivered), len(got.IDs))
+			}
+			// IO and Queries account the full search work either way.
+			if got.IO != full.IO || got.Queries != full.Queries {
+				t.Fatalf("seed %d cut %d: IO/Queries %d/%d, want %d/%d", seed, cutCoeffs, got.IO, got.Queries, full.IO, full.Queries)
+			}
+		}
+	}
+}
+
+// TestExecuteBudgetDeterministic: same request + same budget ⇒ identical
+// response, regardless of worker-pool parallelism — the property the
+// wire protocol's budgeted frames rely on.
+func TestExecuteBudgetDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		srv := testServer(t, 6, int64(trial+1))
+		q := geom.R2(0, 0, 1000, 1000)
+		viewer := geom.V2(rng.Float64()*1000, rng.Float64()*1000)
+		subs := ringPlan(q, viewer)
+		budget := int64(rng.Intn(200)) * wavelet.WireBytes
+
+		srv.SetParallelism(1)
+		serial := srv.ExecuteBudget(subs, make(map[int64]bool), budget)
+		srv.SetParallelism(8)
+		parallel := srv.ExecuteBudget(subs, make(map[int64]bool), budget)
+		var sc Scratch
+		scratch := srv.ExecuteBudgetScratch(subs, make(map[int64]bool), &sc, budget)
+
+		if !reflect.DeepEqual(serial.IDs, parallel.IDs) || serial.Dropped != parallel.Dropped {
+			t.Fatalf("trial %d: parallel budgeted execution diverged from serial", trial)
+		}
+		if !reflect.DeepEqual(serial.IDs, scratch.IDs) || serial.Dropped != scratch.Dropped {
+			t.Fatalf("trial %d: scratch budgeted execution diverged", trial)
+		}
+	}
+}
+
+// TestExecuteBudgetFollowsPriorityOrder: under a tight budget the
+// delivered ids decompose as full deliveries of the plan's leading
+// sub-queries, at most one split sub-query, and nothing after it.
+func TestExecuteBudgetFollowsPriorityOrder(t *testing.T) {
+	srv := testServer(t, 8, 3)
+	q := geom.R2(0, 0, 1000, 1000)
+	subs := ringPlan(q, geom.V2(500, 500))
+
+	// Per-sub delivery counts at unlimited budget (shared delivered set
+	// reproduces the merge's dedup behaviour sub-by-sub).
+	fullPer := make([]int, len(subs))
+	delivered := make(map[int64]bool)
+	total := 0
+	for i, s := range subs {
+		r := srv.Execute([]SubQuery{s}, delivered)
+		fullPer[i] = len(r.IDs)
+		total += len(r.IDs)
+	}
+
+	budgetCoeffs := total / 4
+	resp := srv.ExecuteBudget(subs, make(map[int64]bool), int64(budgetCoeffs)*wavelet.WireBytes)
+	if len(resp.IDs) != budgetCoeffs {
+		t.Fatalf("tight budget delivered %d of %d budgeted coefficients", len(resp.IDs), budgetCoeffs)
+	}
+
+	// Walk the plan: leading sub-queries deliver in full, at most one is
+	// split, everything after contributes nothing.
+	rem := len(resp.IDs)
+	splitSeen := false
+	for i, n := range fullPer {
+		if rem >= n {
+			rem -= n
+			continue
+		}
+		if rem > 0 {
+			if splitSeen {
+				t.Fatalf("sub %d: second partial sub-query — cut is not a prefix", i)
+			}
+			splitSeen = true
+			rem = 0
+		} else if splitSeen && n > 0 {
+			// past the cut: nothing more may be delivered — implied by
+			// rem == 0 and the prefix equality pinned above.
+			break
+		}
+	}
+	if rem != 0 {
+		t.Fatalf("delivered ids do not decompose along the plan order")
+	}
+}
+
+// TestExecuteBudgetUnlimitedMatchesExecute: maxBytes <= 0 is exactly
+// Execute, Hot validity included.
+func TestExecuteBudgetUnlimitedMatchesExecute(t *testing.T) {
+	srv := testServer(t, 5, 4)
+	sub := []SubQuery{{Region: geom.R2(0, 0, 1000, 1000), WMin: 0.2, WMax: 1}}
+	a := srv.Execute(sub, nil)
+	b := srv.ExecuteBudget(sub, nil, 0)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("unlimited budget diverged from Execute:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestExecuteBudgetInvalidatesHotRef: a truncated single-sub response
+// must not carry a valid HotRef — its id set is not the cache entry's.
+func TestExecuteBudgetInvalidatesHotRef(t *testing.T) {
+	srv := testServer(t, 5, 5)
+	sub := []SubQuery{{Region: geom.R2(0, 0, 1000, 1000), WMin: 0, WMax: 1}}
+	full := srv.Execute(sub, nil)
+	if len(full.IDs) < 2 {
+		t.Fatalf("workload too small")
+	}
+	got := srv.ExecuteBudget(sub, nil, int64(len(full.IDs)/2)*wavelet.WireBytes)
+	if got.Hot.Valid {
+		t.Fatalf("truncated response carries a valid HotRef")
+	}
+}
+
+// TestBudgetStatsReconcile: budgeted execution records requested vs
+// served bytes and withheld coefficients exactly.
+func TestBudgetStatsReconcile(t *testing.T) {
+	srv := testServer(t, 5, 6)
+	st := stats.New()
+	srv.SetStats(st)
+	sub := []SubQuery{{Region: geom.R2(0, 0, 1000, 1000), WMin: 0, WMax: 1}}
+	full := srv.ExecuteBudget(sub, nil, 1<<40)
+	budget := int64(len(full.IDs)/2) * wavelet.WireBytes
+	resp := srv.ExecuteBudget(sub, nil, budget)
+
+	snap := st.Snapshot()
+	if snap.BudgetRequests != 2 {
+		t.Fatalf("BudgetRequests = %d, want 2", snap.BudgetRequests)
+	}
+	if snap.BudgetBytesRequested != 1<<40+budget {
+		t.Fatalf("BudgetBytesRequested = %d", snap.BudgetBytesRequested)
+	}
+	if snap.BudgetBytesServed != full.Bytes+resp.Bytes {
+		t.Fatalf("BudgetBytesServed = %d, want %d", snap.BudgetBytesServed, full.Bytes+resp.Bytes)
+	}
+	if snap.TruncatedResponses != 1 || snap.CoeffsDropped != resp.Dropped {
+		t.Fatalf("truncation counters %d/%d, want 1/%d", snap.TruncatedResponses, snap.CoeffsDropped, resp.Dropped)
+	}
+}

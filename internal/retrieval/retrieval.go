@@ -40,6 +40,12 @@ type Response struct {
 	Bytes   int64   // payload size of the delivered coefficients
 	IO      int64   // index node reads spent answering the sub-queries
 	Queries int     // number of sub-queries executed
+	// Dropped counts coefficients a byte budget withheld (see
+	// ExecuteBudget): exactly the deliveries the unlimited run would
+	// have made beyond the budget's prefix cut. Always 0 for unbudgeted
+	// execution. Withheld coefficients are NOT marked delivered — later
+	// frames retrieve them when budget allows.
+	Dropped int64
 	// Hot identifies the hot-cache entry whose id set this response
 	// equals exactly, when there is one — see HotRef. Transports use it
 	// to replay a cached serialized payload instead of re-encoding.
@@ -179,7 +185,26 @@ func (s *Server) Index() index.Index { return s.idx }
 // delivered map is the caller's: Execute must not be called concurrently
 // with the same map (one session = one client = one request at a time).
 func (s *Server) Execute(subs []SubQuery, delivered map[int64]bool) Response {
-	return s.execute(subs, delivered, nil)
+	return s.execute(subs, delivered, nil, 0)
+}
+
+// ExecuteBudget is Execute under a byte budget: at most
+// maxBytes/wavelet.WireBytes coefficients are delivered, cut as a
+// prefix of the deterministic merge order (sub-query order, index
+// order within each sub-query). Because the merge order is the
+// planner's priority order, truncation degrades gracefully: the
+// highest-utility sub-queries keep their coefficients and the tail is
+// withheld. Withheld coefficients are counted in Response.Dropped and
+// are NOT marked delivered, so they remain retrievable by later
+// frames. maxBytes <= 0 means unlimited — identical to Execute in
+// every field.
+//
+// Determinism: same sub-queries + same delivered set + same budget ⇒
+// the same response (ids, order, bytes, Dropped), independent of the
+// worker-pool parallelism — the property the wire protocol's budgeted
+// frames are built on.
+func (s *Server) ExecuteBudget(subs []SubQuery, delivered map[int64]bool, maxBytes int64) Response {
+	return s.execute(subs, delivered, nil, maxBytes)
 }
 
 // Scratch is reusable per-caller execution state: the per-sub-query
@@ -201,10 +226,16 @@ type Scratch struct {
 // until the next ExecuteScratch with the same Scratch. Results are
 // identical to Execute in every field. A nil sc degrades to Execute.
 func (s *Server) ExecuteScratch(subs []SubQuery, delivered map[int64]bool, sc *Scratch) Response {
-	return s.execute(subs, delivered, sc)
+	return s.execute(subs, delivered, sc, 0)
 }
 
-func (s *Server) execute(subs []SubQuery, delivered map[int64]bool, sc *Scratch) Response {
+// ExecuteBudgetScratch is ExecuteBudget on caller-owned scratch (see
+// ExecuteScratch for the aliasing contract).
+func (s *Server) ExecuteBudgetScratch(subs []SubQuery, delivered map[int64]bool, sc *Scratch, maxBytes int64) Response {
+	return s.execute(subs, delivered, sc, maxBytes)
+}
+
+func (s *Server) execute(subs []SubQuery, delivered map[int64]bool, sc *Scratch, maxBytes int64) Response {
 	var start time.Time
 	if s.st != nil {
 		start = time.Now()
@@ -223,10 +254,23 @@ func (s *Server) execute(subs []SubQuery, delivered map[int64]bool, sc *Scratch)
 	if sc != nil {
 		resp.IDs = sc.ids[:0]
 	}
-	// dropped records whether the merge suppressed any raw hit (filter or
-	// already-delivered): only a drop-free single-sub response equals its
-	// cache entry's id set and may carry a HotRef.
+	// dropped records whether the merge suppressed any raw hit (filter,
+	// already-delivered, or budget): only a drop-free single-sub response
+	// equals its cache entry's id set and may carry a HotRef.
 	dropped := false
+	// limit is the budget's prefix cut in whole coefficients; -1 means
+	// unlimited. A positive budget below one wire record delivers
+	// nothing (and withholds everything). withheld dedups the ids the
+	// cut suppresses — they are not in the delivered map (purity), but
+	// Dropped must equal exactly what the unlimited run would have
+	// delivered beyond the cut, and a support region straddling several
+	// sub-query rectangles hits the merge more than once. Allocated
+	// lazily: only truncated responses (the degraded path) pay for it.
+	limit := int64(-1)
+	if maxBytes > 0 {
+		limit = maxBytes / wavelet.WireBytes
+	}
+	var withheld map[int64]bool
 	for i := range subs {
 		r := &results[i]
 		if !r.ran {
@@ -241,11 +285,28 @@ func (s *Server) execute(subs []SubQuery, delivered map[int64]bool, sc *Scratch)
 				dropped = true
 				continue
 			}
-			if delivered != nil {
-				if delivered[id] {
-					dropped = true
-					continue
+			if delivered != nil && delivered[id] {
+				dropped = true
+				continue
+			}
+			if limit >= 0 && int64(len(resp.IDs)) >= limit {
+				// Budget exhausted: withhold, don't mark delivered. Without
+				// a delivered map the unlimited merge would append every
+				// hit, so every hit counts; with one, duplicates would have
+				// been deduped, so withheld ids count once.
+				dropped = true
+				if delivered == nil {
+					resp.Dropped++
+				} else if !withheld[id] {
+					if withheld == nil {
+						withheld = make(map[int64]bool)
+					}
+					withheld[id] = true
+					resp.Dropped++
 				}
+				continue
+			}
+			if delivered != nil {
 				delivered[id] = true
 			}
 			resp.IDs = append(resp.IDs, id)
@@ -262,6 +323,9 @@ func (s *Server) execute(subs []SubQuery, delivered map[int64]bool, sc *Scratch)
 		s.st.RecordRequest(resp.Queries, resp.IO, int64(len(resp.IDs)),
 			resp.Bytes, time.Since(start))
 		s.st.RecordScene(s.scene, resp.IO, int64(len(resp.IDs)), resp.Bytes)
+		if maxBytes > 0 {
+			s.st.RecordBudget(maxBytes, resp.Bytes, resp.Dropped)
+		}
 	}
 	return resp
 }
@@ -460,6 +524,14 @@ func (s *Session) Retrieve(subs []SubQuery) Response {
 // before the next request arrives, so nothing outlives the window.
 func (s *Session) RetrieveScratch(subs []SubQuery) Response {
 	return s.srv.ExecuteScratch(subs, s.delivered, &s.scratch)
+}
+
+// RetrieveBudget executes the sub-queries under a byte budget on the
+// session's scratch (see ExecuteBudget for the truncation contract and
+// RetrieveScratch for the IDs aliasing window). The wire server's
+// budgeted-request path uses it.
+func (s *Session) RetrieveBudget(subs []SubQuery, maxBytes int64) Response {
+	return s.srv.ExecuteBudgetScratch(subs, s.delivered, &s.scratch, maxBytes)
 }
 
 // Delivered returns the number of coefficients this client holds.

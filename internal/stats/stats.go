@@ -165,6 +165,20 @@ type Stats struct {
 	// attribution lives in the breakdown layer (RecordRoute and friends).
 	drains atomic.Int64
 
+	// ABR counters and gauges (see DESIGN.md §13): budgeted requests
+	// served, the byte budgets clients asked for vs. the bytes actually
+	// served under them, responses the budget truncated and the
+	// coefficients those truncations withheld; plus the client-side
+	// estimator gauges (last bandwidth/RTT/budget, set each frame).
+	budgetRequests       atomic.Int64
+	budgetBytesRequested atomic.Int64
+	budgetBytesServed    atomic.Int64
+	truncatedResponses   atomic.Int64
+	coeffsDropped        atomic.Int64
+	abrBandwidth         atomic.Int64 // gauge, bytes/second
+	abrRTT               atomic.Int64 // gauge, nanoseconds
+	abrBudget            atomic.Int64 // gauge, bytes per frame
+
 	latency   Histogram // per-request latency in nanoseconds
 	requestIO Histogram // index node reads per request
 	backoff   Histogram // client backoff sleeps in nanoseconds
@@ -389,6 +403,35 @@ func (s *Stats) RecordDrain() {
 	s.drains.Add(1)
 }
 
+// RecordBudget accounts one budgeted retrieval: the byte budget the
+// client requested, the payload bytes served under it, and the
+// coefficients the budget withheld (0 when the response fit).
+func (s *Stats) RecordBudget(requested, served, droppedCoeffs int64) {
+	if s == nil {
+		return
+	}
+	s.budgetRequests.Add(1)
+	s.budgetBytesRequested.Add(requested)
+	s.budgetBytesServed.Add(served)
+	if droppedCoeffs > 0 {
+		s.truncatedResponses.Add(1)
+		s.coeffsDropped.Add(droppedCoeffs)
+	}
+}
+
+// SetABR publishes the client-side ABR loop's current state: the link
+// bandwidth estimate (bytes/second), round-trip estimate, and the byte
+// budget chosen for the next frame. Gauges, not counters — each call
+// overwrites the last.
+func (s *Stats) SetABR(bandwidth int64, rtt time.Duration, budget int64) {
+	if s == nil {
+		return
+	}
+	s.abrBandwidth.Store(bandwidth)
+	s.abrRTT.Store(int64(rtt))
+	s.abrBudget.Store(budget)
+}
+
 // RecordBuffer accounts one buffer-manager step: blocks found in the
 // buffer, blocks fetched on demand, and the bytes moved over the link.
 func (s *Stats) RecordBuffer(hits, misses int, demandBytes, prefetchBytes int64) {
@@ -435,6 +478,15 @@ type Snapshot struct {
 	ResumesRestored    int64
 
 	Drains int64
+
+	BudgetRequests       int64
+	BudgetBytesRequested int64
+	BudgetBytesServed    int64
+	TruncatedResponses   int64
+	CoeffsDropped        int64
+	ABRBandwidth         int64 // gauge, bytes/second
+	ABRRTT               time.Duration
+	ABRBudget            int64 // gauge, bytes per frame
 
 	Latency   HistogramSnapshot
 	RequestIO HistogramSnapshot
@@ -495,6 +547,15 @@ func (s *Stats) Snapshot() Snapshot {
 
 		Drains: s.drains.Load(),
 
+		BudgetRequests:       s.budgetRequests.Load(),
+		BudgetBytesRequested: s.budgetBytesRequested.Load(),
+		BudgetBytesServed:    s.budgetBytesServed.Load(),
+		TruncatedResponses:   s.truncatedResponses.Load(),
+		CoeffsDropped:        s.coeffsDropped.Load(),
+		ABRBandwidth:         s.abrBandwidth.Load(),
+		ABRRTT:               time.Duration(s.abrRTT.Load()),
+		ABRBudget:            s.abrBudget.Load(),
+
 		Latency:   s.latency.Snapshot(),
 		RequestIO: s.requestIO.Snapshot(),
 		Backoff:   s.backoff.Snapshot(),
@@ -510,6 +571,16 @@ func (s Snapshot) String() string {
 		hot = fmt.Sprintf(" · hot cache %d/%d hit/miss · %d entries / %s · %d evicted · %d invalidated",
 			s.Hot.Hits, s.Hot.Misses, s.Hot.Entries, fmtBytes(s.Hot.Bytes),
 			s.Hot.Evictions, s.Hot.Invalidations)
+	}
+	abr := ""
+	if s.BudgetRequests > 0 {
+		abr = fmt.Sprintf(" · budget %d reqs %s/%s served/asked · truncated %d (%d coeffs withheld)",
+			s.BudgetRequests, fmtBytes(s.BudgetBytesServed), fmtBytes(s.BudgetBytesRequested),
+			s.TruncatedResponses, s.CoeffsDropped)
+	}
+	if s.ABRBandwidth > 0 {
+		abr += fmt.Sprintf(" · abr bw %s/s rtt %v budget %s",
+			fmtBytes(s.ABRBandwidth), s.ABRRTT.Round(time.Millisecond), fmtBytes(s.ABRBudget))
 	}
 	return fmt.Sprintf(
 		"sessions %d/%d active/opened · requests %d (%d errors) · sub-queries %d · "+
@@ -528,7 +599,7 @@ func (s Snapshot) String() string {
 		s.Checkpoints, fmtBytes(s.CheckpointBytes),
 		s.RecordsReplayed, s.TailsTruncated, s.RecordsQuarantined,
 		s.JournalCompactions, s.ResumesRestored, s.Drains) +
-		hot + s.breakdownString()
+		hot + abr + s.breakdownString()
 }
 
 func fmtBytes(b int64) string {
