@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-shards bench-serve bench-abr soak fault crash cluster abr fuzz ci
+.PHONY: build test race vet bench bench-shards bench-serve bench-abr bench-city soak fault crash cluster abr city fuzz ci
 
 build:
 	$(GO) build ./...
@@ -90,6 +90,26 @@ abr:
 bench-abr: build
 	$(GO) run ./cmd/experiments -bench-abr BENCH_abr.json
 
+# The out-of-core gate, verbosely, under the race detector: the city
+# acceptance soak (paged store at 1/8 of the payload serving a seeded
+# multi-client tour byte-identically to the in-memory oracle, residency
+# bounded, pager counters reconciling exactly), the segment/pager unit
+# tests, the paged-store equivalence and pin-lifetime tests, and the
+# city generator determinism tests.
+city:
+	$(GO) test -race -v -run 'TestRunCity' ./internal/experiment/
+	$(GO) test -race -run 'TestSegment|TestPager' ./internal/persist/
+	$(GO) test -race -run 'TestPaged|TestPin|TestCoeffRecord|TestStoreCoeffOutOfRange|TestOpenPaged' ./internal/index/
+	$(GO) test -race -run 'TestCity' ./internal/workload/
+	$(GO) test -race -run 'TestPinner' ./internal/hotcache/
+
+# Budget sweep over the paged store: the same seeded tour served at
+# cache budgets of 1/16, 1/8, and 1/2 of the coefficient payload; emits
+# BENCH_city.json (throughput, fault/hit/eviction counters, bounded
+# residency) and prints the delta against the previous artifact.
+bench-city: build
+	$(GO) run ./cmd/experiments -bench-city BENCH_city.json
+
 # Short coverage-guided exploration of every wire-protocol decoder. Each
 # fuzz target needs its own invocation (go test allows one -fuzz at a
 # time); seeds alone also run in `make test`.
@@ -102,11 +122,13 @@ fuzz:
 	$(GO) test -fuzz 'FuzzCRCRejectsFlips$$' -fuzztime 10s -run '^$$' ./internal/proto/
 	$(GO) test -fuzz 'FuzzBudget$$' -fuzztime 10s -run '^$$' ./internal/proto/
 	$(GO) test -fuzz 'FuzzScan$$' -fuzztime 10s -run '^$$' ./internal/persist/
+	$(GO) test -fuzz 'FuzzSegment$$' -fuzztime 10s -run '^$$' ./internal/persist/
 	$(GO) test -fuzz 'FuzzCluster$$' -fuzztime 10s -run '^$$' ./internal/cluster/
 
-ci: build vet test race crash cluster abr fuzz
+ci: build vet test race crash cluster abr city fuzz
 	# Informational benchmark deltas (never fail the gate): regenerate
-	# BENCH_serve.json / BENCH_abr.json and print the change vs the
-	# previous artifacts.
+	# BENCH_serve.json / BENCH_abr.json / BENCH_city.json and print the
+	# change vs the previous artifacts.
 	-$(MAKE) bench-serve
 	-$(MAKE) bench-abr
+	-$(MAKE) bench-city

@@ -9,7 +9,9 @@
 //	            [-steps N] [-seed N] [-o out.txt] [-stats 0] [-stats-dump]
 //	            [-fault] [-crash] [-cluster] [-shards N]
 //	            [-abr] [-abr-profile osc] [-abr-low N] [-abr-high N] [-abr-period D]
+//	            [-city] [-city-blocks N] [-city-clients N]
 //	            [-bench-shards out.json] [-bench-serve out.json] [-bench-abr out.json]
+//	            [-bench-city out.json]
 package main
 
 import (
@@ -53,6 +55,11 @@ func main() {
 		abrPeriod  = flag.Duration("abr-period", 0, "throttle schedule period (0 = default 1.5s)")
 
 		benchABR = flag.String("bench-abr", "", "run the utility-vs-bandwidth ABR benchmark and write its JSON result to this file")
+
+		cityRun     = flag.Bool("city", false, "run the out-of-core city acceptance soak instead of the figures")
+		cityBlocks  = flag.Int("city-blocks", 0, "city blocks per side (0 = experiment default)")
+		cityClients = flag.Int("city-clients", 0, "concurrent seeded tours in the city soak (0 = default 3)")
+		benchCity   = flag.String("bench-city", "", "run the paged-store budget-sweep benchmark and write its JSON result to this file")
 
 		clusterRun = flag.Bool("cluster", false, "run the cluster failover-and-drain experiment instead of the figures")
 		clusterDir = flag.String("cluster-dir", "", "durable state root for the cluster experiment (default: fresh temp dir)")
@@ -131,6 +138,33 @@ func main() {
 			Frames:  *steps,
 		}
 		if _, err := experiment.RunABRBench(spec, *benchABR, w); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *benchCity != "" {
+		spec := experiment.CityBenchSpec{
+			Seed:   *seed,
+			Blocks: *cityBlocks,
+			Frames: *steps,
+		}
+		if _, err := experiment.RunCityBench(spec, *benchCity, w); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *cityRun {
+		spec := experiment.CitySpec{
+			Seed:    *seed,
+			Blocks:  *cityBlocks,
+			Steps:   *steps,
+			Clients: *cityClients,
+		}
+		if err := experiment.RunCity(spec, w); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}

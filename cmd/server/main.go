@@ -15,6 +15,8 @@
 //
 //	server [-addr :7333] [-advertise host:port] [-objects 100] [-levels 5] [-zipf] [-seed 1]
 //	       [-shards 1] [-scene default] [-scenes name=file,name2=file2]
+//	       [-store mem|paged] [-page-cache-bytes N]
+//	       [-city N] [-city-lots 3] [-city-levels 3]
 //	       [-data-dir dir] [-checkpoint-interval 1m]
 //	       [-stats 30s] [-stats-dump] [-workers 0] [-max-sessions 0]
 //	       [-idle-timeout 2m] [-frame-timeout 30s] [-drain-timeout 5s]
@@ -36,6 +38,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/hotcache"
+	"repro/internal/index"
 	"repro/internal/proto"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -59,6 +62,12 @@ func main() {
 		dataDir      = flag.String("data-dir", "", "durable state directory (scene checkpoints + session journal); empty disables persistence")
 		ckptInterval = flag.Duration("checkpoint-interval", time.Minute, "how often scenes are checkpointed into -data-dir")
 
+		storeKind  = flag.String("store", "mem", "coefficient store: mem (resident) or paged (out-of-core segment in -data-dir)")
+		pageCache  = flag.Int64("page-cache-bytes", 64<<20, "paged store's resident-page budget in bytes")
+		city       = flag.Int("city", 0, "serve a deterministic city of N×N blocks instead of the scatter dataset (0 = off)")
+		cityLots   = flag.Int("city-lots", 3, "buildings per block side in the -city grid")
+		cityLevels = flag.Int("city-levels", 3, "subdivision levels per -city building")
+
 		hotCache  = flag.Bool("hot-cache", false, "enable the per-scene hot-region result cache")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this side listener (empty disables)")
 
@@ -72,6 +81,15 @@ func main() {
 	)
 	statsFlags := stats.RegisterFlags(flag.CommandLine, 0)
 	flag.Parse()
+
+	switch *storeKind {
+	case "mem", "paged":
+	default:
+		log.Fatalf("bad -store %q (want mem or paged)", *storeKind)
+	}
+	if *storeKind == "paged" && *dataDir == "" {
+		log.Fatalf("-store=paged needs -data-dir to hold the segment file")
+	}
 
 	reg := engine.NewRegistry()
 
@@ -98,6 +116,85 @@ func main() {
 				}
 			}
 		}
+	} else if *storeKind == "paged" {
+		// Out-of-core boot: coefficients live in a paged segment under
+		// -data-dir; only the index, metadata, and resident pages stay in
+		// memory. An existing segment is served as-is; otherwise it is
+		// built once — streamed, never materialized — and then opened.
+		segPath := filepath.Join(*dataDir, "scene-"+*scene+".seg")
+		if _, err := os.Stat(segPath); os.IsNotExist(err) {
+			if *city > 0 {
+				wspec := workload.CitySpec{
+					BlocksX: *city, BlocksY: *city,
+					LotsPerBlock: *cityLots, Levels: *cityLevels, Seed: *seed,
+				}
+				log.Printf("building %v into %s...", wspec, segPath)
+				if err := workload.BuildCitySegment(segPath, wspec, 0); err != nil {
+					log.Fatalf("city segment: %v", err)
+				}
+			} else {
+				placement := workload.Uniform
+				if *zipf {
+					placement = workload.Zipf
+				}
+				log.Printf("generating %d objects at %d levels into %s...", *objects, *levels, segPath)
+				d := workload.Generate(workload.Spec{
+					NumObjects: *objects,
+					Levels:     *levels,
+					Placement:  placement,
+					Seed:       *seed,
+					DropFinals: true,
+				})
+				if err := index.BuildSegment(segPath, d.Store, *levels, 0); err != nil {
+					log.Fatalf("segment: %v", err)
+				}
+			}
+		} else if err != nil {
+			log.Fatalf("segment: %v", err)
+		}
+		ps, err := index.OpenPaged(segPath, index.PagedConfig{CacheBytes: *pageCache})
+		if err != nil {
+			log.Fatalf("open segment: %v", err)
+		}
+		sc, err := reg.Build(engine.SceneConfig{
+			Name:   *scene,
+			Source: ps,
+			Levels: ps.Levels(),
+			Shards: *shards,
+			Stats:  stats.Default,
+		})
+		if err != nil {
+			log.Fatalf("scene %q: %v", *scene, err)
+		}
+		if *workers > 0 {
+			sc.Server.SetParallelism(*workers)
+		}
+		pst := ps.PagerStats()
+		log.Printf("scene %q: %s over %d coefficients, paged (%d B payload, %d B cache)",
+			*scene, sc.Index.Name(), ps.NumCoeffs(), ps.NumCoeffs()*index.CoeffRecordSize, pst.CacheBytes)
+	} else if *city > 0 {
+		// A city held fully resident — the oracle configuration the paged
+		// store is validated against, and the small-city default.
+		wspec := workload.CitySpec{
+			BlocksX: *city, BlocksY: *city,
+			LotsPerBlock: *cityLots, Levels: *cityLevels, Seed: *seed,
+		}
+		log.Printf("generating %v...", wspec)
+		st := workload.GenerateCity(wspec)
+		sc, err := reg.Build(engine.SceneConfig{
+			Name:   *scene,
+			Source: st,
+			Levels: *cityLevels,
+			Shards: *shards,
+			Stats:  stats.Default,
+		})
+		if err != nil {
+			log.Fatalf("scene %q: %v", *scene, err)
+		}
+		if *workers > 0 {
+			sc.Server.SetParallelism(*workers)
+		}
+		log.Printf("scene %q: %s over %d coefficients (resident)", *scene, sc.Index.Name(), st.NumCoeffs())
 	} else {
 		var d *workload.Dataset
 		if *load != "" {

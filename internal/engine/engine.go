@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/hotcache"
 	"repro/internal/index"
+	"repro/internal/persist"
 	"repro/internal/retrieval"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -166,6 +167,23 @@ func (r *Registry) Build(cfg SceneConfig) (*Scene, error) {
 	}
 	sc.Dataset = cfg.Dataset
 	sc.Shards = cfg.Shards
+	if ps, ok := cfg.Source.(interface{ PagerStats() persist.PagerStats }); ok {
+		// An out-of-core source: surface its paging gauges so -stats-dump
+		// shows residency, faults, and pins per snapshot.
+		st.AddPagerSource(func() stats.PagerStats {
+			p := ps.PagerStats()
+			return stats.PagerStats{
+				Faults:        p.Faults,
+				Hits:          p.Hits,
+				Evictions:     p.Evictions,
+				Pins:          p.Pins,
+				PagesResident: p.PagesResident,
+				PagesPinned:   p.PagesPinned,
+				ResidentBytes: p.ResidentBytes,
+				CacheBytes:    p.CacheBytes,
+			}
+		})
+	}
 	if cfg.HotCache != nil {
 		enableHotCache(sc, *cfg.HotCache, st)
 	}
@@ -193,6 +211,11 @@ func enableHotCache(sc *Scene, cfg hotcache.Config, st *stats.Stats) {
 	c := sc.Server.HotCache()
 	if c == nil {
 		return // index has no epochs; SetHotCache declined
+	}
+	if p, ok := sc.Source.(hotcache.Pinner); ok {
+		// Out-of-core scene: hot entries pre-pin their coefficient pages,
+		// making the hot-region LRU the paging policy for hot regions.
+		c.SetPinner(p)
 	}
 	st.AddHotCacheSource(func() stats.HotCacheStats {
 		hs := c.Stats()

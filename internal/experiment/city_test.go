@@ -1,0 +1,48 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunCity is the out-of-core acceptance soak at test scale: the
+// paged store serves a city byte-identically to the in-memory oracle
+// under a cache budget 1/8 of the payload, with residency bounded and
+// the paging counters reconciling exactly. RunCity asserts all of it;
+// the test only checks the experiment agrees it ran.
+func TestRunCity(t *testing.T) {
+	var b strings.Builder
+	if err := RunCity(CitySpec{Seed: 7}, &b); err != nil {
+		t.Fatalf("city experiment failed: %v\n%s", err, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{"city:", "reconciliation OK", "byte-identity OK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunCityBench smoke-tests the budget sweep at tiny scale and
+// checks the artifact's shape: one point per divisor, residency bounded
+// by each point's cache budget.
+func TestRunCityBench(t *testing.T) {
+	var b strings.Builder
+	res, err := RunCityBench(CityBenchSpec{
+		Seed: 7, Blocks: 3, Lots: 2, Frames: 12,
+	}, "", &b)
+	if err != nil {
+		t.Fatalf("city bench failed: %v\n%s", err, b.String())
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("got %d points, want 3:\n%s", len(res.Points), b.String())
+	}
+	for _, p := range res.Points {
+		if p.ResidentPeak > p.CacheBytes {
+			t.Errorf("budget 1/%d: resident peak %d exceeds cache %d", p.BudgetDivisor, p.ResidentPeak, p.CacheBytes)
+		}
+		if p.Coefficients == 0 {
+			t.Errorf("budget 1/%d delivered no coefficients", p.BudgetDivisor)
+		}
+	}
+}

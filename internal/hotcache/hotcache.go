@@ -82,14 +82,34 @@ type entry struct {
 	io      int64
 	payload []byte
 	bytes   int64
+	pinned  bool // this entry holds page pins (see Pinner)
 	prev    *entry
 	next    *entry
 }
 
+// Pinner receives page residency hints for cached id sets. An
+// out-of-core store (index.PagedStore) implements it: while a hot
+// region's result is cached, the pages holding its coefficients are
+// pinned resident, so replaying the region never faults — the hot-cache
+// LRU *is* the paging policy for hot regions. Ids are passed in the
+// ascending order the entry stores; every PinIDs is matched by exactly
+// one UnpinIDs with the same ids when the entry leaves the cache
+// (eviction, replacement, or epoch invalidation).
+type Pinner interface {
+	PinIDs(ids []int64)
+	UnpinIDs(ids []int64)
+}
+
+// SetPinner wires page pinning for cached entries (nil disables). Must
+// be set before the cache starts serving; it is not synchronized with
+// concurrent Get/Put.
+func (c *Cache) SetPinner(p Pinner) { c.pinner = p }
+
 // Cache is a bounded LRU of memoized query results. All methods are safe
 // for concurrent use. The zero Cache is not usable; call New.
 type Cache struct {
-	cfg Config
+	cfg    Config
+	pinner Pinner
 
 	mu    sync.Mutex
 	m     map[key]*entry
@@ -190,6 +210,14 @@ func (c *Cache) Put(q index.Query, e0, e1 uint64, ids []int64, io int64) {
 	if len(ids) > 0 {
 		e.ids = append([]int64(nil), ids...)
 	}
+	if c.pinner != nil && len(e.ids) > 0 {
+		// Pin outside the cache lock (lock order is cache → pager; the
+		// matching unpin in removeLocked holds the cache lock, so this
+		// side must never invert it). If the entry is immediately evicted
+		// below, removeLocked balances the pin right back out.
+		c.pinner.PinIDs(e.ids)
+		e.pinned = true
+	}
 	c.mu.Lock()
 	if old := c.m[e.k]; old != nil {
 		// Last one wins — a bucket collision or an epoch refresh replaces
@@ -285,6 +313,12 @@ func (c *Cache) evictOverflowLocked() {
 }
 
 func (c *Cache) removeLocked(e *entry) {
+	if e.pinned {
+		// Covers all exits: LRU eviction, replacement, and epoch
+		// invalidation. The pages go back to the pager's normal LRU.
+		c.pinner.UnpinIDs(e.ids)
+		e.pinned = false
+	}
 	delete(c.m, e.k)
 	if e.prev != nil {
 		e.prev.next = e.next

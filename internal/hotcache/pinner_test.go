@@ -1,0 +1,108 @@
+package hotcache
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/index"
+)
+
+// fakePinner counts pin balance per id, standing in for the paged
+// store's page pinning.
+type fakePinner struct {
+	mu      sync.Mutex
+	held    map[int64]int
+	pins    int
+	unpins  int
+	negOnce bool
+}
+
+func newFakePinner() *fakePinner { return &fakePinner{held: map[int64]int{}} }
+
+func (f *fakePinner) PinIDs(ids []int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.pins++
+	for _, id := range ids {
+		f.held[id]++
+	}
+}
+
+func (f *fakePinner) UnpinIDs(ids []int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.unpins++
+	for _, id := range ids {
+		f.held[id]--
+		if f.held[id] < 0 {
+			f.negOnce = true
+		}
+	}
+}
+
+func (f *fakePinner) outstanding() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, v := range f.held {
+		n += v
+	}
+	return n
+}
+
+func pinQuery(i int) index.Query {
+	return index.Query{
+		Region: geom.Rect2{Min: geom.Vec2{X: float64(i) * 1000}, Max: geom.Vec2{X: float64(i)*1000 + 10, Y: 10}},
+		WMin:   0, WMax: 1,
+	}
+}
+
+func TestPinnerBalancedAcrossEviction(t *testing.T) {
+	fp := newFakePinner()
+	c := New(Config{MaxEntries: 2})
+	c.SetPinner(fp)
+
+	// Three entries into a 2-entry cache: the first gets evicted and
+	// must be unpinned.
+	for i := 0; i < 3; i++ {
+		c.Put(pinQuery(i), 4, 4, []int64{int64(i * 10), int64(i*10 + 1)}, 1)
+	}
+	if fp.pins != 3 || fp.unpins != 1 {
+		t.Fatalf("pins/unpins = %d/%d, want 3/1", fp.pins, fp.unpins)
+	}
+	if got := fp.outstanding(); got != 4 {
+		t.Fatalf("outstanding pinned ids = %d, want 4 (two live entries)", got)
+	}
+
+	// Replacement (same query re-Put at a new epoch) unpins the old
+	// entry and pins the new.
+	c.Put(pinQuery(1), 6, 6, []int64{10, 11, 12}, 1)
+	if fp.outstanding() != 5 {
+		t.Fatalf("outstanding after replacement = %d, want 5", fp.outstanding())
+	}
+
+	// Epoch invalidation through Get unpins.
+	if _, _, ok := c.Get(pinQuery(1), 8, nil); ok {
+		t.Fatal("stale entry hit")
+	}
+	if fp.outstanding() != 2 {
+		t.Fatalf("outstanding after invalidation = %d, want 2 (one live entry)", fp.outstanding())
+	}
+	if fp.negOnce {
+		t.Fatal("some id was unpinned more often than pinned")
+	}
+}
+
+func TestPinnerSkipsEmptyAndStalePuts(t *testing.T) {
+	fp := newFakePinner()
+	c := New(Config{})
+	c.SetPinner(fp)
+
+	c.Put(pinQuery(0), 4, 4, nil, 1)        // empty result: nothing to pin
+	c.Put(pinQuery(1), 4, 6, []int64{1}, 1) // epoch moved: dropped, never pinned
+	c.Put(pinQuery(2), 5, 5, []int64{2}, 1) // odd epoch: dropped
+	if fp.pins != 0 || fp.unpins != 0 {
+		t.Fatalf("pins/unpins = %d/%d, want 0/0", fp.pins, fp.unpins)
+	}
+}

@@ -25,6 +25,18 @@ type CoefficientSource interface {
 	// ID returns the global id of a coefficient.
 	ID(object, vertex int32) int64
 	// Coeff resolves a global id to its coefficient.
+	//
+	// Pointer-lifetime contract: the returned pointer is valid for
+	// immediate use only — read what you need and let go. The in-memory
+	// Store hands out pointers into always-resident slabs, which never
+	// move, so holding one happens to work there; an out-of-core source
+	// (PagedStore) may evict the backing page at any later Coeff call,
+	// after which a held pointer reads stale (debug builds: poisoned)
+	// data. Callers that need coefficients to stay addressable across a
+	// whole frame — the retrieval filter pass and the proto payload
+	// encoder — must type-assert the source to PinningSource and read
+	// through a frame-scoped Pins set instead. Out-of-range ids panic
+	// with a descriptive message on every implementation.
 	Coeff(id int64) *wavelet.Coefficient
 	// Neighbors returns the final-mesh neighbor vertex ids of one
 	// coefficient (the naive index's "additional information").
@@ -40,6 +52,19 @@ type CoefficientSource interface {
 	BaseVerts() int
 	// SizeBytes returns the total serialized payload of the source.
 	SizeBytes() int64
+}
+
+// PinningSource is a CoefficientSource whose coefficients live on
+// evictable pages. Callers that hold coefficients beyond a single Coeff
+// call — across a frame's filter pass or payload encode — must read
+// them through a frame-scoped Pins set, which keeps every touched page
+// resident until Release. The in-memory Store intentionally does NOT
+// implement this: serving layers detect paging with a type assertion
+// and keep the zero-allocation fast path when it fails.
+type PinningSource interface {
+	CoefficientSource
+	// NewPins returns an empty, reusable frame-scoped pin set.
+	NewPins() *Pins
 }
 
 // Store implements CoefficientSource; keep the compiler honest.

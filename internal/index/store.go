@@ -79,8 +79,14 @@ func (s *Store) Coeff(id int64) *wavelet.Coefficient {
 }
 
 // objectOf finds the object owning a global id by binary search over the
-// offsets.
+// offsets. Out-of-range ids panic descriptively (an id can only come
+// from this store's own ID/Search output, so a bad one is caller
+// corruption — fail loudly rather than crash on a slice bound or, for a
+// negative id on a multi-object store, silently resolve to object 0).
 func (s *Store) objectOf(id int64) int {
+	if id < 0 || id >= s.total {
+		panic(fmt.Sprintf("index: coefficient id %d out of range [0, %d)", id, s.total))
+	}
 	lo, hi := 0, len(s.offsets)-1
 	for lo < hi {
 		mid := (lo + hi + 1) / 2

@@ -1,0 +1,256 @@
+// Pager: a bounded cache of decoded segment pages with pin/unpin
+// reference counting.
+//
+// The pager is the residency policy for out-of-core payloads. Pin
+// faults the page in (one positioned read + CRC check + decode) if it
+// is not resident, bumps its refcount, and returns the decoded value;
+// Unpin drops the refcount. Pinned pages are never evicted; unpinned
+// resident pages sit on an LRU list and are evicted from the cold end
+// whenever resident bytes exceed the budget. A page larger than the
+// whole budget still faults in — the budget bounds the cache, not the
+// ability to serve — so the resident high-water mark is budget plus at
+// most the pinned working set.
+//
+// Memory-safety note (Go): eviction only removes the *cache's*
+// reference to the decoded value; any caller still holding it keeps it
+// alive through the garbage collector. Pins are therefore an
+// accounting discipline — they bound residency and make the stats
+// reconcile — not a use-after-free guard. Debug mode turns discipline
+// violations into crashes: an unpin-to-zero evicts the page immediately
+// and calls the Poison hook so stale pointers read poisoned data and
+// fail loudly in tests.
+package persist
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DefaultPageCacheBytes is the pager budget when the config leaves it
+// zero: 16 MiB.
+const DefaultPageCacheBytes = 16 << 20
+
+// PagerConfig configures a Pager.
+type PagerConfig struct {
+	// CacheBytes bounds the resident decoded bytes (≤0 → DefaultPageCacheBytes).
+	CacheBytes int64
+	// Decode turns a verified raw page holding `records` records into
+	// the cached value and its resident size in bytes (required).
+	Decode func(raw []byte, records int) (decoded any, bytes int64, err error)
+	// Poison, if set, is called when Debug mode evicts a page on
+	// unpin-to-zero, so stale references fail loudly. Ignored outside
+	// Debug mode (normal eviction keeps values intact for any holders).
+	Poison func(decoded any)
+	// Debug evicts and poisons a page the moment its refcount reaches
+	// zero, catching use-after-unpin in tests.
+	Debug bool
+}
+
+// PagerStats is a snapshot of pager counters and gauges. The counters
+// satisfy, at any quiescent point:
+//
+//	Pins == Hits + Faults
+//	PagesResident == Faults - Evictions
+//	PagesPinned == 0 once every Pin has been matched by an Unpin
+type PagerStats struct {
+	Faults    int64 // Pin calls that read + decoded a page
+	Hits      int64 // Pin calls satisfied by a resident page
+	Evictions int64 // pages dropped from residency
+	Pins      int64 // total Pin calls
+
+	PagesResident int64 // pages currently resident
+	PagesPinned   int64 // resident pages with refcount > 0
+	ResidentBytes int64 // decoded bytes currently resident
+	CacheBytes    int64 // configured budget
+}
+
+type pageSlot struct {
+	decoded  any
+	bytes    int64
+	refs     int32
+	prev     int32 // LRU links among unpinned resident pages; -1 = none
+	next     int32
+	resident bool
+}
+
+// Pager caches decoded pages of one Segment. All methods are safe for
+// concurrent use; faults serialize on the pager mutex (the disk read is
+// the cost that matters, and one outstanding read per segment keeps the
+// code simple and the stats exact).
+type Pager struct {
+	seg *Segment
+	cfg PagerConfig
+
+	mu      sync.Mutex
+	slots   []pageSlot
+	lruHead int32 // most recently unpinned
+	lruTail int32 // eviction candidate
+	readBuf []byte
+
+	faults    int64
+	hits      int64
+	evictions int64
+	pins      int64
+	residentB int64
+	residentP int64
+	pinnedP   int64
+}
+
+// NewPager builds a pager over an open segment.
+func NewPager(seg *Segment, cfg PagerConfig) *Pager {
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = DefaultPageCacheBytes
+	}
+	if cfg.Decode == nil {
+		panic("persist: PagerConfig.Decode is required")
+	}
+	p := &Pager{seg: seg, cfg: cfg, lruHead: -1, lruTail: -1}
+	p.slots = make([]pageSlot, seg.NumPages())
+	for i := range p.slots {
+		p.slots[i].prev = -1
+		p.slots[i].next = -1
+	}
+	return p
+}
+
+// Segment returns the underlying segment.
+func (p *Pager) Segment() *Segment { return p.seg }
+
+// Pin returns the decoded value for page, faulting it in if necessary,
+// and holds it resident until the matching Unpin.
+func (p *Pager) Pin(page int) (any, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if page < 0 || page >= len(p.slots) {
+		return nil, fmt.Errorf("persist: pager pin of page %d out of range [0, %d)", page, len(p.slots))
+	}
+	p.pins++
+	s := &p.slots[page]
+	if s.resident {
+		p.hits++
+		if s.refs == 0 {
+			p.lruRemove(int32(page))
+			p.pinnedP++
+		}
+		s.refs++
+		return s.decoded, nil
+	}
+	raw, err := p.seg.ReadPage(page, p.readBuf)
+	if err != nil {
+		p.pins-- // the failed pin never materialized
+		return nil, err
+	}
+	p.readBuf = raw
+	decoded, bytes, err := p.cfg.Decode(raw, p.seg.RecordsInPage(page))
+	if err != nil {
+		p.pins--
+		return nil, err
+	}
+	p.faults++
+	s.decoded = decoded
+	s.bytes = bytes
+	s.refs = 1
+	s.resident = true
+	p.residentB += bytes
+	p.residentP++
+	p.pinnedP++
+	p.evictOver()
+	return s.decoded, nil
+}
+
+// Unpin releases one Pin of page. In Debug mode a refcount reaching
+// zero evicts and poisons the page immediately.
+func (p *Pager) Unpin(page int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if page < 0 || page >= len(p.slots) {
+		panic(fmt.Sprintf("persist: pager unpin of page %d out of range [0, %d)", page, len(p.slots)))
+	}
+	s := &p.slots[page]
+	if !s.resident || s.refs <= 0 {
+		panic(fmt.Sprintf("persist: pager unpin of page %d without a matching pin", page))
+	}
+	s.refs--
+	if s.refs > 0 {
+		return
+	}
+	p.pinnedP--
+	if p.cfg.Debug {
+		p.evictPage(int32(page), true)
+		return
+	}
+	p.lruPushFront(int32(page))
+	p.evictOver()
+}
+
+// Stats returns a snapshot of the pager counters and gauges.
+func (p *Pager) Stats() PagerStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PagerStats{
+		Faults:        p.faults,
+		Hits:          p.hits,
+		Evictions:     p.evictions,
+		Pins:          p.pins,
+		PagesResident: p.residentP,
+		PagesPinned:   p.pinnedP,
+		ResidentBytes: p.residentB,
+		CacheBytes:    p.cfg.CacheBytes,
+	}
+}
+
+// evictOver evicts cold unpinned pages until resident bytes fit the
+// budget (or nothing evictable remains).
+func (p *Pager) evictOver() {
+	for p.residentB > p.cfg.CacheBytes && p.lruTail >= 0 {
+		p.evictPage(p.lruTail, false)
+	}
+}
+
+// evictPage drops one resident page. poison applies the Debug hook.
+func (p *Pager) evictPage(page int32, poison bool) {
+	s := &p.slots[page]
+	if s.refs == 0 && !poison {
+		p.lruRemove(page)
+	}
+	if poison && p.cfg.Poison != nil {
+		p.cfg.Poison(s.decoded)
+	}
+	p.residentB -= s.bytes
+	p.residentP--
+	p.evictions++
+	s.decoded = nil
+	s.bytes = 0
+	s.resident = false
+}
+
+// lruPushFront makes page the most-recently-used unpinned page.
+func (p *Pager) lruPushFront(page int32) {
+	s := &p.slots[page]
+	s.prev = -1
+	s.next = p.lruHead
+	if p.lruHead >= 0 {
+		p.slots[p.lruHead].prev = page
+	}
+	p.lruHead = page
+	if p.lruTail < 0 {
+		p.lruTail = page
+	}
+}
+
+// lruRemove unlinks page from the LRU list.
+func (p *Pager) lruRemove(page int32) {
+	s := &p.slots[page]
+	if s.prev >= 0 {
+		p.slots[s.prev].next = s.next
+	} else if p.lruHead == page {
+		p.lruHead = s.next
+	}
+	if s.next >= 0 {
+		p.slots[s.next].prev = s.prev
+	} else if p.lruTail == page {
+		p.lruTail = s.prev
+	}
+	s.prev = -1
+	s.next = -1
+}

@@ -8,8 +8,10 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/index"
 	"repro/internal/retrieval"
 	"repro/internal/stats"
+	"repro/internal/wavelet"
 )
 
 // Server serves the retrieval protocol over TCP (or any net.Listener).
@@ -343,6 +345,12 @@ func (s *Server) handle(conn net.Conn) {
 	// this buffer (reused every frame) unless the scene's hot cache
 	// already holds the encoded bytes.
 	var payloadBuf []byte
+	// Against a paging store (index.PinningSource), the payload encode
+	// loop reads coefficients across many pages; a per-connection pin
+	// set keeps them resident (and their pointers stable) until the
+	// frame's bytes are in payloadBuf. nil for in-memory scenes.
+	pinner, _ := scene.Source.(index.PinningSource)
+	var pins *index.Pins
 	defer func() {
 		// Park only sessions that actually started: an interrupted
 		// connection that never served a request or resume has no
@@ -405,6 +413,8 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			scene = next
 			s.setConnScene(conn, scene.Name)
+			pinner, _ = scene.Source.(index.PinningSource)
+			pins = nil // a pin set is bound to one store
 			sess = &engine.ResumeEntry{Session: retrieval.NewSession(scene.Server)}
 			if err := s.sendHello(conn, w, scene, token); err != nil {
 				s.st.RecordError()
@@ -507,8 +517,16 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			if payload == nil {
 				payloadBuf = payloadBuf[:0]
+				if pinner != nil && pins == nil && len(resp.IDs) > 0 {
+					pins = pinner.NewPins()
+				}
 				for _, id := range resp.IDs {
-					c := scene.Source.Coeff(id)
+					var c *wavelet.Coefficient
+					if pins != nil {
+						c = pins.Coeff(id)
+					} else {
+						c = scene.Source.Coeff(id)
+					}
 					wc := Coeff{
 						Object: c.Object,
 						Vertex: c.Vertex,
@@ -517,6 +535,10 @@ func (s *Server) handle(conn net.Conn) {
 						Value:  float32(c.Value),
 					}
 					payloadBuf = appendCoeff(payloadBuf, &wc)
+				}
+				if pins != nil {
+					// The frame's bytes are in payloadBuf; the pages can go.
+					pins.Release()
 				}
 				payload = payloadBuf
 				if hot != nil && resp.Hot.Valid {

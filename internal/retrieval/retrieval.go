@@ -101,6 +101,12 @@ type Server struct {
 	// together by SetHotCache; nil disables caching.
 	hot   *hotcache.Cache
 	epoch index.Epocher
+	// pinner is the store again when it pages coefficients from disk
+	// (index.PinningSource); coefficient reads that outlive one call —
+	// the merge loop's filter pass — then go through a frame-scoped pin
+	// set. nil for the in-memory store, which keeps that path exactly as
+	// allocation-free as before.
+	pinner index.PinningSource
 }
 
 // NewServer creates a server over a coefficient source using the given
@@ -118,8 +124,10 @@ func NewServer(store index.CoefficientSource, idx index.Index) *Server {
 		// buys scheduler churn.
 		workers = 8
 	}
-	return &Server{store: store, idx: idx, zMin: b.Min.Z, zMax: b.Max.Z,
+	srv := &Server{store: store, idx: idx, zMin: b.Min.Z, zMax: b.Max.Z,
 		workers: workers, st: stats.Default}
+	srv.pinner, _ = store.(index.PinningSource)
+	return srv
 }
 
 // SetStats redirects the server's observability counters (nil disables
@@ -219,6 +227,9 @@ type Scratch struct {
 	cur     index.Cursor
 	curs    []index.Cursor
 	ids     []int64
+	// pins is the session's frame pin set, created on first use against
+	// a paging store and reused (Release keeps its storage) thereafter.
+	pins *index.Pins
 }
 
 // ExecuteScratch is Execute running on caller-owned scratch: the
@@ -271,6 +282,26 @@ func (s *Server) execute(subs []SubQuery, delivered map[int64]bool, sc *Scratch,
 		limit = maxBytes / wavelet.WireBytes
 	}
 	var withheld map[int64]bool
+	// Against a paging store, the filter pass reads coefficient
+	// positions across the whole merge loop, so those pages are pinned
+	// for the frame and released after the loop. The in-memory store
+	// leaves pins nil and the loop byte-for-byte on its old path.
+	var pins *index.Pins
+	if s.pinner != nil {
+		for i := range subs {
+			if subs[i].Filter != nil {
+				if sc != nil {
+					if sc.pins == nil {
+						sc.pins = s.pinner.NewPins()
+					}
+					pins = sc.pins
+				} else {
+					pins = s.pinner.NewPins()
+				}
+				break
+			}
+		}
+	}
 	for i := range subs {
 		r := &results[i]
 		if !r.ran {
@@ -281,7 +312,7 @@ func (s *Server) execute(subs []SubQuery, delivered map[int64]bool, sc *Scratch,
 		for _, id := range r.ids {
 			// Filter before touching the delivered set: a coefficient the
 			// filter rejects has not been sent and must stay retrievable.
-			if subs[i].Filter != nil && !subs[i].Filter(s.store.Coeff(id).Pos) {
+			if subs[i].Filter != nil && !subs[i].Filter(s.coeffPos(pins, id)) {
 				dropped = true
 				continue
 			}
@@ -312,6 +343,9 @@ func (s *Server) execute(subs []SubQuery, delivered map[int64]bool, sc *Scratch,
 			resp.IDs = append(resp.IDs, id)
 		}
 	}
+	if pins != nil {
+		pins.Release()
+	}
 	if sc != nil {
 		sc.ids = resp.IDs
 	}
@@ -328,6 +362,16 @@ func (s *Server) execute(subs []SubQuery, delivered map[int64]bool, sc *Scratch,
 		}
 	}
 	return resp
+}
+
+// coeffPos reads one coefficient's vertex position — through the frame
+// pin set when the store pages, directly off the resident slab when not
+// (pins nil keeps the in-memory path allocation-free).
+func (s *Server) coeffPos(pins *index.Pins, id int64) geom.Vec3 {
+	if pins != nil {
+		return pins.Coeff(id).Pos
+	}
+	return s.store.Coeff(id).Pos
 }
 
 // subResult holds one sub-query's raw index hits, pre-merge. In scratch
@@ -485,10 +529,17 @@ func (s *Server) BlockBytes(region geom.Rect2, wmin float64) (int64, int64) {
 		WMin: wmin, WMax: 1,
 	})
 	var n int64
+	var pins *index.Pins
+	if s.pinner != nil {
+		pins = s.pinner.NewPins()
+	}
 	for _, id := range ids {
-		if region.Contains(s.store.Coeff(id).Pos.XY()) {
+		if region.Contains(s.coeffPos(pins, id).XY()) {
 			n++
 		}
+	}
+	if pins != nil {
+		pins.Release()
 	}
 	return n * wavelet.WireBytes, io
 }

@@ -190,6 +190,11 @@ type Stats struct {
 	hotMu      sync.Mutex
 	hotSources []func() HotCacheStats
 
+	// Page-cache gauge sources (see AddPagerSource): one per out-of-core
+	// scene, pulled at Snapshot time like the hot-cache sources.
+	pagerMu      sync.Mutex
+	pagerSources []func() PagerStats
+
 	breakdowns // per-scene and per-shard attribution (breakdown.go)
 }
 
@@ -232,6 +237,57 @@ func (s *Stats) hotSnapshot() (HotCacheStats, int) {
 	sources := s.hotSources
 	s.hotMu.Unlock()
 	var sum HotCacheStats
+	for _, fn := range sources {
+		sum = sum.add(fn())
+	}
+	return sum, len(sources)
+}
+
+// PagerStats is one out-of-core page cache's gauge set, pulled from a
+// registered source at Snapshot time (mirrors persist.PagerStats; this
+// package must not import persist).
+type PagerStats struct {
+	Faults        int64
+	Hits          int64
+	Evictions     int64
+	Pins          int64
+	PagesResident int64
+	PagesPinned   int64
+	ResidentBytes int64
+	CacheBytes    int64
+}
+
+func (a PagerStats) add(b PagerStats) PagerStats {
+	a.Faults += b.Faults
+	a.Hits += b.Hits
+	a.Evictions += b.Evictions
+	a.Pins += b.Pins
+	a.PagesResident += b.PagesResident
+	a.PagesPinned += b.PagesPinned
+	a.ResidentBytes += b.ResidentBytes
+	a.CacheBytes += b.CacheBytes
+	return a
+}
+
+// AddPagerSource registers a gauge provider for one paged coefficient
+// store (typically one per out-of-core scene). Snapshot sums every
+// registered source into its Pager field. Call at startup, before
+// serving.
+func (s *Stats) AddPagerSource(fn func() PagerStats) {
+	if s == nil || fn == nil {
+		return
+	}
+	s.pagerMu.Lock()
+	s.pagerSources = append(s.pagerSources, fn)
+	s.pagerMu.Unlock()
+}
+
+// pagerSnapshot sums the registered page-cache sources.
+func (s *Stats) pagerSnapshot() (PagerStats, int) {
+	s.pagerMu.Lock()
+	sources := s.pagerSources
+	s.pagerMu.Unlock()
+	var sum PagerStats
 	for _, fn := range sources {
 		sum = sum.add(fn())
 	}
@@ -498,6 +554,12 @@ type Snapshot struct {
 	Hot       HotCacheStats
 	HotCaches int
 
+	// Pager sums every registered paged store's page-cache gauges (see
+	// AddPagerSource); Pagers is how many sources contributed — zero
+	// means every scene is in-memory and String omits the section.
+	Pager  PagerStats
+	Pagers int
+
 	// Scenes breaks the request counters down by engine scene (nil unless
 	// RecordScene ran); Shards breaks index search I/O down by shard (nil
 	// unless a sharded index was wired via EnsureShards); Backends breaks
@@ -514,9 +576,12 @@ func (s *Stats) Snapshot() Snapshot {
 		return Snapshot{}
 	}
 	hot, hotCaches := s.hotSnapshot()
+	pager, pagers := s.pagerSnapshot()
 	return Snapshot{
 		Hot:            hot,
 		HotCaches:      hotCaches,
+		Pager:          pager,
+		Pagers:         pagers,
 		SessionsOpened: s.sessionsOpened.Load(),
 		SessionsActive: s.sessionsActive.Load(),
 		Requests:       s.requests.Load(),
@@ -572,6 +637,12 @@ func (s Snapshot) String() string {
 			s.Hot.Hits, s.Hot.Misses, s.Hot.Entries, fmtBytes(s.Hot.Bytes),
 			s.Hot.Evictions, s.Hot.Invalidations)
 	}
+	pager := ""
+	if s.Pagers > 0 {
+		pager = fmt.Sprintf(" · pager %d/%d hit/fault · %d pages resident (%d pinned) / %s of %s · %d evicted",
+			s.Pager.Hits, s.Pager.Faults, s.Pager.PagesResident, s.Pager.PagesPinned,
+			fmtBytes(s.Pager.ResidentBytes), fmtBytes(s.Pager.CacheBytes), s.Pager.Evictions)
+	}
 	abr := ""
 	if s.BudgetRequests > 0 {
 		abr = fmt.Sprintf(" · budget %d reqs %s/%s served/asked · truncated %d (%d coeffs withheld)",
@@ -599,7 +670,7 @@ func (s Snapshot) String() string {
 		s.Checkpoints, fmtBytes(s.CheckpointBytes),
 		s.RecordsReplayed, s.TailsTruncated, s.RecordsQuarantined,
 		s.JournalCompactions, s.ResumesRestored, s.Drains) +
-		hot + abr + s.breakdownString()
+		hot + pager + abr + s.breakdownString()
 }
 
 func fmtBytes(b int64) string {
