@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-shards bench-serve bench-abr bench-city soak fault crash cluster abr city fuzz ci
+.PHONY: build test race vet bench bench-shards bench-serve bench-abr bench-city soak fault crash cluster abr city diskfault fuzz ci
 
 build:
 	$(GO) build ./...
@@ -110,6 +110,20 @@ city:
 bench-city: build
 	$(GO) run ./cmd/experiments -bench-city BENCH_city.json
 
+# The storage-fault gate, verbosely, under the race detector: the
+# disk-fault acceptance soak (paged store behind a faulty disk surviving
+# a transient-error storm, quarantining exactly the one corrupt page,
+# withholding its coefficients, and converging byte-identically once the
+# page heals), the concurrent corrupt-vs-healthy isolation regression,
+# the faultdisk link model itself, and the pager retry/quarantine/scrub
+# unit tests.
+diskfault:
+	$(GO) test -race -v -run 'TestRunDiskFault' ./internal/experiment/
+	$(GO) test -race -run 'TestDiskFaultIsolation' ./internal/proto/
+	$(GO) test -race ./internal/faultdisk/
+	$(GO) test -race -run 'TestPagerRetries|TestPagerTransient|TestPagerQuarantines|TestPagerScrub|TestSegmentClose|TestSegmentPageOffset' ./internal/persist/
+	$(GO) test -race -run 'TestPagedCoeffUnavailable|TestPagedPinIDsRollsBack|TestPinnerFailure' ./internal/index/ ./internal/hotcache/
+
 # Short coverage-guided exploration of every wire-protocol decoder. Each
 # fuzz target needs its own invocation (go test allows one -fuzz at a
 # time); seeds alone also run in `make test`.
@@ -124,8 +138,9 @@ fuzz:
 	$(GO) test -fuzz 'FuzzScan$$' -fuzztime 10s -run '^$$' ./internal/persist/
 	$(GO) test -fuzz 'FuzzSegment$$' -fuzztime 10s -run '^$$' ./internal/persist/
 	$(GO) test -fuzz 'FuzzCluster$$' -fuzztime 10s -run '^$$' ./internal/cluster/
+	$(GO) test -fuzz 'FuzzFaultDisk$$' -fuzztime 10s -run '^$$' ./internal/faultdisk/
 
-ci: build vet test race crash cluster abr city fuzz
+ci: build vet test race fault crash cluster abr city diskfault fuzz
 	# Informational benchmark deltas (never fail the gate): regenerate
 	# BENCH_serve.json / BENCH_abr.json / BENCH_city.json and print the
 	# change vs the previous artifacts.

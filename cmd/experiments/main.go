@@ -10,6 +10,7 @@
 //	            [-fault] [-crash] [-cluster] [-shards N]
 //	            [-abr] [-abr-profile osc] [-abr-low N] [-abr-high N] [-abr-period D]
 //	            [-city] [-city-blocks N] [-city-clients N]
+//	            [-diskfault] [-diskfault-retries N]
 //	            [-bench-shards out.json] [-bench-serve out.json] [-bench-abr out.json]
 //	            [-bench-city out.json]
 package main
@@ -60,6 +61,9 @@ func main() {
 		cityBlocks  = flag.Int("city-blocks", 0, "city blocks per side (0 = experiment default)")
 		cityClients = flag.Int("city-clients", 0, "concurrent seeded tours in the city soak (0 = default 3)")
 		benchCity   = flag.String("bench-city", "", "run the paged-store budget-sweep benchmark and write its JSON result to this file")
+
+		diskFault      = flag.Bool("diskfault", false, "run the storage-fault tolerance soak instead of the figures")
+		diskFaultRetry = flag.Int("diskfault-retries", 0, "pager retries per transient fault (0 = default 2)")
 
 		clusterRun = flag.Bool("cluster", false, "run the cluster failover-and-drain experiment instead of the figures")
 		clusterDir = flag.String("cluster-dir", "", "durable state root for the cluster experiment (default: fresh temp dir)")
@@ -165,6 +169,21 @@ func main() {
 			Clients: *cityClients,
 		}
 		if err := experiment.RunCity(spec, w); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *diskFault {
+		spec := experiment.DiskFaultSpec{
+			Seed:     *seed,
+			Blocks:   *cityBlocks,
+			Steps:    *steps,
+			Clients:  *cityClients,
+			RetryMax: *diskFaultRetry,
+		}
+		if err := experiment.RunDiskFault(spec, w); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}

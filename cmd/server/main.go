@@ -15,7 +15,7 @@
 //
 //	server [-addr :7333] [-advertise host:port] [-objects 100] [-levels 5] [-zipf] [-seed 1]
 //	       [-shards 1] [-scene default] [-scenes name=file,name2=file2]
-//	       [-store mem|paged] [-page-cache-bytes N]
+//	       [-store mem|paged] [-page-cache-bytes N] [-verify-pages]
 //	       [-city N] [-city-lots 3] [-city-levels 3]
 //	       [-data-dir dir] [-checkpoint-interval 1m]
 //	       [-stats 30s] [-stats-dump] [-workers 0] [-max-sessions 0]
@@ -48,25 +48,26 @@ func main() {
 	var (
 		addr      = flag.String("addr", ":7333", "listen address")
 		advertise = flag.String("advertise", "", "address cluster gateways and controllers should reach this server at (default: the listen address)")
-		objects = flag.Int("objects", 100, "number of 3D objects")
-		levels  = flag.Int("levels", 5, "subdivision levels per object")
-		zipf    = flag.Bool("zipf", false, "Zipfian object placement")
-		seed    = flag.Int64("seed", 1, "dataset seed")
-		save    = flag.String("save", "", "write the generated dataset to this file and continue")
-		load    = flag.String("load", "", "serve a previously saved dataset instead of generating")
-		shards  = flag.Int("shards", 1, "grid shards per scene index (1 = single shard)")
-		scene   = flag.String("scene", proto.DefaultSceneName, "name of the primary scene")
-		scenes  = flag.String("scenes", "", "extra scenes as comma-separated name=file pairs")
-		workers = flag.Int("workers", 0, "per-request sub-query parallelism (0 = auto, 1 = serial)")
+		objects   = flag.Int("objects", 100, "number of 3D objects")
+		levels    = flag.Int("levels", 5, "subdivision levels per object")
+		zipf      = flag.Bool("zipf", false, "Zipfian object placement")
+		seed      = flag.Int64("seed", 1, "dataset seed")
+		save      = flag.String("save", "", "write the generated dataset to this file and continue")
+		load      = flag.String("load", "", "serve a previously saved dataset instead of generating")
+		shards    = flag.Int("shards", 1, "grid shards per scene index (1 = single shard)")
+		scene     = flag.String("scene", proto.DefaultSceneName, "name of the primary scene")
+		scenes    = flag.String("scenes", "", "extra scenes as comma-separated name=file pairs")
+		workers   = flag.Int("workers", 0, "per-request sub-query parallelism (0 = auto, 1 = serial)")
 
 		dataDir      = flag.String("data-dir", "", "durable state directory (scene checkpoints + session journal); empty disables persistence")
 		ckptInterval = flag.Duration("checkpoint-interval", time.Minute, "how often scenes are checkpointed into -data-dir")
 
-		storeKind  = flag.String("store", "mem", "coefficient store: mem (resident) or paged (out-of-core segment in -data-dir)")
-		pageCache  = flag.Int64("page-cache-bytes", 64<<20, "paged store's resident-page budget in bytes")
-		city       = flag.Int("city", 0, "serve a deterministic city of N×N blocks instead of the scatter dataset (0 = off)")
-		cityLots   = flag.Int("city-lots", 3, "buildings per block side in the -city grid")
-		cityLevels = flag.Int("city-levels", 3, "subdivision levels per -city building")
+		storeKind   = flag.String("store", "mem", "coefficient store: mem (resident) or paged (out-of-core segment in -data-dir)")
+		pageCache   = flag.Int64("page-cache-bytes", 64<<20, "paged store's resident-page budget in bytes")
+		verifyPages = flag.Bool("verify-pages", false, "scrub every paged-store page against its CRC at boot; corrupt pages are quarantined and logged")
+		city        = flag.Int("city", 0, "serve a deterministic city of N×N blocks instead of the scatter dataset (0 = off)")
+		cityLots    = flag.Int("city-lots", 3, "buildings per block side in the -city grid")
+		cityLevels  = flag.Int("city-levels", 3, "subdivision levels per -city building")
 
 		hotCache  = flag.Bool("hot-cache", false, "enable the per-scene hot-region result cache")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this side listener (empty disables)")
@@ -155,6 +156,23 @@ func main() {
 		ps, err := index.OpenPaged(segPath, index.PagedConfig{CacheBytes: *pageCache})
 		if err != nil {
 			log.Fatalf("open segment: %v", err)
+		}
+		if *verifyPages {
+			// Boot-time scrub: every page is read and CRC-checked before
+			// the scene goes live. Corrupt pages are quarantined — the
+			// server still boots and serves the healthy pages, withholding
+			// coefficients on the bad ones until a later scrub sees them
+			// read clean.
+			log.Printf("verifying %d pages of %s...", ps.Segment().NumPages(), segPath)
+			bad, err := ps.VerifyPages()
+			if err != nil {
+				log.Fatalf("verify-pages: %v", err)
+			}
+			if len(bad) > 0 {
+				log.Printf("verify-pages: WARNING: %d corrupt page(s) quarantined: %v — their coefficients will be withheld until the segment is repaired", len(bad), bad)
+			} else {
+				log.Printf("verify-pages: all %d pages clean", ps.Segment().NumPages())
+			}
 		}
 		sc, err := reg.Build(engine.SceneConfig{
 			Name:   *scene,

@@ -59,7 +59,7 @@ func TestPlanTruncationKeepsNearDetail(t *testing.T) {
 	delivered := make(map[int64]bool, len(resp.IDs))
 	for _, id := range resp.IDs {
 		delivered[id] = true
-		c := store.Coeff(id)
+		c := index.MustCoeff(store, id)
 		if c.Value >= coarseLo && geom.V2(c.Pos.X, c.Pos.Y).Dist(viewer) < 200 {
 			nearFine++
 		}
@@ -68,7 +68,7 @@ func TestPlanTruncationKeepsNearDetail(t *testing.T) {
 		if delivered[id] {
 			continue
 		}
-		c := store.Coeff(id)
+		c := index.MustCoeff(store, id)
 		// A withheld coefficient in the top (coarse) band means a region
 		// lost its structural layer while finer bands survived elsewhere —
 		// the failure mode the ordering exists to prevent. The coarse band
@@ -86,7 +86,7 @@ func TestPlanTruncationKeepsNearDetail(t *testing.T) {
 		// the case unless ordering is broken.
 		coarseTotal := 0
 		for _, id := range full.IDs {
-			if store.Coeff(id).Value >= coarseLo {
+			if index.MustCoeff(store, id).Value >= coarseLo {
 				coarseTotal++
 			}
 		}

@@ -177,6 +177,9 @@ func (r *Registry) Build(cfg SceneConfig) (*Scene, error) {
 				Hits:          p.Hits,
 				Evictions:     p.Evictions,
 				Pins:          p.Pins,
+				Retries:       p.Retries,
+				FaultErrors:   p.FaultErrors,
+				Quarantined:   p.Quarantined,
 				PagesResident: p.PagesResident,
 				PagesPinned:   p.PagesPinned,
 				ResidentBytes: p.ResidentBytes,
@@ -224,6 +227,7 @@ func enableHotCache(sc *Scene, cfg hotcache.Config, st *stats.Stats) {
 			Misses:        hs.Misses,
 			Evictions:     hs.Evictions,
 			Invalidations: hs.Invalidations,
+			PinFails:      hs.PinFails,
 			Entries:       int64(hs.Entries),
 			Bytes:         hs.Bytes,
 		}

@@ -102,7 +102,7 @@ type ABRBenchResult struct {
 func frameUtility(store *index.Store, ids []int64, viewer geom.Vec2, side float64) float64 {
 	u := 0.0
 	for _, id := range ids {
-		cf := store.Coeff(id)
+		cf, _ := store.Coeff(id) // in-memory store: never fails
 		d := cf.Pos.XY().Sub(viewer).Len()
 		u += cf.Value * abr.Contribution(d, side)
 	}

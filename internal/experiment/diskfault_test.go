@@ -1,0 +1,18 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRunDiskFault is the storage-fault acceptance gate behind
+// `make diskfault`: serving survives a storm of transient disk faults
+// plus one permanently corrupt page, withholds exactly that page's
+// coefficients, and converges byte-identically once the page heals.
+func TestRunDiskFault(t *testing.T) {
+	var out bytes.Buffer
+	if err := RunDiskFault(DiskFaultSpec{Seed: 1}, &out); err != nil {
+		t.Fatalf("RunDiskFault: %v\n%s", err, out.String())
+	}
+	t.Logf("\n%s", out.String())
+}

@@ -142,7 +142,7 @@ func runServeMode(srv *retrieval.Server, pool []retrieval.SubQuery, clients, fra
 					if payload == nil {
 						coeffs = coeffs[:0]
 						for _, id := range resp.IDs {
-							cf := srv.Store().Coeff(id)
+							cf, _ := srv.Store().Coeff(id) // in-memory store: never fails
 							coeffs = append(coeffs, proto.Coeff{
 								Object: cf.Object, Vertex: cf.Vertex, Delta: cf.Delta,
 								Pos:   [3]float32{float32(cf.Pos.X), float32(cf.Pos.Y), float32(cf.Pos.Z)},
@@ -166,7 +166,7 @@ func runServeMode(srv *retrieval.Server, pool []retrieval.SubQuery, clients, fra
 					resp := srv.Execute(subs, nil)
 					out := proto.Response{IO: resp.IO, Seq: int64(f), Coeffs: make([]proto.Coeff, 0, len(resp.IDs))}
 					for _, id := range resp.IDs {
-						cf := srv.Store().Coeff(id)
+						cf, _ := srv.Store().Coeff(id) // in-memory store: never fails
 						out.Coeffs = append(out.Coeffs, proto.Coeff{
 							Object: cf.Object, Vertex: cf.Vertex, Delta: cf.Delta,
 							Pos:   [3]float32{float32(cf.Pos.X), float32(cf.Pos.Y), float32(cf.Pos.Z)},

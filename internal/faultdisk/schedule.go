@@ -1,0 +1,115 @@
+// Textual fault schedules: a canonical, human-writable encoding of
+// Config so experiments and command lines can pass a whole disk-fault
+// schedule as one string (mirroring faultnet's profile flags). The
+// encoding round-trips: ParseSchedule(c.String()) == c for every valid
+// Config, and parsing any accepted string then re-encoding it reaches a
+// fixed point — the property FuzzFaultDisk pins.
+package faultdisk
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// String renders the canonical schedule form:
+//
+//	disk seed=N [err=MIN..MAX] [flip=MIN..MAX] [torn=MIN..MAX] [lat=DUR] [jit=DUR]
+//
+// Disabled planes (both bounds zero, or a zero duration) are omitted.
+func (c Config) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "disk seed=%d", c.Seed)
+	pair := func(name string, min, max int64) {
+		if min != 0 || max != 0 {
+			fmt.Fprintf(&b, " %s=%d..%d", name, min, max)
+		}
+	}
+	pair("err", c.ErrAfterMin, c.ErrAfterMax)
+	pair("flip", c.FlipAfterMin, c.FlipAfterMax)
+	pair("torn", c.TornAfterMin, c.TornAfterMax)
+	if c.Latency != 0 {
+		fmt.Fprintf(&b, " lat=%s", c.Latency)
+	}
+	if c.Jitter != 0 {
+		fmt.Fprintf(&b, " jit=%s", c.Jitter)
+	}
+	return b.String()
+}
+
+// ParseSchedule decodes a schedule string produced by Config.String (or
+// written by hand in the same form). Fields may appear in any order
+// after the leading "disk"; a repeated field keeps its last value.
+// Negative byte counts and durations are rejected — the schedule clock
+// only runs forward.
+func ParseSchedule(s string) (Config, error) {
+	var c Config
+	fields := strings.Fields(s)
+	if len(fields) == 0 || fields[0] != "disk" {
+		return c, fmt.Errorf("faultdisk: schedule must start with %q", "disk")
+	}
+	for _, f := range fields[1:] {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok || val == "" {
+			return c, fmt.Errorf("faultdisk: malformed schedule field %q", f)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return c, fmt.Errorf("faultdisk: bad seed %q: %v", val, err)
+			}
+			c.Seed = n
+		case "err", "flip", "torn":
+			min, max, err := parsePair(val)
+			if err != nil {
+				return c, fmt.Errorf("faultdisk: bad %s bounds %q: %v", key, val, err)
+			}
+			switch key {
+			case "err":
+				c.ErrAfterMin, c.ErrAfterMax = min, max
+			case "flip":
+				c.FlipAfterMin, c.FlipAfterMax = min, max
+			case "torn":
+				c.TornAfterMin, c.TornAfterMax = min, max
+			}
+		case "lat", "jit":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return c, fmt.Errorf("faultdisk: bad %s duration %q: %v", key, val, err)
+			}
+			if d < 0 {
+				return c, fmt.Errorf("faultdisk: negative %s duration %q", key, val)
+			}
+			if key == "lat" {
+				c.Latency = d
+			} else {
+				c.Jitter = d
+			}
+		default:
+			return c, fmt.Errorf("faultdisk: unknown schedule field %q", key)
+		}
+	}
+	return c, nil
+}
+
+// parsePair decodes "MIN..MAX" as two non-negative int64s.
+func parsePair(s string) (int64, int64, error) {
+	lo, hi, ok := strings.Cut(s, "..")
+	if !ok {
+		return 0, 0, fmt.Errorf("want MIN..MAX")
+	}
+	min, err := strconv.ParseInt(lo, 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	max, err := strconv.ParseInt(hi, 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	if min < 0 || max < 0 {
+		return 0, 0, fmt.Errorf("negative bound")
+	}
+	return min, max, nil
+}

@@ -92,11 +92,16 @@ type entry struct {
 // region's result is cached, the pages holding its coefficients are
 // pinned resident, so replaying the region never faults — the hot-cache
 // LRU *is* the paging policy for hot regions. Ids are passed in the
-// ascending order the entry stores; every PinIDs is matched by exactly
-// one UnpinIDs with the same ids when the entry leaves the cache
-// (eviction, replacement, or epoch invalidation).
+// ascending order the entry stores; every successful PinIDs is matched
+// by exactly one UnpinIDs with the same ids when the entry leaves the
+// cache (eviction, replacement, or epoch invalidation).
+//
+// PinIDs may fail when the backing storage cannot produce a page (disk
+// fault, quarantined page — see index.ErrPageUnavailable). A failed
+// PinIDs must leave no pins behind; the cache responds by not storing
+// the entry at all, so a degraded page never anchors a hot region.
 type Pinner interface {
-	PinIDs(ids []int64)
+	PinIDs(ids []int64) error
 	UnpinIDs(ids []int64)
 }
 
@@ -121,6 +126,7 @@ type Cache struct {
 	misses        atomic.Int64
 	evictions     atomic.Int64
 	invalidations atomic.Int64
+	pinFails      atomic.Int64
 }
 
 // New builds an empty cache with the given bounds.
@@ -215,7 +221,14 @@ func (c *Cache) Put(q index.Query, e0, e1 uint64, ids []int64, io int64) {
 		// matching unpin in removeLocked holds the cache lock, so this
 		// side must never invert it). If the entry is immediately evicted
 		// below, removeLocked balances the pin right back out.
-		c.pinner.PinIDs(e.ids)
+		if err := c.pinner.PinIDs(e.ids); err != nil {
+			// A page backing this result is unreadable (disk fault or
+			// quarantine). PinIDs left no pins behind; drop the entry so a
+			// degraded page never anchors a hot region. The next identical
+			// query repopulates once the page heals.
+			c.pinFails.Add(1)
+			return
+		}
 		e.pinned = true
 	}
 	c.mu.Lock()
@@ -280,8 +293,11 @@ type Stats struct {
 	Misses        int64
 	Evictions     int64
 	Invalidations int64
-	Entries       int
-	Bytes         int64
+	// PinFails counts entries dropped at Put time because pinning their
+	// coefficient pages failed (storage fault or quarantined page).
+	PinFails int64
+	Entries  int
+	Bytes    int64
 }
 
 // Stats snapshots the counters and current occupancy.
@@ -294,6 +310,7 @@ func (c *Cache) Stats() Stats {
 		Misses:        c.misses.Load(),
 		Evictions:     c.evictions.Load(),
 		Invalidations: c.invalidations.Load(),
+		PinFails:      c.pinFails.Load(),
 		Entries:       entries,
 		Bytes:         bytes,
 	}

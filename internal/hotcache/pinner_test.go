@@ -1,6 +1,7 @@
 package hotcache
 
 import (
+	"errors"
 	"sync"
 	"testing"
 
@@ -9,24 +10,31 @@ import (
 )
 
 // fakePinner counts pin balance per id, standing in for the paged
-// store's page pinning.
+// store's page pinning. Setting failWith makes every PinIDs fail (the
+// paged store does this when a backing page is unreadable), leaving no
+// pins behind — mirroring index.PagedStore's all-or-nothing rollback.
 type fakePinner struct {
-	mu      sync.Mutex
-	held    map[int64]int
-	pins    int
-	unpins  int
-	negOnce bool
+	mu       sync.Mutex
+	held     map[int64]int
+	pins     int
+	unpins   int
+	negOnce  bool
+	failWith error
 }
 
 func newFakePinner() *fakePinner { return &fakePinner{held: map[int64]int{}} }
 
-func (f *fakePinner) PinIDs(ids []int64) {
+func (f *fakePinner) PinIDs(ids []int64) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if f.failWith != nil {
+		return f.failWith
+	}
 	f.pins++
 	for _, id := range ids {
 		f.held[id]++
 	}
+	return nil
 }
 
 func (f *fakePinner) UnpinIDs(ids []int64) {
@@ -106,3 +114,40 @@ func TestPinnerSkipsEmptyAndStalePuts(t *testing.T) {
 		t.Fatalf("pins/unpins = %d/%d, want 0/0", fp.pins, fp.unpins)
 	}
 }
+
+// TestPinnerFailureDropsEntry pins the storage-fault contract: when a
+// result's pages cannot be pinned (disk fault, quarantined page), the
+// entry is not cached at all — a later identical query misses and
+// repopulates once the page heals — and the drop is counted.
+func TestPinnerFailureDropsEntry(t *testing.T) {
+	fp := newFakePinner()
+	fp.failWith = errTestPinFail
+	c := New(Config{})
+	c.SetPinner(fp)
+
+	c.Put(pinQuery(0), 4, 4, []int64{1, 2}, 1)
+	if _, _, ok := c.Get(pinQuery(0), 4, nil); ok {
+		t.Fatal("entry with failed pins was cached")
+	}
+	st := c.Stats()
+	if st.PinFails != 1 || st.Entries != 0 {
+		t.Fatalf("PinFails/Entries = %d/%d, want 1/0", st.PinFails, st.Entries)
+	}
+	if fp.unpins != 0 {
+		t.Fatalf("unpins = %d after failed pin, want 0 (no pins to balance)", fp.unpins)
+	}
+
+	// Once the fault clears, the same query caches normally.
+	fp.mu.Lock()
+	fp.failWith = nil
+	fp.mu.Unlock()
+	c.Put(pinQuery(0), 4, 4, []int64{1, 2}, 1)
+	if _, _, ok := c.Get(pinQuery(0), 4, nil); !ok {
+		t.Fatal("healed query did not cache")
+	}
+	if got := fp.outstanding(); got != 2 {
+		t.Fatalf("outstanding pinned ids = %d, want 2", got)
+	}
+}
+
+var errTestPinFail = errors.New("page unreadable")

@@ -30,7 +30,7 @@ func TestStoreIDsRoundtrip(t *testing.T) {
 		d := s.Objects[obj]
 		for v := int32(0); v < int32(len(d.Coeffs)); v++ {
 			id := s.ID(obj, v)
-			c := s.Coeff(id)
+			c := MustCoeff(s, id)
 			if c.Object != obj || c.Vertex != v {
 				t.Fatalf("roundtrip failed: id %d → obj %d vertex %d", id, c.Object, c.Vertex)
 			}
@@ -166,8 +166,8 @@ func TestMotionAwareValueBands(t *testing.T) {
 		t.Fatalf("coarsest query returned %d, fewer than %d base vertices", len(ids), baseCount)
 	}
 	for _, id := range ids {
-		if s.Coeff(id).Value != 1.0 {
-			t.Fatalf("coarsest query returned value %v", s.Coeff(id).Value)
+		if MustCoeff(s, id).Value != 1.0 {
+			t.Fatalf("coarsest query returned value %v", MustCoeff(s, id).Value)
 		}
 	}
 	// Monotone: higher WMin ⇒ fewer results.
@@ -240,9 +240,9 @@ func TestNaiveReturnsInWindowPlusNeighbors(t *testing.T) {
 		want := make(map[int64]bool)
 		for id := range inWin {
 			want[id] = true
-			c := s.Coeff(id)
+			c := MustCoeff(s, id)
 			for _, nb := range s.Neighbors(c.Object, c.Vertex) {
-				nc := s.Coeff(s.ID(c.Object, nb))
+				nc := MustCoeff(s, s.ID(c.Object, nb))
 				if nc.Value >= q.WMin && nc.Value <= q.WMax {
 					want[s.ID(c.Object, nb)] = true
 				}

@@ -34,8 +34,15 @@ func NewMotionAware(src CoefficientSource, layout Layout, cfg rtree.Config) *Mot
 	total := src.NumCoeffs()
 	items := make([]rtree.Item, 0, total)
 	for id := int64(0); id < total; id++ {
+		c, err := src.Coeff(id)
+		if err != nil {
+			// An unreadable page at build time leaves its coefficients
+			// unindexed (and therefore withheld) rather than aborting:
+			// the rest of the scene still serves.
+			continue
+		}
 		items = append(items, rtree.Item{
-			Rect: layout.supportRect(src.Coeff(id)),
+			Rect: layout.supportRect(c),
 			Data: id,
 		})
 	}
@@ -99,7 +106,10 @@ func (m *MotionAware) SearchInto(q Query, buf []int64, cur *Cursor) ([]int64, in
 // Delete, mutate the source, Insert). Not safe concurrently with Search;
 // wrap the index in a Concurrent to serve readers across updates.
 func (m *MotionAware) Insert(id int64) {
-	c := m.src.Coeff(id)
+	c, err := m.src.Coeff(id)
+	if err != nil {
+		return // unreadable page: the coefficient stays unindexed
+	}
 	m.tree.Insert(m.layout.supportRect(c), id)
 }
 
@@ -108,6 +118,9 @@ func (m *MotionAware) Insert(id int64) {
 // source state must match its indexed rectangle (delete before mutating
 // the source). Not safe concurrently with Search.
 func (m *MotionAware) Delete(id int64) bool {
-	c := m.src.Coeff(id)
+	c, err := m.src.Coeff(id)
+	if err != nil {
+		return false // unreadable page: nothing to match against
+	}
 	return m.tree.Delete(m.layout.supportRect(c), id)
 }

@@ -78,11 +78,14 @@ func (n *Naive) Search(q Query) ([]int64, int64) {
 	ext := q.Region
 	zMin, zMax := q.ZMin, q.ZMax
 	for _, id := range phase1 {
-		c := n.store.Coeff(id)
+		// The naive index runs over the in-memory Store only (it needs
+		// retained final meshes), so Coeff never fails here.
+		c, _ := n.store.Coeff(id)
 		for _, nb := range n.store.Neighbors(c.Object, c.Vertex) {
 			nid := n.store.ID(c.Object, nb)
 			wanted[nid] = true
-			p := n.store.Coeff(nid).Pos
+			nc, _ := n.store.Coeff(nid)
+			p := nc.Pos
 			ext = ext.Union(geom.Rect2{Min: p.XY(), Max: p.XY()})
 			if p.Z < zMin {
 				zMin = p.Z

@@ -16,14 +16,33 @@ package index
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/geom"
 	"repro/internal/mesh"
 	"repro/internal/persist"
 	"repro/internal/wavelet"
 )
+
+// ErrPageUnavailable reports that a coefficient's backing page could
+// not be read — a transient I/O fault that exhausted the pager's
+// retries, or CRC-verified permanent corruption that quarantined the
+// page. It flows out of Coeff/PinIDs through the CoefficientSource
+// failure contract; serving layers respond by withholding the affected
+// coefficients (ABR Dropped semantics), never by panicking, so frames
+// that touch only healthy pages are unaffected and withheld
+// coefficients are re-delivered once the page heals.
+var ErrPageUnavailable = errors.New("index: coefficient page unavailable")
+
+// pageUnavailable wraps a pager failure for one page, preserving both
+// the ErrPageUnavailable sentinel and the underlying cause (which keeps
+// persist.ErrCorrupt visible through errors.Is for quarantined pages).
+func pageUnavailable(page int32, err error) error {
+	return fmt.Errorf("%w: page %d: %w", ErrPageUnavailable, page, err)
+}
 
 // CoeffRecordSize is the fixed serialized size of one coefficient in a
 // segment file: ids/level/parent (24B), value (8B), delta (24B), pos
@@ -160,7 +179,11 @@ func BuildSegment(path string, src CoefficientSource, levels, pageSize int) erro
 		total := src.NumCoeffs()
 		var rec []byte
 		for id := int64(0); id < total; id++ {
-			rec = AppendCoeffRecord(rec[:0], src.Coeff(id))
+			c, err := src.Coeff(id)
+			if err != nil {
+				return nil, fmt.Errorf("index: segment build at id %d: %w", id, err)
+			}
+			rec = AppendCoeffRecord(rec[:0], c)
 			if err := a.Append(rec); err != nil {
 				return nil, err
 			}
@@ -178,6 +201,12 @@ type PagedConfig struct {
 	// coefficient pointer read after its pin is released fails loudly
 	// (NaN values, object id -1) instead of silently serving stale data.
 	Debug bool
+	// RetryMax bounds the pager's re-reads after a transient page-read
+	// fault (0 → persist.DefaultRetryMax, negative → none).
+	RetryMax int
+	// RetryBackoff is the pager's first-retry delay, doubling per retry
+	// (0 → persist.DefaultRetryBackoff, negative → none).
+	RetryBackoff time.Duration
 }
 
 // PagedStore serves coefficients from a paged segment file. Only the
@@ -212,6 +241,13 @@ func OpenPaged(path string, cfg PagedConfig) (*PagedStore, error) {
 	return ps, nil
 }
 
+// NewPagedSegment wraps an already-open segment — typically one layered
+// over a fault-injecting or otherwise custom io.ReaderAt — as a
+// PagedStore. The store takes ownership: its Close closes the segment.
+func NewPagedSegment(seg *persist.Segment, cfg PagedConfig) (*PagedStore, error) {
+	return newPaged(seg, cfg)
+}
+
 func newPaged(seg *persist.Segment, cfg PagedConfig) (*PagedStore, error) {
 	if seg.RecordSize() != CoeffRecordSize {
 		return nil, fmt.Errorf("index: segment record size %d, want %d", seg.RecordSize(), CoeffRecordSize)
@@ -231,8 +267,10 @@ func newPaged(seg *persist.Segment, cfg PagedConfig) (*PagedStore, error) {
 		debug:   cfg.Debug,
 	}
 	ps.pager = persist.NewPager(seg, persist.PagerConfig{
-		CacheBytes: cfg.CacheBytes,
-		Debug:      cfg.Debug,
+		CacheBytes:   cfg.CacheBytes,
+		Debug:        cfg.Debug,
+		RetryMax:     cfg.RetryMax,
+		RetryBackoff: cfg.RetryBackoff,
 		Decode: func(raw []byte, records int) (any, int64, error) {
 			slab := make([]wavelet.Coefficient, records)
 			for i := range slab {
@@ -267,6 +305,17 @@ func (ps *PagedStore) Levels() int { return ps.levels }
 
 // PagerStats returns a snapshot of the store's paging counters.
 func (ps *PagedStore) PagerStats() persist.PagerStats { return ps.pager.Stats() }
+
+// Segment exposes the underlying segment (geometry and page addressing;
+// fault harnesses use PageOffset to target one page).
+func (ps *PagedStore) Segment() *persist.Segment { return ps.seg }
+
+// VerifyPages scrubs every page against the segment's CRC directory,
+// quarantining pages whose corruption survives the pager's retry cycle
+// — the same bookkeeping a faulting Coeff uses. It returns the sorted
+// list of quarantined pages and the first non-corruption read failure,
+// if any (cmd/server's -verify-pages runs this at boot).
+func (ps *PagedStore) VerifyPages() ([]int, error) { return ps.pager.Scrub() }
 
 // NumObjects returns the number of stored objects.
 func (ps *PagedStore) NumObjects() int { return len(ps.offsets) }
@@ -306,33 +355,37 @@ func (ps *PagedStore) checkID(id int64) {
 }
 
 // pin faults in the page holding id and returns its decoded slab plus
-// the page number. An I/O or corruption error is a panic: by the time a
-// Coeff call runs, the id came from this store's own index, so the
-// segment losing a page under us is fatal (documented on OpenPaged's
-// package comment; the CRC directory makes it loud rather than wrong).
-func (ps *PagedStore) pin(id int64) ([]wavelet.Coefficient, int32) {
+// the page number. An I/O or corruption error is NOT fatal: it surfaces
+// as ErrPageUnavailable so serving layers can withhold the affected
+// coefficients while every other page keeps serving — a single bad
+// sector must degrade one frame's coverage, not kill the process (the
+// CRC directory still makes damage loud rather than wrong).
+func (ps *PagedStore) pin(id int64) ([]wavelet.Coefficient, int32, error) {
 	page := int32(id / ps.perPage)
 	v, err := ps.pager.Pin(int(page))
 	if err != nil {
-		panic(fmt.Sprintf("index: paged coefficient read failed: %v", err))
+		return nil, page, pageUnavailable(page, err)
 	}
-	return v.([]wavelet.Coefficient), page
+	return v.([]wavelet.Coefficient), page, nil
 }
 
 // Coeff resolves a global id for immediate use (see the
 // CoefficientSource contract). The page is pinned only for the duration
 // of the call; in debug mode the returned value is a private copy so
 // that a legal immediate read cannot observe the poisoned slab.
-func (ps *PagedStore) Coeff(id int64) *wavelet.Coefficient {
+func (ps *PagedStore) Coeff(id int64) (*wavelet.Coefficient, error) {
 	ps.checkID(id)
-	slab, page := ps.pin(id)
+	slab, page, err := ps.pin(id)
+	if err != nil {
+		return nil, err
+	}
 	c := &slab[id%ps.perPage]
 	if ps.debug {
 		cp := *c
 		c = &cp
 	}
 	ps.pager.Unpin(int(page))
-	return c
+	return c, nil
 }
 
 // NewPins returns an empty frame-scoped pin set. A Pins is reusable
@@ -346,20 +399,27 @@ func (ps *PagedStore) NewPins() *Pins {
 // them resident until the matching UnpinIDs. This is the hot-region
 // pre-pin hook: the hotcache pins a cached region's pages on insert and
 // unpins on eviction or epoch invalidation, making cache policy and
-// paging policy one mechanism.
-func (ps *PagedStore) PinIDs(ids []int64) {
+// paging policy one mechanism. On an unreadable page PinIDs unwinds the
+// pins it already took and reports ErrPageUnavailable — an all-or-
+// nothing contract, so a failed pre-pin leaks no references and the
+// caller simply skips caching the region.
+func (ps *PagedStore) PinIDs(ids []int64) error {
 	last := int32(-1)
-	for _, id := range ids {
+	for i, id := range ids {
 		ps.checkID(id)
 		page := int32(id / ps.perPage)
 		if page == last {
 			continue
 		}
 		if _, err := ps.pager.Pin(int(page)); err != nil {
-			panic(fmt.Sprintf("index: paged pre-pin failed: %v", err))
+			// The same consecutive-dedup walk over the prefix releases
+			// exactly the pins taken above.
+			ps.UnpinIDs(ids[:i])
+			return pageUnavailable(page, err)
 		}
 		last = page
 	}
+	return nil
 }
 
 // UnpinIDs releases the pins PinIDs took for the same ascending id
@@ -390,23 +450,29 @@ type Pins struct {
 }
 
 // Coeff resolves a global id; the backing page stays pinned until
-// Release, so the pointer is valid for the frame.
-func (p *Pins) Coeff(id int64) *wavelet.Coefficient {
+// Release, so the pointer is valid for the frame. An unreadable page
+// reports ErrPageUnavailable without disturbing the pages already
+// pinned — the caller withholds that coefficient and carries on.
+func (p *Pins) Coeff(id int64) (*wavelet.Coefficient, error) {
 	p.ps.checkID(id)
 	page := int32(id / p.ps.perPage)
 	idx := id % p.ps.perPage
 	if page == p.lastPage {
-		return &p.lastSlab[idx]
+		return &p.lastSlab[idx], nil
 	}
 	slab, ok := p.slabs[page]
 	if !ok {
-		slab, _ = p.ps.pin(id)
+		var err error
+		slab, _, err = p.ps.pin(id)
+		if err != nil {
+			return nil, err
+		}
 		p.slabs[page] = slab
 		p.pages = append(p.pages, page)
 	}
 	p.lastPage = page
 	p.lastSlab = slab
-	return &slab[idx]
+	return &slab[idx], nil
 }
 
 // Release unpins every page this set touched and resets it for reuse.

@@ -42,6 +42,17 @@ func buildPagedPair(t *testing.T, cfg PagedConfig) (*Store, *PagedStore) {
 	return mem, ps
 }
 
+// pinCoeff reads one coefficient through a frame-scoped pin set,
+// failing the test on a storage fault.
+func pinCoeff(t *testing.T, pins *Pins, id int64) *wavelet.Coefficient {
+	t.Helper()
+	c, err := pins.Coeff(id)
+	if err != nil {
+		t.Fatalf("Pins.Coeff(%d): %v", id, err)
+	}
+	return c
+}
+
 func TestCoeffRecordRoundTrip(t *testing.T) {
 	c := wavelet.Coefficient{
 		Object: 7, Vertex: 42, Level: 3,
@@ -79,7 +90,7 @@ func TestPagedMatchesStore(t *testing.T) {
 		t.Fatalf("Levels = %d, want 2", ps.Levels())
 	}
 	for id := int64(0); id < mem.NumCoeffs(); id++ {
-		pc, mc := ps.Coeff(id), mem.Coeff(id)
+		pc, mc := MustCoeff(ps, id), MustCoeff(mem, id)
 		if *pc != *mc {
 			t.Fatalf("coefficient %d differs:\npaged %+v\n  mem %+v", id, *pc, *mc)
 		}
@@ -115,14 +126,14 @@ func TestPinsHoldPagesForFrame(t *testing.T) {
 	ids := []int64{0, 1, 5, 9, 17, mem.NumCoeffs() - 1}
 	ptrs := make([]*wavelet.Coefficient, len(ids))
 	for i, id := range ids {
-		ptrs[i] = pins.Coeff(id)
+		ptrs[i] = pinCoeff(t, pins, id)
 	}
 	st := ps.PagerStats()
 	if st.PagesPinned == 0 {
 		t.Fatal("open frame holds no pins")
 	}
 	for i, id := range ids {
-		if *ptrs[i] != *mem.Coeff(id) {
+		if *ptrs[i] != *MustCoeff(mem, id) {
 			t.Fatalf("pinned coefficient %d changed under the frame", id)
 		}
 	}
@@ -135,7 +146,7 @@ func TestPinsHoldPagesForFrame(t *testing.T) {
 		t.Fatalf("ResidentBytes %d > budget %d after Release", st.ResidentBytes, st.CacheBytes)
 	}
 	// Reuse after Release works and re-pins.
-	if *pins.Coeff(3) != *mem.Coeff(3) {
+	if *pinCoeff(t, pins, 3) != *MustCoeff(mem, 3) {
 		t.Fatal("reused Pins returned wrong coefficient")
 	}
 	pins.Release()
@@ -168,14 +179,14 @@ func TestPagedDebugCatchesUseAfterUnpin(t *testing.T) {
 	_, ps := buildPagedPair(t, PagedConfig{CacheBytes: 512, Debug: true})
 
 	// Legal immediate use still works in debug mode (private copy).
-	c := ps.Coeff(0)
+	c := MustCoeff(ps, 0)
 	if math.IsNaN(c.Value) || c.Object != 0 {
 		t.Fatalf("debug-mode immediate Coeff read poisoned data: %+v", c)
 	}
 
 	// Illegal: hold a frame pointer past Release.
 	pins := ps.NewPins()
-	held := pins.Coeff(0)
+	held := pinCoeff(t, pins, 0)
 	pins.Release()
 	if !math.IsNaN(held.Value) || held.Object != -1 {
 		t.Fatalf("use-after-unpin not poisoned in debug mode: %+v", held)
@@ -233,11 +244,11 @@ func TestStoreCoeffOutOfRange(t *testing.T) {
 	}()
 
 	// In-range ids keep working.
-	if c := s.Coeff(0); c.Object != 0 || c.Vertex != 0 {
+	if c := MustCoeff(s, 0); c.Object != 0 || c.Vertex != 0 {
 		t.Fatalf("Coeff(0) = %+v", c)
 	}
 	last := s.NumCoeffs() - 1
-	if c := s.Coeff(last); s.ID(c.Object, c.Vertex) != last {
+	if c := MustCoeff(s, last); s.ID(c.Object, c.Vertex) != last {
 		t.Fatalf("Coeff(last) round trip failed: %+v", c)
 	}
 }

@@ -143,7 +143,12 @@ func NewSharded(src CoefficientSource, layout Layout, cfg ShardedConfig) *Sharde
 	total := src.NumCoeffs()
 	items := make([][]rtree.Item, cfg.Shards)
 	for id := int64(0); id < total; id++ {
-		c := src.Coeff(id)
+		c, err := src.Coeff(id)
+		if err != nil {
+			// An unreadable page at build time leaves its coefficients
+			// unindexed (withheld) rather than aborting the build.
+			continue
+		}
 		k := s.shardOf(c.Pos.X, c.Pos.Y)
 		items[k] = append(items[k], rtree.Item{Rect: layout.supportRect(c), Data: id})
 	}
@@ -366,7 +371,10 @@ func (s *Sharded) Epoch() uint64 { return s.epoch.Load() }
 // locking only its owning shard: readers and writers of every other grid
 // cell proceed undisturbed.
 func (s *Sharded) Insert(id int64) {
-	c := s.src.Coeff(id)
+	c, err := s.src.Coeff(id)
+	if err != nil {
+		return // unreadable page: the coefficient stays unindexed
+	}
 	r := s.layout.supportRect(c)
 	sh := s.shards[s.shardOf(c.Pos.X, c.Pos.Y)]
 	s.epoch.Add(1)
@@ -384,7 +392,10 @@ func (s *Sharded) Insert(id int64) {
 // depends on it — a position mutated before the Delete would route the
 // removal to the wrong grid cell.
 func (s *Sharded) Delete(id int64) bool {
-	c := s.src.Coeff(id)
+	c, err := s.src.Coeff(id)
+	if err != nil {
+		return false // unreadable page: nothing to match against
+	}
 	r := s.layout.supportRect(c)
 	sh := s.shards[s.shardOf(c.Pos.X, c.Pos.Y)]
 	s.epoch.Add(1)

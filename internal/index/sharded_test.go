@@ -231,7 +231,7 @@ func TestQueryRectDegenerateWindows(t *testing.T) {
 		NewSharded(store, XYW, ShardedConfig{Shards: 4}),
 	} {
 		// A point at a known coefficient's support center must hit it.
-		c := store.Coeff(0)
+		c := MustCoeff(store, 0)
 		p := c.Support.XY().Min
 		q := Query{Region: geom.Rect2{Min: p, Max: p}, WMin: 0, WMax: 1}
 		ids, _ := idx.Search(q)
@@ -240,7 +240,7 @@ func TestQueryRectDegenerateWindows(t *testing.T) {
 			if id == 0 {
 				found = true
 			}
-			s := store.Coeff(id).Support.XY()
+			s := MustCoeff(store, id).Support.XY()
 			if p.X < s.Min.X || p.X > s.Max.X || p.Y < s.Min.Y || p.Y > s.Max.Y {
 				t.Fatalf("%s: hit %d whose support %v excludes the point %v", idx.Name(), id, s, p)
 			}

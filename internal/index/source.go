@@ -1,6 +1,8 @@
 package index
 
 import (
+	"fmt"
+
 	"repro/internal/geom"
 	"repro/internal/wavelet"
 )
@@ -35,9 +37,16 @@ type CoefficientSource interface {
 	// data. Callers that need coefficients to stay addressable across a
 	// whole frame — the retrieval filter pass and the proto payload
 	// encoder — must type-assert the source to PinningSource and read
-	// through a frame-scoped Pins set instead. Out-of-range ids panic
+	// through a frame-scoped Pins set instead.
+	//
+	// Failure contract: a non-nil error means the coefficient is
+	// temporarily unreadable (an out-of-core source lost the backing
+	// page to a disk fault — errors.Is(err, ErrPageUnavailable));
+	// serving layers degrade by withholding the coefficient, never by
+	// crashing. Always-resident sources return a nil error forever.
+	// Out-of-range ids are a caller bug, not a storage fault, and panic
 	// with a descriptive message on every implementation.
-	Coeff(id int64) *wavelet.Coefficient
+	Coeff(id int64) (*wavelet.Coefficient, error)
 	// Neighbors returns the final-mesh neighbor vertex ids of one
 	// coefficient (the naive index's "additional information").
 	Neighbors(object, vertex int32) []int32
@@ -69,3 +78,15 @@ type PinningSource interface {
 
 // Store implements CoefficientSource; keep the compiler honest.
 var _ CoefficientSource = (*Store)(nil)
+
+// MustCoeff resolves a global id through src and panics if the
+// coefficient is unreadable. For tests and benchmarks over sources
+// known to be fully readable (in-memory stores, fault-free segments);
+// serving code must handle the error and withhold instead.
+func MustCoeff(src CoefficientSource, id int64) *wavelet.Coefficient {
+	c, err := src.Coeff(id)
+	if err != nil {
+		panic(fmt.Sprintf("index: MustCoeff(%d): %v", id, err))
+	}
+	return c
+}

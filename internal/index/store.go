@@ -72,10 +72,11 @@ func (s *Store) ID(object, vertex int32) int64 {
 	return s.offsets[object] + int64(vertex)
 }
 
-// Coeff resolves a global id.
-func (s *Store) Coeff(id int64) *wavelet.Coefficient {
+// Coeff resolves a global id. The store is always resident, so the
+// error is always nil (see the CoefficientSource failure contract).
+func (s *Store) Coeff(id int64) (*wavelet.Coefficient, error) {
 	obj := s.objectOf(id)
-	return &s.Objects[obj].Coeffs[id-s.offsets[obj]]
+	return &s.Objects[obj].Coeffs[id-s.offsets[obj]], nil
 }
 
 // objectOf finds the object owning a global id by binary search over the

@@ -14,8 +14,8 @@ func TestObjectOfBinarySearch(t *testing.T) {
 	var offset int64
 	for obj := 0; obj < 7; obj++ {
 		n := int64(len(s.Objects[obj].Coeffs))
-		first := s.Coeff(offset)
-		last := s.Coeff(offset + n - 1)
+		first := MustCoeff(s, offset)
+		last := MustCoeff(s, offset+n-1)
 		if first.Object != int32(obj) || first.Vertex != 0 {
 			t.Fatalf("object %d first: %v", obj, first)
 		}
@@ -54,7 +54,7 @@ func TestXYZWZBandFiltering(t *testing.T) {
 		t.Fatalf("low slice returned %d of %d", len(low), len(all))
 	}
 	for _, id := range low {
-		if s.Coeff(id).Support.Min.Z > 2 {
+		if MustCoeff(s, id).Support.Min.Z > 2 {
 			t.Fatalf("coefficient above the z band returned")
 		}
 	}

@@ -22,13 +22,25 @@
 package persist
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // DefaultPageCacheBytes is the pager budget when the config leaves it
 // zero: 16 MiB.
 const DefaultPageCacheBytes = 16 << 20
+
+// DefaultRetryMax is how many times a faulting page read is retried
+// when the config leaves RetryMax zero. Transient disk faults (a busy
+// bus, a flipped bit on the wire) clear on re-read; three retries ride
+// out bursts without stalling a frame behind a truly dead sector.
+const DefaultRetryMax = 3
+
+// DefaultRetryBackoff is the first retry's delay when the config leaves
+// RetryBackoff zero, doubling on each subsequent retry.
+const DefaultRetryBackoff = 200 * time.Microsecond
 
 // PagerConfig configures a Pager.
 type PagerConfig struct {
@@ -44,6 +56,20 @@ type PagerConfig struct {
 	// Debug evicts and poisons a page the moment its refcount reaches
 	// zero, catching use-after-unpin in tests.
 	Debug bool
+	// RetryMax bounds re-reads of a page whose read failed (0 →
+	// DefaultRetryMax, negative → no retries). A read that still fails
+	// with a CRC mismatch after the last retry is treated as permanent
+	// corruption and quarantines the page; any other exhausted failure
+	// is reported transient — the next Pin starts a fresh retry cycle.
+	RetryMax int
+	// RetryBackoff is the delay before the first retry, doubled on each
+	// subsequent one (0 → DefaultRetryBackoff, negative → none). The
+	// backoff sleeps hold the pager mutex — faults already serialize on
+	// it — so keep it small; it is a de-synchronizer, not a timeout.
+	RetryBackoff time.Duration
+	// Sleep replaces time.Sleep for retry backoff (tests). Nil uses
+	// time.Sleep.
+	Sleep func(time.Duration)
 }
 
 // PagerStats is a snapshot of pager counters and gauges. The counters
@@ -52,11 +78,19 @@ type PagerConfig struct {
 //	Pins == Hits + Faults
 //	PagesResident == Faults - Evictions
 //	PagesPinned == 0 once every Pin has been matched by an Unpin
+//
+// A Pin that fails (fault error or quarantine) counts in neither Pins
+// nor Faults — it never materialized — so the identities above survive
+// disk faults unchanged; FaultErrors tallies those failures separately.
 type PagerStats struct {
 	Faults    int64 // Pin calls that read + decoded a page
 	Hits      int64 // Pin calls satisfied by a resident page
 	Evictions int64 // pages dropped from residency
-	Pins      int64 // total Pin calls
+	Pins      int64 // total successful Pin calls
+
+	Retries     int64 // page re-reads after a transient read fault
+	FaultErrors int64 // page reads that ultimately failed (incl. quarantine rejections)
+	Quarantined int64 // pages quarantined by CRC-verified permanent corruption
 
 	PagesResident int64 // pages currently resident
 	PagesPinned   int64 // resident pages with refcount > 0
@@ -65,12 +99,13 @@ type PagerStats struct {
 }
 
 type pageSlot struct {
-	decoded  any
-	bytes    int64
-	refs     int32
-	prev     int32 // LRU links among unpinned resident pages; -1 = none
-	next     int32
-	resident bool
+	decoded     any
+	bytes       int64
+	refs        int32
+	prev        int32 // LRU links among unpinned resident pages; -1 = none
+	next        int32
+	resident    bool
+	quarantined bool // permanently corrupt: never retried, never cached
 }
 
 // Pager caches decoded pages of one Segment. All methods are safe for
@@ -87,13 +122,16 @@ type Pager struct {
 	lruTail int32 // eviction candidate
 	readBuf []byte
 
-	faults    int64
-	hits      int64
-	evictions int64
-	pins      int64
-	residentB int64
-	residentP int64
-	pinnedP   int64
+	faults      int64
+	hits        int64
+	evictions   int64
+	pins        int64
+	retries     int64
+	faultErrors int64
+	quarantineN int64
+	residentB   int64
+	residentP   int64
+	pinnedP     int64
 }
 
 // NewPager builds a pager over an open segment.
@@ -103,6 +141,19 @@ func NewPager(seg *Segment, cfg PagerConfig) *Pager {
 	}
 	if cfg.Decode == nil {
 		panic("persist: PagerConfig.Decode is required")
+	}
+	if cfg.RetryMax == 0 {
+		cfg.RetryMax = DefaultRetryMax
+	} else if cfg.RetryMax < 0 {
+		cfg.RetryMax = 0
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = DefaultRetryBackoff
+	} else if cfg.RetryBackoff < 0 {
+		cfg.RetryBackoff = 0
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
 	}
 	p := &Pager{seg: seg, cfg: cfg, lruHead: -1, lruTail: -1}
 	p.slots = make([]pageSlot, seg.NumPages())
@@ -117,7 +168,12 @@ func NewPager(seg *Segment, cfg PagerConfig) *Pager {
 func (p *Pager) Segment() *Segment { return p.seg }
 
 // Pin returns the decoded value for page, faulting it in if necessary,
-// and holds it resident until the matching Unpin.
+// and holds it resident until the matching Unpin. A transient read
+// fault is retried up to RetryMax times with doubling backoff; a CRC
+// mismatch that survives every retry quarantines the page — it is
+// never cached and never retried on the serving path, and every later
+// Pin fails fast with the same corruption error until a Scrub observes
+// the page reading clean again.
 func (p *Pager) Pin(page int) (any, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -126,6 +182,11 @@ func (p *Pager) Pin(page int) (any, error) {
 	}
 	p.pins++
 	s := &p.slots[page]
+	if s.quarantined {
+		p.pins-- // the failed pin never materialized
+		p.faultErrors++
+		return nil, fmt.Errorf("persist: pager page %d is quarantined: %w", page, ErrCorrupt)
+	}
 	if s.resident {
 		p.hits++
 		if s.refs == 0 {
@@ -135,15 +196,21 @@ func (p *Pager) Pin(page int) (any, error) {
 		s.refs++
 		return s.decoded, nil
 	}
-	raw, err := p.seg.ReadPage(page, p.readBuf)
-	if err != nil {
-		p.pins-- // the failed pin never materialized
-		return nil, err
-	}
-	p.readBuf = raw
-	decoded, bytes, err := p.cfg.Decode(raw, p.seg.RecordsInPage(page))
+	raw, err := p.readPageRetry(page)
 	if err != nil {
 		p.pins--
+		p.faultErrors++
+		if errors.Is(err, ErrCorrupt) {
+			p.quarantine(page)
+		}
+		return nil, err
+	}
+	decoded, bytes, err := p.cfg.Decode(raw, p.seg.RecordsInPage(page))
+	if err != nil {
+		// The page passed its CRC but would not decode: a format bug,
+		// not a disk fault — surfaced, counted, never quarantined.
+		p.pins--
+		p.faultErrors++
 		return nil, err
 	}
 	p.faults++
@@ -183,6 +250,98 @@ func (p *Pager) Unpin(page int) {
 	p.evictOver()
 }
 
+// readPageRetry reads one page with bounded retry-with-backoff. Every
+// failure kind is retried except ErrSegmentClosed (a caller bug, not a
+// disk fault): transient I/O errors and torn reads clear on re-read,
+// and a CRC mismatch may have been a bit flipped in flight rather than
+// on the platter. The caller inspects the final error to tell permanent
+// corruption (still ErrCorrupt after the last retry) from an exhausted
+// transient fault. Called with p.mu held.
+func (p *Pager) readPageRetry(page int) ([]byte, error) {
+	raw, err := p.seg.ReadPage(page, p.readBuf)
+	if err == nil {
+		p.readBuf = raw
+		return raw, nil
+	}
+	backoff := p.cfg.RetryBackoff
+	for attempt := 0; attempt < p.cfg.RetryMax; attempt++ {
+		if errors.Is(err, ErrSegmentClosed) {
+			return nil, err
+		}
+		p.retries++
+		if backoff > 0 {
+			p.cfg.Sleep(backoff)
+			backoff *= 2
+		}
+		raw, err = p.seg.ReadPage(page, p.readBuf)
+		if err == nil {
+			p.readBuf = raw
+			return raw, nil
+		}
+	}
+	return nil, err
+}
+
+// quarantine marks page permanently corrupt: its resident copy (if
+// unpinned) is evicted, and every later Pin fails fast without touching
+// the disk. Called with p.mu held.
+func (p *Pager) quarantine(page int) {
+	s := &p.slots[page]
+	if s.quarantined {
+		return
+	}
+	s.quarantined = true
+	p.quarantineN++
+	if s.resident && s.refs == 0 {
+		p.evictPage(int32(page), false)
+	}
+}
+
+// Scrub re-reads and CRC-verifies every page against the directory (the
+// boot-time disk check behind cmd/server's -verify-pages). Pages whose
+// corruption survives the retry cycle are quarantined with the same
+// bookkeeping as a faulting Pin. Quarantined pages ARE re-read: the
+// serving path never retries them, but a scrub is the explicit operator
+// action after replacing a disk or remapping a sector, so a quarantined
+// page that now passes its CRC has its quarantine lifted and re-enters
+// normal paging. The returned error reports the first non-corruption
+// read failure, if any (such a failure on a quarantined page keeps it
+// quarantined). Scrub does not populate the cache and counts neither
+// pins, hits, nor faults — retries and quarantines are counted as
+// usual.
+func (p *Pager) Scrub() ([]int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var bad []int
+	var firstErr error
+	for page := range p.slots {
+		if _, err := p.readPageRetry(page); err != nil {
+			p.faultErrors++
+			if errors.Is(err, ErrCorrupt) {
+				p.quarantine(page)
+				bad = append(bad, page)
+				continue
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("persist: scrub page %d: %w", page, err)
+			}
+			if p.slots[page].quarantined {
+				// Unreadable, but not provably corrupt: stay quarantined
+				// until a scrub sees clean bytes.
+				bad = append(bad, page)
+			}
+			continue
+		}
+		if p.slots[page].quarantined {
+			// The page reads clean again — lift the quarantine. The
+			// Quarantined counter is cumulative (it tallies quarantine
+			// events) and does not decrease.
+			p.slots[page].quarantined = false
+		}
+	}
+	return bad, firstErr
+}
+
 // Stats returns a snapshot of the pager counters and gauges.
 func (p *Pager) Stats() PagerStats {
 	p.mu.Lock()
@@ -192,6 +351,9 @@ func (p *Pager) Stats() PagerStats {
 		Hits:          p.hits,
 		Evictions:     p.evictions,
 		Pins:          p.pins,
+		Retries:       p.retries,
+		FaultErrors:   p.faultErrors,
+		Quarantined:   p.quarantineN,
 		PagesResident: p.residentP,
 		PagesPinned:   p.pinnedP,
 		ResidentBytes: p.residentB,

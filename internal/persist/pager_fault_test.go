@@ -1,0 +1,287 @@
+package persist
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// flakyReader fails or corrupts reads at chosen offsets with exact
+// counts — the precise-control sibling of the faultdisk package, which
+// covers the randomized schedules.
+type flakyReader struct {
+	r io.ReaderAt
+
+	mu      sync.Mutex
+	fails   map[int64]int // offset → remaining injected failures
+	corrupt map[int64]bool
+	reads   int
+}
+
+var errFlaky = errors.New("flaky: injected read error")
+
+func (f *flakyReader) ReadAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	f.reads++
+	if f.fails[off] > 0 {
+		f.fails[off]--
+		f.mu.Unlock()
+		return 0, errFlaky
+	}
+	bad := f.corrupt[off]
+	f.mu.Unlock()
+	n, err := f.r.ReadAt(p, off)
+	if bad && n > 0 {
+		p[0] ^= 0xFF
+	}
+	return n, err
+}
+
+func (f *flakyReader) readCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.reads
+}
+
+// faultPager builds a 10-page segment behind a flakyReader plus a pager
+// with no real backoff sleeps.
+func faultPager(t *testing.T, retryMax int) (*Pager, *flakyReader, *Segment) {
+	t.Helper()
+	path, data := buildSegment(t, 40, 64, nil) // 10 pages, 4 records each
+	_ = path
+	fr := &flakyReader{r: bytesReaderAt(data), fails: map[int64]int{}, corrupt: map[int64]bool{}}
+	seg, err := NewSegment(fr, int64(len(data)))
+	if err != nil {
+		t.Fatalf("NewSegment: %v", err)
+	}
+	p := NewPager(seg, PagerConfig{
+		CacheBytes: 1 << 20,
+		Decode:     decodeU64Page,
+		RetryMax:   retryMax,
+		Sleep:      func(time.Duration) {},
+	})
+	return p, fr, seg
+}
+
+func bytesReaderAt(data []byte) io.ReaderAt { return readerAtFunc(data) }
+
+type readerAtFunc []byte
+
+func (r readerAtFunc) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(r)) {
+		return 0, io.EOF
+	}
+	n := copy(p, r[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func TestPagerRetriesTransientFault(t *testing.T) {
+	p, fr, seg := faultPager(t, 3)
+	fr.fails[seg.PageOffset(3)] = 2 // first attempt + one retry fail, second retry succeeds
+	if _, err := p.Pin(3); err != nil {
+		t.Fatalf("Pin(3) after transient faults: %v", err)
+	}
+	p.Unpin(3)
+	st := p.Stats()
+	if st.Retries != 2 || st.FaultErrors != 0 || st.Quarantined != 0 {
+		t.Fatalf("stats = %+v, want 2 retries, 0 fault errors, 0 quarantined", st)
+	}
+	if st.Pins != 1 || st.Faults != 1 || st.Hits != 0 {
+		t.Fatalf("stats = %+v, want 1 pin = 1 fault", st)
+	}
+}
+
+func TestPagerTransientExhaustionIsNotQuarantine(t *testing.T) {
+	p, fr, seg := faultPager(t, 2)
+	fr.fails[seg.PageOffset(5)] = 3 // initial + 2 retries all fail
+	_, err := p.Pin(5)
+	if err == nil || errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Pin(5) = %v, want a transient (non-corrupt) failure", err)
+	}
+	st := p.Stats()
+	if st.Retries != 2 || st.FaultErrors != 1 || st.Quarantined != 0 {
+		t.Fatalf("stats = %+v, want 2 retries, 1 fault error, 0 quarantined", st)
+	}
+	if st.Pins != 0 {
+		t.Fatalf("failed pin counted: %+v", st)
+	}
+	// The fault was transient: the next Pin starts fresh and succeeds.
+	if _, err := p.Pin(5); err != nil {
+		t.Fatalf("Pin(5) after faults cleared: %v", err)
+	}
+	p.Unpin(5)
+	st = p.Stats()
+	if st.Pins != 1 || st.Pins != st.Hits+st.Faults {
+		t.Fatalf("identities broken after retry cycle: %+v", st)
+	}
+}
+
+func TestPagerQuarantinesPermanentCorruption(t *testing.T) {
+	p, fr, seg := faultPager(t, 2)
+	fr.corrupt[seg.PageOffset(4)] = true
+	_, err := p.Pin(4)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Pin(4) = %v, want ErrCorrupt", err)
+	}
+	st := p.Stats()
+	if st.Quarantined != 1 || st.FaultErrors != 1 || st.Retries != 2 {
+		t.Fatalf("stats = %+v, want 1 quarantined, 1 fault error, 2 retries", st)
+	}
+	// Quarantined: the next Pin fails fast without touching the disk.
+	before := fr.readCount()
+	_, err = p.Pin(4)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("second Pin(4) = %v, want ErrCorrupt", err)
+	}
+	if fr.readCount() != before {
+		t.Fatal("quarantined pin read the disk")
+	}
+	st = p.Stats()
+	if st.FaultErrors != 2 || st.Quarantined != 1 || st.Retries != 2 {
+		t.Fatalf("stats after fast-fail = %+v", st)
+	}
+	// Healthy pages are unaffected, and the identities still hold.
+	for _, page := range []int{0, 3, 9} {
+		if _, err := p.Pin(page); err != nil {
+			t.Fatalf("Pin(%d): %v", page, err)
+		}
+		p.Unpin(page)
+	}
+	st = p.Stats()
+	if st.Pins != st.Hits+st.Faults || st.PagesResident != st.Faults-st.Evictions || st.PagesPinned != 0 {
+		t.Fatalf("identities broken: %+v", st)
+	}
+}
+
+func TestPagerScrub(t *testing.T) {
+	p, fr, seg := faultPager(t, 1)
+	fr.corrupt[seg.PageOffset(7)] = true
+	fr.fails[seg.PageOffset(2)] = 1 // one transient blip the scrub retries through
+	bad, err := p.Scrub()
+	if err != nil {
+		t.Fatalf("Scrub: %v", err)
+	}
+	if len(bad) != 1 || bad[0] != 7 {
+		t.Fatalf("Scrub = %v, want [7]", bad)
+	}
+	st := p.Stats()
+	if st.Quarantined != 1 {
+		t.Fatalf("stats = %+v, want 1 quarantined", st)
+	}
+	if st.Pins != 0 || st.Hits != 0 || st.Faults != 0 {
+		t.Fatalf("scrub leaked into pin accounting: %+v", st)
+	}
+	if st.Retries < 2 { // ≥1 for the blip on page 2, ≥1 for page 7's CRC retry
+		t.Fatalf("stats = %+v, want ≥2 retries", st)
+	}
+	// A second scrub re-reads the quarantined page (scrub is the heal
+	// path); still corrupt, it stays quarantined: 9 healthy single reads
+	// plus 1 + retryMax attempts on page 7.
+	before := fr.readCount()
+	bad, err = p.Scrub()
+	if err != nil || len(bad) != 1 || bad[0] != 7 {
+		t.Fatalf("second Scrub = %v, %v", bad, err)
+	}
+	if got := fr.readCount() - before; got != 9+2 {
+		t.Fatalf("second scrub did %d reads, want 11 (9 healthy + 2 attempts on the corrupt page)", got)
+	}
+	if _, err := p.Pin(7); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Pin(7) after scrub = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestPagerScrubHealsQuarantine covers the recovery path: once the
+// corruption is repaired (sector remapped, disk replaced), a scrub sees
+// the page read clean, lifts the quarantine, and normal paging resumes.
+// The serving path alone never un-quarantines — Pins keep failing fast
+// until the scrub runs.
+func TestPagerScrubHealsQuarantine(t *testing.T) {
+	p, fr, seg := faultPager(t, 1)
+	fr.corrupt[seg.PageOffset(4)] = true
+	if _, err := p.Pin(4); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Pin(4) = %v, want ErrCorrupt", err)
+	}
+
+	// Repair the disk. Pin still fails fast: quarantine outlives the
+	// fault until a scrub re-verifies the page.
+	fr.mu.Lock()
+	fr.corrupt[seg.PageOffset(4)] = false
+	fr.mu.Unlock()
+	if _, err := p.Pin(4); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Pin(4) before scrub = %v, want quarantine fast-fail", err)
+	}
+
+	bad, err := p.Scrub()
+	if err != nil || len(bad) != 0 {
+		t.Fatalf("post-repair Scrub = %v, %v, want clean", bad, err)
+	}
+	if _, err := p.Pin(4); err != nil {
+		t.Fatalf("Pin(4) after healing scrub: %v", err)
+	}
+	p.Unpin(4)
+	st := p.Stats()
+	if st.Quarantined != 1 {
+		t.Fatalf("Quarantined = %d, want 1 (cumulative events, not a gauge)", st.Quarantined)
+	}
+	if st.Pins != st.Hits+st.Faults || st.PagesPinned != 0 {
+		t.Fatalf("identities broken after heal: %+v", st)
+	}
+}
+
+func TestPagerScrubReportsTransientExhaustion(t *testing.T) {
+	p, fr, seg := faultPager(t, 1)
+	fr.fails[seg.PageOffset(6)] = 10 // outlives the retry budget
+	bad, err := p.Scrub()
+	if err == nil {
+		t.Fatal("Scrub swallowed a persistent transient failure")
+	}
+	if len(bad) != 0 {
+		t.Fatalf("Scrub = %v, want no quarantines for non-corrupt failures", bad)
+	}
+	if st := p.Stats(); st.Quarantined != 0 || st.FaultErrors != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSegmentCloseIdempotent(t *testing.T) {
+	path, _ := buildSegment(t, 8, 64, nil)
+	seg, err := OpenSegment(path)
+	if err != nil {
+		t.Fatalf("OpenSegment: %v", err)
+	}
+	if err := seg.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := seg.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := seg.ReadPage(0, nil); !errors.Is(err, ErrSegmentClosed) {
+		t.Fatalf("ReadPage after Close = %v, want ErrSegmentClosed", err)
+	}
+}
+
+func TestSegmentPageOffset(t *testing.T) {
+	path, data := buildSegment(t, 40, 64, []byte("m"))
+	seg, err := OpenSegment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+	for page := 0; page < seg.NumPages(); page++ {
+		off := seg.PageOffset(page)
+		buf, err := seg.ReadPage(page, nil)
+		if err != nil {
+			t.Fatalf("ReadPage(%d): %v", page, err)
+		}
+		for i := range buf {
+			if buf[i] != data[off+int64(i)] {
+				t.Fatalf("page %d: PageOffset %d does not address the page bytes", page, off)
+			}
+		}
+	}
+}

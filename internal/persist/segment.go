@@ -27,11 +27,18 @@ package persist
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
+	"sync/atomic"
 )
+
+// ErrSegmentClosed reports a read against a segment after Close: the
+// handle is gone, and reading through it would be a caller bug, not a
+// disk fault.
+var ErrSegmentClosed = errors.New("persist: segment is closed")
 
 const (
 	// SegMagic identifies a segment file ("MASG": Motion-Aware SeGment,
@@ -199,6 +206,7 @@ func WriteSegment(path string, spec SegmentSpec, fill func(*SegmentAppender) ([]
 type Segment struct {
 	r          io.ReaderAt
 	closer     io.Closer
+	closed     atomic.Bool
 	pageSize   int
 	recordSize int
 	perPage    int
@@ -335,10 +343,20 @@ func (s *Segment) RecordsInPage(page int) int {
 	return s.perPage
 }
 
+// PageOffset returns the byte offset of the given page within the
+// segment file — the address a fault injector (or an fsck) needs to
+// target one specific page.
+func (s *Segment) PageOffset(page int) int64 {
+	return segHeaderBytes + int64(page)*int64(s.pageSize)
+}
+
 // ReadPage reads one page into buf (grown if needed), verifies it
 // against the page directory, and returns the page bytes. Safe for
 // concurrent callers with distinct buffers.
 func (s *Segment) ReadPage(page int, buf []byte) ([]byte, error) {
+	if s.closed.Load() {
+		return nil, fmt.Errorf("persist: segment page %d: %w", page, ErrSegmentClosed)
+	}
 	if page < 0 || page >= s.numPages {
 		return nil, fmt.Errorf("persist: segment page %d out of range [0, %d)", page, s.numPages)
 	}
@@ -346,7 +364,7 @@ func (s *Segment) ReadPage(page int, buf []byte) ([]byte, error) {
 		buf = make([]byte, s.pageSize)
 	}
 	buf = buf[:s.pageSize]
-	if _, err := s.r.ReadAt(buf, segHeaderBytes+int64(page)*int64(s.pageSize)); err != nil {
+	if _, err := s.r.ReadAt(buf, s.PageOffset(page)); err != nil {
 		return nil, fmt.Errorf("persist: segment page %d: %w", page, err)
 	}
 	if crc32.Checksum(buf, crcTable) != s.crcs[page] {
@@ -356,7 +374,13 @@ func (s *Segment) ReadPage(page int, buf []byte) ([]byte, error) {
 }
 
 // Close releases the underlying file (no-op for byte-backed segments).
+// Close is idempotent: the first call closes, later calls return nil.
+// Reads after Close fail with ErrSegmentClosed instead of reaching
+// through a dead handle.
 func (s *Segment) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
 	if s.closer != nil {
 		return s.closer.Close()
 	}

@@ -505,9 +505,6 @@ func (s *Server) handle(conn net.Conn) {
 				resp = sess.Session.RetrieveScratch(req.Subs)
 			}
 			sess.Seq++
-			// resp.IDs aliases the session's scratch (overwritten by the
-			// next frame); the resume lineage keeps its own copy.
-			sess.LastIDs = append(sess.LastIDs[:0], resp.IDs...)
 			hot := scene.Server.HotCache()
 			var payload []byte
 			if hot != nil && resp.Hot.Valid {
@@ -520,12 +517,24 @@ func (s *Server) handle(conn net.Conn) {
 				if pinner != nil && pins == nil && len(resp.IDs) > 0 {
 					pins = pinner.NewPins()
 				}
+				// Coefficients whose backing page is unreadable at encode
+				// time are withheld: compacted out of the response and
+				// forgotten from the delivered set, so the session
+				// re-retrieves them once the page heals (ABR Dropped
+				// semantics — degrade the frame, never the process).
+				var withheldIDs []int64
+				kept := resp.IDs[:0]
 				for _, id := range resp.IDs {
 					var c *wavelet.Coefficient
+					var cerr error
 					if pins != nil {
-						c = pins.Coeff(id)
+						c, cerr = pins.Coeff(id)
 					} else {
-						c = scene.Source.Coeff(id)
+						c, cerr = scene.Source.Coeff(id)
+					}
+					if cerr != nil {
+						withheldIDs = append(withheldIDs, id)
+						continue
 					}
 					wc := Coeff{
 						Object: c.Object,
@@ -535,16 +544,27 @@ func (s *Server) handle(conn net.Conn) {
 						Value:  float32(c.Value),
 					}
 					payloadBuf = appendCoeff(payloadBuf, &wc)
+					kept = append(kept, id)
 				}
 				if pins != nil {
 					// The frame's bytes are in payloadBuf; the pages can go.
 					pins.Release()
 				}
+				resp.IDs = kept
+				if len(withheldIDs) > 0 {
+					sess.Session.Forget(withheldIDs)
+					resp.Dropped += int64(len(withheldIDs))
+					s.st.RecordWithheld(int64(len(withheldIDs)))
+				}
 				payload = payloadBuf
-				if hot != nil && resp.Hot.Valid {
+				if hot != nil && resp.Hot.Valid && len(withheldIDs) == 0 {
 					hot.SetPayload(resp.Hot.Query, resp.Hot.Epoch, payload)
 				}
 			}
+			// resp.IDs aliases the session's scratch (overwritten by the
+			// next frame); the resume lineage keeps its own copy — taken
+			// after the encode pass so it records what was actually sent.
+			sess.LastIDs = append(sess.LastIDs[:0], resp.IDs...)
 			s.setWriteDeadline(conn)
 			if tag == TagBudgetRequest {
 				err = w.WriteBudgetResponsePayload(len(resp.IDs), resp.IO, sess.Seq, resp.Dropped, maxBytes, payload)

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/geom"
+	"repro/internal/index"
 )
 
 // TestPlanOnlyClientMatchesFullClient drives a plan-only client (nil
@@ -68,7 +69,7 @@ func TestFrustumFrameFiltersAndDedups(t *testing.T) {
 		t.Fatalf("resolution = %v", w)
 	}
 	for _, id := range resp.IDs {
-		if !east.Contains(srv.Store().Coeff(id).Pos.XY()) {
+		if !east.Contains(index.MustCoeff(srv.Store(), id).Pos.XY()) {
 			t.Fatalf("delivered coefficient outside the frustum")
 		}
 	}
@@ -81,7 +82,7 @@ func TestFrustumFrameFiltersAndDedups(t *testing.T) {
 	west := geom.NewFrustum(apex, 3.14159, 1.2, 400)
 	turned, _ := c.FrustumFrame(west, 0.3)
 	for _, id := range turned.IDs {
-		p := srv.Store().Coeff(id).Pos.XY()
+		p := index.MustCoeff(srv.Store(), id).Pos.XY()
 		if !west.Contains(p) {
 			t.Fatalf("delivered coefficient outside the new frustum")
 		}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/geom"
+	"repro/internal/index"
 	"repro/internal/stats"
 )
 
@@ -68,7 +69,7 @@ func TestExecuteFilterRejectionKeepsRetrievable(t *testing.T) {
 	west := func(p geom.Vec3) bool { return p.X < 500 }
 	first := srv.Execute([]SubQuery{{Region: all, WMin: 0, WMax: 1, Filter: west}}, delivered)
 	for _, id := range first.IDs {
-		if !west(srv.Store().Coeff(id).Pos) {
+		if !west(index.MustCoeff(srv.Store(), id).Pos) {
 			t.Fatalf("filter leaked id %d east of the boundary", id)
 		}
 	}
@@ -80,7 +81,7 @@ func TestExecuteFilterRejectionKeepsRetrievable(t *testing.T) {
 		t.Fatalf("split deliveries %d + %d, want %d", len(first.IDs), len(second.IDs), total)
 	}
 	for _, id := range second.IDs {
-		if west(srv.Store().Coeff(id).Pos) {
+		if west(index.MustCoeff(srv.Store(), id).Pos) {
 			t.Fatalf("id %d west of the boundary delivered twice", id)
 		}
 	}

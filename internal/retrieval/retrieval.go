@@ -40,11 +40,14 @@ type Response struct {
 	Bytes   int64   // payload size of the delivered coefficients
 	IO      int64   // index node reads spent answering the sub-queries
 	Queries int     // number of sub-queries executed
-	// Dropped counts coefficients a byte budget withheld (see
-	// ExecuteBudget): exactly the deliveries the unlimited run would
-	// have made beyond the budget's prefix cut. Always 0 for unbudgeted
-	// execution. Withheld coefficients are NOT marked delivered — later
-	// frames retrieve them when budget allows.
+	// Dropped counts coefficients withheld from this response: by a
+	// byte budget (see ExecuteBudget — exactly the deliveries the
+	// unlimited run would have made beyond the budget's prefix cut) or
+	// by a storage fault (the filter pass could not read the backing
+	// page — see index.ErrPageUnavailable). Always 0 for unbudgeted,
+	// fault-free execution. Withheld coefficients are NOT marked
+	// delivered — later frames retrieve them when budget allows or the
+	// page heals.
 	Dropped int64
 	// Hot identifies the hot-cache entry whose id set this response
 	// equals exactly, when there is one — see HotRef. Transports use it
@@ -282,6 +285,10 @@ func (s *Server) execute(subs []SubQuery, delivered map[int64]bool, sc *Scratch,
 		limit = maxBytes / wavelet.WireBytes
 	}
 	var withheld map[int64]bool
+	// faultWithheld counts merge hits suppressed because their backing
+	// page was unreadable — a subset of resp.Dropped, surfaced to stats
+	// separately from budget truncation.
+	faultWithheld := int64(0)
 	// Against a paging store, the filter pass reads coefficient
 	// positions across the whole merge loop, so those pages are pinned
 	// for the frame and released after the loop. The in-memory store
@@ -312,9 +319,30 @@ func (s *Server) execute(subs []SubQuery, delivered map[int64]bool, sc *Scratch,
 		for _, id := range r.ids {
 			// Filter before touching the delivered set: a coefficient the
 			// filter rejects has not been sent and must stay retrievable.
-			if subs[i].Filter != nil && !subs[i].Filter(s.coeffPos(pins, id)) {
-				dropped = true
-				continue
+			if subs[i].Filter != nil {
+				pos, err := s.coeffPos(pins, id)
+				if err != nil {
+					// Unreadable page: withhold the coefficient without
+					// marking it delivered (ABR Dropped semantics) — the
+					// session re-retrieves it once the page heals, and
+					// frames touching only healthy pages are unaffected.
+					dropped = true
+					faultWithheld++
+					if delivered == nil {
+						resp.Dropped++
+					} else if !withheld[id] {
+						if withheld == nil {
+							withheld = make(map[int64]bool)
+						}
+						withheld[id] = true
+						resp.Dropped++
+					}
+					continue
+				}
+				if !subs[i].Filter(pos) {
+					dropped = true
+					continue
+				}
 			}
 			if delivered != nil && delivered[id] {
 				dropped = true
@@ -360,18 +388,31 @@ func (s *Server) execute(subs []SubQuery, delivered map[int64]bool, sc *Scratch,
 		if maxBytes > 0 {
 			s.st.RecordBudget(maxBytes, resp.Bytes, resp.Dropped)
 		}
+		if faultWithheld > 0 {
+			s.st.RecordWithheld(faultWithheld)
+		}
 	}
 	return resp
 }
 
 // coeffPos reads one coefficient's vertex position — through the frame
 // pin set when the store pages, directly off the resident slab when not
-// (pins nil keeps the in-memory path allocation-free).
-func (s *Server) coeffPos(pins *index.Pins, id int64) geom.Vec3 {
+// (pins nil keeps the in-memory path allocation-free). A non-nil error
+// means the backing page is unreadable (index.ErrPageUnavailable) and
+// the caller must withhold the coefficient.
+func (s *Server) coeffPos(pins *index.Pins, id int64) (geom.Vec3, error) {
 	if pins != nil {
-		return pins.Coeff(id).Pos
+		c, err := pins.Coeff(id)
+		if err != nil {
+			return geom.Vec3{}, err
+		}
+		return c.Pos, nil
 	}
-	return s.store.Coeff(id).Pos
+	c, err := s.store.Coeff(id)
+	if err != nil {
+		return geom.Vec3{}, err
+	}
+	return c.Pos, nil
 }
 
 // subResult holds one sub-query's raw index hits, pre-merge. In scratch
@@ -534,7 +575,11 @@ func (s *Server) BlockBytes(region geom.Rect2, wmin float64) (int64, int64) {
 		pins = s.pinner.NewPins()
 	}
 	for _, id := range ids {
-		if region.Contains(s.coeffPos(pins, id).XY()) {
+		pos, err := s.coeffPos(pins, id)
+		if err != nil {
+			continue // unreadable page: the block simply sizes without it
+		}
+		if region.Contains(pos.XY()) {
 			n++
 		}
 	}

@@ -82,7 +82,7 @@ func TestSlowdownFetchesDetailBand(t *testing.T) {
 		t.Fatal("slowdown delivered nothing")
 	}
 	for _, id := range resp.IDs {
-		cf := srv.Store().Coeff(id)
+		cf := index.MustCoeff(srv.Store(), id)
 		if cf.Value >= 0.8 {
 			t.Fatalf("coefficient %v (w=%.3f) redelivered", id, cf.Value)
 		}

@@ -175,6 +175,12 @@ type Stats struct {
 	budgetBytesServed    atomic.Int64
 	truncatedResponses   atomic.Int64
 	coeffsDropped        atomic.Int64
+	// coeffsWithheld counts coefficients withheld because their backing
+	// page was unreadable (disk-fault degradation, DESIGN.md §15) — the
+	// storage sibling of the budget's coeffsDropped. Withheld
+	// coefficients are never marked delivered, so sessions converge once
+	// the page heals.
+	coeffsWithheld atomic.Int64
 	abrBandwidth         atomic.Int64 // gauge, bytes/second
 	abrRTT               atomic.Int64 // gauge, nanoseconds
 	abrBudget            atomic.Int64 // gauge, bytes per frame
@@ -205,6 +211,7 @@ type HotCacheStats struct {
 	Misses        int64
 	Evictions     int64
 	Invalidations int64
+	PinFails      int64 // inserts abandoned because a backing page was unreadable
 	Entries       int64
 	Bytes         int64
 }
@@ -214,6 +221,7 @@ func (a HotCacheStats) add(b HotCacheStats) HotCacheStats {
 	a.Misses += b.Misses
 	a.Evictions += b.Evictions
 	a.Invalidations += b.Invalidations
+	a.PinFails += b.PinFails
 	a.Entries += b.Entries
 	a.Bytes += b.Bytes
 	return a
@@ -251,6 +259,9 @@ type PagerStats struct {
 	Hits          int64
 	Evictions     int64
 	Pins          int64
+	Retries       int64 // page re-reads after transient read faults
+	FaultErrors   int64 // page reads that ultimately failed
+	Quarantined   int64 // pages quarantined by permanent corruption
 	PagesResident int64
 	PagesPinned   int64
 	ResidentBytes int64
@@ -262,6 +273,9 @@ func (a PagerStats) add(b PagerStats) PagerStats {
 	a.Hits += b.Hits
 	a.Evictions += b.Evictions
 	a.Pins += b.Pins
+	a.Retries += b.Retries
+	a.FaultErrors += b.FaultErrors
+	a.Quarantined += b.Quarantined
 	a.PagesResident += b.PagesResident
 	a.PagesPinned += b.PagesPinned
 	a.ResidentBytes += b.ResidentBytes
@@ -475,6 +489,16 @@ func (s *Stats) RecordBudget(requested, served, droppedCoeffs int64) {
 	}
 }
 
+// RecordWithheld counts coefficients withheld from one frame because
+// their backing page was unreadable (see DESIGN.md §15). They are never
+// marked delivered, so the session converges once the page heals.
+func (s *Stats) RecordWithheld(coeffs int64) {
+	if s == nil {
+		return
+	}
+	s.coeffsWithheld.Add(coeffs)
+}
+
 // SetABR publishes the client-side ABR loop's current state: the link
 // bandwidth estimate (bytes/second), round-trip estimate, and the byte
 // budget chosen for the next frame. Gauges, not counters — each call
@@ -540,6 +564,7 @@ type Snapshot struct {
 	BudgetBytesServed    int64
 	TruncatedResponses   int64
 	CoeffsDropped        int64
+	CoeffsWithheld       int64 // withheld by unreadable pages (disk faults)
 	ABRBandwidth         int64 // gauge, bytes/second
 	ABRRTT               time.Duration
 	ABRBudget            int64 // gauge, bytes per frame
@@ -617,6 +642,7 @@ func (s *Stats) Snapshot() Snapshot {
 		BudgetBytesServed:    s.budgetBytesServed.Load(),
 		TruncatedResponses:   s.truncatedResponses.Load(),
 		CoeffsDropped:        s.coeffsDropped.Load(),
+		CoeffsWithheld:       s.coeffsWithheld.Load(),
 		ABRBandwidth:         s.abrBandwidth.Load(),
 		ABRRTT:               time.Duration(s.abrRTT.Load()),
 		ABRBudget:            s.abrBudget.Load(),
@@ -642,6 +668,15 @@ func (s Snapshot) String() string {
 		pager = fmt.Sprintf(" · pager %d/%d hit/fault · %d pages resident (%d pinned) / %s of %s · %d evicted",
 			s.Pager.Hits, s.Pager.Faults, s.Pager.PagesResident, s.Pager.PagesPinned,
 			fmtBytes(s.Pager.ResidentBytes), fmtBytes(s.Pager.CacheBytes), s.Pager.Evictions)
+		// The disk-fault plane only prints when something went wrong:
+		// healthy soaks keep the line short.
+		if s.Pager.Retries > 0 || s.Pager.FaultErrors > 0 || s.Pager.Quarantined > 0 || s.CoeffsWithheld > 0 {
+			pager += fmt.Sprintf(" · disk %d retries · %d read errors · %d quarantined · %d coeffs withheld",
+				s.Pager.Retries, s.Pager.FaultErrors, s.Pager.Quarantined, s.CoeffsWithheld)
+		}
+		if s.Hot.PinFails > 0 {
+			pager += fmt.Sprintf(" · %d hot-cache pin failures", s.Hot.PinFails)
+		}
 	}
 	abr := ""
 	if s.BudgetRequests > 0 {

@@ -134,7 +134,7 @@ func TestCitySegmentMatchesGeneratedStore(t *testing.T) {
 		t.Fatalf("segment levels = %d, want 2", ps.Levels())
 	}
 	for id := int64(0); id < store.NumCoeffs(); id++ {
-		if *ps.Coeff(id) != *store.Coeff(id) {
+		if *index.MustCoeff(ps, id) != *index.MustCoeff(store, id) {
 			t.Fatalf("coefficient %d differs between segment and store", id)
 		}
 	}
