@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-shards bench-serve bench-abr bench-city soak fault crash cluster abr city diskfault fuzz ci
+.PHONY: build test race vet bench bench-shards bench-serve bench-abr bench-city bench-crowd benchguard soak fault crash cluster abr city diskfault crowd fuzz ci
 
 build:
 	$(GO) build ./...
@@ -124,6 +124,36 @@ diskfault:
 	$(GO) test -race -run 'TestPagerRetries|TestPagerTransient|TestPagerQuarantines|TestPagerScrub|TestSegmentClose|TestSegmentPageOffset' ./internal/persist/
 	$(GO) test -race -run 'TestPagedCoeffUnavailable|TestPagedPinIDsRollsBack|TestPinnerFailure' ./internal/index/ ./internal/hotcache/
 
+# The crowd-serving gate, verbosely, under the race detector: the crowd
+# acceptance soak (coalesced serving byte-identical to independent
+# execution for every session across a forced mid-soak epoch bump, with
+# coalescer/subscription/stats counters reconciled exactly), the
+# coalescer unit tests, the hot-cache subscription tests, the budgeted
+# payload-replay tests, the background-scrub ticker tests, and the crowd
+# generator determinism tests.
+crowd:
+	$(GO) test -race -v -run 'TestRunCrowd' ./internal/experiment/
+	$(GO) test -race -run 'TestCoalesc' ./internal/retrieval/
+	$(GO) test -race -run 'TestSubscribe|TestPayloadHitCounter' ./internal/hotcache/
+	$(GO) test -race -run 'TestBudgetedFrame|TestBudgetedTruncation' ./internal/proto/
+	$(GO) test -race -run 'TestScrubber' ./internal/engine/
+	$(GO) test -race -run 'TestCrowd' ./internal/workload/
+
+# Crowd-scaling sweep: 10^2-10^4 simulated clients at overlap factors 0,
+# 0.5, and 0.9, coalesced vs independent execution in deterministic
+# lockstep; emits BENCH_crowd.json (index-pass reduction per point,
+# >= 3x gate at 10^3 clients / overlap >= 0.8, no-regression gate at
+# overlap 0) and prints the delta against the previous artifact.
+bench-crowd: build
+	$(GO) run ./cmd/experiments -bench-crowd BENCH_crowd.json
+
+# Informational artifact guard: diff freshly regenerated BENCH_*.json
+# against the versions committed at HEAD and report numeric leaves that
+# moved more than the tolerance. Never fails ci (pass -strict manually
+# to gate on it).
+benchguard:
+	$(GO) run ./scripts -tolerance 0.25
+
 # Short coverage-guided exploration of every wire-protocol decoder. Each
 # fuzz target needs its own invocation (go test allows one -fuzz at a
 # time); seeds alone also run in `make test`.
@@ -140,10 +170,12 @@ fuzz:
 	$(GO) test -fuzz 'FuzzCluster$$' -fuzztime 10s -run '^$$' ./internal/cluster/
 	$(GO) test -fuzz 'FuzzFaultDisk$$' -fuzztime 10s -run '^$$' ./internal/faultdisk/
 
-ci: build vet test race fault crash cluster abr city diskfault fuzz
+ci: build vet test race fault crash cluster abr city diskfault crowd fuzz
 	# Informational benchmark deltas (never fail the gate): regenerate
-	# BENCH_serve.json / BENCH_abr.json / BENCH_city.json and print the
-	# change vs the previous artifacts.
+	# the BENCH_*.json artifacts, print the change vs the previous
+	# files, then diff every artifact against HEAD with benchguard.
 	-$(MAKE) bench-serve
 	-$(MAKE) bench-abr
 	-$(MAKE) bench-city
+	-$(MAKE) bench-crowd
+	-$(MAKE) benchguard

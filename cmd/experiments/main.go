@@ -11,8 +11,9 @@
 //	            [-abr] [-abr-profile osc] [-abr-low N] [-abr-high N] [-abr-period D]
 //	            [-city] [-city-blocks N] [-city-clients N]
 //	            [-diskfault] [-diskfault-retries N]
+//	            [-crowd] [-crowd-clients N] [-crowd-overlap F] [-crowd-attractors N]
 //	            [-bench-shards out.json] [-bench-serve out.json] [-bench-abr out.json]
-//	            [-bench-city out.json]
+//	            [-bench-city out.json] [-bench-crowd out.json]
 package main
 
 import (
@@ -64,6 +65,12 @@ func main() {
 
 		diskFault      = flag.Bool("diskfault", false, "run the storage-fault tolerance soak instead of the figures")
 		diskFaultRetry = flag.Int("diskfault-retries", 0, "pager retries per transient fault (0 = default 2)")
+
+		crowdRun        = flag.Bool("crowd", false, "run the crowd-serving acceptance soak (coalesced vs independent byte-identity) instead of the figures")
+		crowdClients    = flag.Int("crowd-clients", 0, "crowd size in the soak (0 = default 16)")
+		crowdOverlap    = flag.Float64("crowd-overlap", 0, "fraction of the crowd flocked onto shared attractors (0 = default 0.75; negative = no flocking)")
+		crowdAttractors = flag.Int("crowd-attractors", 0, "shared attractor paths (0 = default 3)")
+		benchCrowd      = flag.String("bench-crowd", "", "run the crowd-scaling coalescer benchmark and write its JSON result to this file")
 
 		clusterRun = flag.Bool("cluster", false, "run the cluster failover-and-drain experiment instead of the figures")
 		clusterDir = flag.String("cluster-dir", "", "durable state root for the cluster experiment (default: fresh temp dir)")
@@ -155,6 +162,37 @@ func main() {
 			Frames: *steps,
 		}
 		if _, err := experiment.RunCityBench(spec, *benchCity, w); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *benchCrowd != "" {
+		spec := experiment.CrowdBenchSpec{
+			Seed:       *seed,
+			Objects:    *objects,
+			Steps:      *steps,
+			Attractors: *crowdAttractors,
+		}
+		if _, err := experiment.RunCrowdBench(spec, *benchCrowd, w); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *crowdRun {
+		spec := experiment.CrowdRunSpec{
+			Seed:       *seed,
+			Objects:    *objects,
+			Clients:    *crowdClients,
+			Steps:      *steps,
+			Attractors: *crowdAttractors,
+			Overlap:    *crowdOverlap,
+			Shards:     *shards,
+		}
+		if err := experiment.RunCrowd(spec, w); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}

@@ -15,13 +15,13 @@
 //
 //	server [-addr :7333] [-advertise host:port] [-objects 100] [-levels 5] [-zipf] [-seed 1]
 //	       [-shards 1] [-scene default] [-scenes name=file,name2=file2]
-//	       [-store mem|paged] [-page-cache-bytes N] [-verify-pages]
+//	       [-store mem|paged] [-page-cache-bytes N] [-verify-pages] [-scrub-interval 10m]
 //	       [-city N] [-city-lots 3] [-city-levels 3]
 //	       [-data-dir dir] [-checkpoint-interval 1m]
 //	       [-stats 30s] [-stats-dump] [-workers 0] [-max-sessions 0]
 //	       [-idle-timeout 2m] [-frame-timeout 30s] [-drain-timeout 5s]
 //	       [-resume-cache 1024] [-resume-ttl 2m]
-//	       [-hot-cache] [-pprof-addr localhost:6060]
+//	       [-hot-cache] [-coalesce] [-pprof-addr localhost:6060]
 package main
 
 import (
@@ -40,6 +40,7 @@ import (
 	"repro/internal/hotcache"
 	"repro/internal/index"
 	"repro/internal/proto"
+	"repro/internal/retrieval"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -65,11 +66,13 @@ func main() {
 		storeKind   = flag.String("store", "mem", "coefficient store: mem (resident) or paged (out-of-core segment in -data-dir)")
 		pageCache   = flag.Int64("page-cache-bytes", 64<<20, "paged store's resident-page budget in bytes")
 		verifyPages = flag.Bool("verify-pages", false, "scrub every paged-store page against its CRC at boot; corrupt pages are quarantined and logged")
+		scrubEvery  = flag.Duration("scrub-interval", 0, "background scrub cadence for the paged store (0 disables); each pass re-verifies every page and converges quarantine state with the disk")
 		city        = flag.Int("city", 0, "serve a deterministic city of N×N blocks instead of the scatter dataset (0 = off)")
 		cityLots    = flag.Int("city-lots", 3, "buildings per block side in the -city grid")
 		cityLevels  = flag.Int("city-levels", 3, "subdivision levels per -city building")
 
 		hotCache  = flag.Bool("hot-cache", false, "enable the per-scene hot-region result cache")
+		coalesce  = flag.Bool("coalesce", false, "enable per-scene query coalescing: concurrent sessions asking the identical hot-region sub-query share one index pass")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this side listener (empty disables)")
 
 		maxSessions  = flag.Int("max-sessions", 0, "shed connections beyond this many concurrent sessions (0 = unlimited)")
@@ -93,6 +96,9 @@ func main() {
 	}
 
 	reg := engine.NewRegistry()
+	// The paged store, when one is opened below, doubles as the target of
+	// the -scrub-interval background scrubber.
+	var pagedStore engine.PageVerifier
 
 	// With a data directory, checkpoints take precedence: a restart
 	// serves exactly what the dying process had checkpointed, and the
@@ -157,6 +163,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("open segment: %v", err)
 		}
+		pagedStore = ps
 		if *verifyPages {
 			// Boot-time scrub: every page is read and CRC-checked before
 			// the scene goes live. Corrupt pages are quarantined — the
@@ -283,6 +290,19 @@ func main() {
 		reg.EnableHotCache(hotcache.Config{}, stats.Default)
 		log.Printf("hot-region result cache enabled for %d scene(s)", reg.Len())
 	}
+	if *coalesce {
+		reg.EnableCoalescer(retrieval.CoalescerConfig{}, stats.Default)
+		log.Printf("query coalescing enabled for %d scene(s)", reg.Len())
+	}
+	stopScrub := func() {}
+	if *scrubEvery > 0 {
+		if pagedStore == nil {
+			log.Printf("scrub-interval: WARNING: no paged store to scrub (use -store=paged); ignoring")
+		} else {
+			stopScrub = engine.StartScrubber(pagedStore, *scrubEvery, stats.Default, log.Printf)
+			log.Printf("background page scrub every %v", *scrubEvery)
+		}
+	}
 	if *pprofAddr != "" {
 		// Side listener only: the serving port never exposes profiling.
 		go func() {
@@ -346,6 +366,7 @@ func main() {
 	if err := srv.ListenAndServe(*addr); err != nil {
 		log.Fatal(err)
 	}
+	stopScrub() // halt the ticker and wait out any in-flight pass
 	if ckpt != nil {
 		ckpt.Stop() // final checkpoint
 	}

@@ -230,6 +230,45 @@ func enableHotCache(sc *Scene, cfg hotcache.Config, st *stats.Stats) {
 			PinFails:      hs.PinFails,
 			Entries:       int64(hs.Entries),
 			Bytes:         hs.Bytes,
+			Subscribers:   hs.Subscribers,
+			SubRefreshes:  hs.SubRefreshes,
+			PayloadHits:   hs.PayloadHits,
+		}
+	})
+}
+
+// EnableCoalescer equips every registered scene with a query coalescer
+// (see retrieval.Coalescer): concurrent sessions asking the identical
+// hot-region sub-query share one index pass. Scenes whose index lacks
+// epoch versioning are skipped — without epochs the coalescer cannot
+// prove two searches equivalent. Call after the scenes are registered,
+// before serving.
+func (r *Registry) EnableCoalescer(cfg retrieval.CoalescerConfig, st *stats.Stats) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, sc := range r.scenes {
+		enableCoalescer(sc, cfg, st)
+	}
+}
+
+func enableCoalescer(sc *Scene, cfg retrieval.CoalescerConfig, st *stats.Stats) {
+	if sc.Server.Coalescer() != nil {
+		return // already wired
+	}
+	sc.Server.SetCoalescer(retrieval.NewCoalescer(cfg))
+	co := sc.Server.Coalescer()
+	if co == nil {
+		return // index has no epochs; SetCoalescer declined
+	}
+	st.AddCoalescerSource(func() stats.CoalesceStats {
+		cs := co.Stats()
+		return stats.CoalesceStats{
+			Routed:          cs.Routed,
+			Led:             cs.Led,
+			Shared:          cs.Shared,
+			BypassCollision: cs.BypassCollision,
+			BypassStale:     cs.BypassStale,
+			Flights:         int64(cs.Flights),
 		}
 	})
 }

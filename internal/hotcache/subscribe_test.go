@@ -1,0 +1,163 @@
+package hotcache
+
+import (
+	"slices"
+	"sync"
+	"testing"
+)
+
+// TestSubscribeProtectsFromEviction pins the multicast residency rule:
+// a subscribed bucket's entry survives LRU pressure that would evict
+// it, and rejoins the normal LRU economy once the last watcher leaves.
+func TestSubscribeProtectsFromEviction(t *testing.T) {
+	c := New(Config{MaxEntries: 2, CellXY: 1})
+	qa, qb, qc := q(0, 0, 0.5, 0.5, 1), q(10, 10, 10.5, 10.5, 1), q(20, 20, 20.5, 20.5, 1)
+	sub := c.Subscribe()
+	sub.Set(qa)
+	c.Put(qa, 0, 0, []int64{1}, 1)
+	c.Put(qb, 0, 0, []int64{2}, 1)
+	c.Put(qc, 0, 0, []int64{3}, 1) // over MaxEntries: must evict b, not the subscribed a
+	if _, _, ok := c.Get(qa, 0, nil); !ok {
+		t.Fatal("subscribed entry evicted under LRU pressure")
+	}
+	if _, _, ok := c.Get(qb, 0, nil); ok {
+		t.Fatal("unsubscribed entry survived while over the bound")
+	}
+	sub.Close()
+	// With the watcher gone, the next overflow pass may evict a again.
+	qd := q(30, 30, 30.5, 30.5, 1)
+	c.Put(qd, 0, 0, []int64{4}, 1)
+	if st := c.Stats(); st.Entries > 2 {
+		t.Fatalf("cache stayed over bound after last unsubscribe: %+v", st)
+	}
+}
+
+// TestSubscribeRefCounts pins bucket-level reference counting: the
+// entry stays protected until the *last* subscriber leaves, and the
+// subscriber gauge tracks open subscriptions.
+func TestSubscribeRefCounts(t *testing.T) {
+	c := New(Config{MaxEntries: 1, CellXY: 1})
+	qa, qb := q(0, 0, 0.5, 0.5, 1), q(10, 10, 10.5, 10.5, 1)
+	s1, s2 := c.Subscribe(), c.Subscribe()
+	s1.Set(qa)
+	s2.Set(qa)
+	if got := c.Stats().Subscribers; got != 2 {
+		t.Fatalf("subscribers = %d, want 2", got)
+	}
+	c.Put(qa, 0, 0, []int64{1}, 1)
+	s1.Close()
+	c.Put(qb, 0, 0, []int64{2}, 1) // over bound; a still has one watcher
+	if _, _, ok := c.Get(qa, 0, nil); !ok {
+		t.Fatal("entry lost protection while a subscriber remained")
+	}
+	s2.Close()
+	if got := c.Stats().Subscribers; got != 0 {
+		t.Fatalf("subscribers = %d after all closed, want 0", got)
+	}
+	s2.Close() // idempotent
+	c.Put(qb, 0, 0, []int64{2}, 1)
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("unprotected cache not evicted back to bound: %+v", st)
+	}
+}
+
+// TestSubscribeFollowsViewer pins Set's move semantics: re-pointing a
+// subscription releases the old bucket and protects the new one;
+// re-setting the same bucket is a no-op.
+func TestSubscribeFollowsViewer(t *testing.T) {
+	c := New(Config{MaxEntries: 1, CellXY: 1})
+	qa, qb := q(0, 0, 0.5, 0.5, 1), q(10, 10, 10.5, 10.5, 1)
+	sub := c.Subscribe()
+	sub.Set(qa)
+	sub.Set(qa) // no-op
+	if got := c.Stats().Subscribers; got != 1 {
+		t.Fatalf("subscribers = %d, want 1", got)
+	}
+	sub.Set(qb)
+	c.Put(qa, 0, 0, []int64{1}, 1)
+	c.Put(qb, 0, 0, []int64{2}, 1)
+	// qb is watched; qa is not — the overflow pass must evict qa.
+	if _, _, ok := c.Get(qb, 0, nil); !ok {
+		t.Fatal("current bucket lost protection after the move")
+	}
+	if _, _, ok := c.Get(qa, 0, nil); ok {
+		t.Fatal("abandoned bucket kept protection after the move")
+	}
+	sub.Close()
+}
+
+// TestSubscribedInvalidationStillRemoves pins the epoch rule: a
+// subscription protects against *eviction*, never against staleness —
+// an epoch bump removes the entry so one recomputation (counted as a
+// SubRefresh) can repopulate it for every watcher.
+func TestSubscribedInvalidationStillRemoves(t *testing.T) {
+	c := New(Config{CellXY: 1})
+	qa := q(0, 0, 0.5, 0.5, 1)
+	sub := c.Subscribe()
+	sub.Set(qa)
+	c.Put(qa, 4, 4, []int64{1, 2}, 3)
+	if got := c.Stats().SubRefreshes; got != 1 {
+		t.Fatalf("SubRefreshes = %d after populate, want 1", got)
+	}
+	if _, _, ok := c.Get(qa, 6, nil); ok {
+		t.Fatal("stale subscribed entry still hit")
+	}
+	if st := c.Stats(); st.Invalidations != 1 || st.Entries != 0 {
+		t.Fatalf("subscribed entry not invalidated: %+v", st)
+	}
+	// The one refresh that repopulates serves every subscriber.
+	c.Put(qa, 6, 6, []int64{1, 2}, 3)
+	if got := c.Stats().SubRefreshes; got != 2 {
+		t.Fatalf("SubRefreshes = %d after refresh, want 2", got)
+	}
+	buf, _, ok := c.Get(qa, 6, nil)
+	if !ok || !slices.Equal(buf, []int64{1, 2}) {
+		t.Fatalf("refreshed entry Get = %v %v", buf, ok)
+	}
+	sub.Close()
+}
+
+// TestPayloadHitCounter pins the multicast payoff accounting: every
+// successful Payload replay counts.
+func TestPayloadHitCounter(t *testing.T) {
+	c := New(Config{})
+	qa := q(0, 0, 30, 30, 1)
+	c.Put(qa, 0, 0, []int64{1}, 1)
+	c.SetPayload(qa, 0, []byte{1, 2, 3})
+	for i := 0; i < 3; i++ {
+		if _, ok := c.Payload(qa, 0); !ok {
+			t.Fatal("payload vanished")
+		}
+	}
+	if got := c.Stats().PayloadHits; got != 3 {
+		t.Fatalf("PayloadHits = %d, want 3", got)
+	}
+}
+
+// TestSubscribeConcurrent exercises subscriptions racing Put/Get/evict
+// (meaningful under -race). Each goroutine owns its Sub, per the
+// contract; the cache operations race freely.
+func TestSubscribeConcurrent(t *testing.T) {
+	c := New(Config{MaxEntries: 4, CellXY: 1})
+	queries := []struct{ x float64 }{{0}, {10}, {20}, {30}, {40}, {50}, {60}, {70}}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sub := c.Subscribe()
+			defer sub.Close()
+			for i := 0; i < 200; i++ {
+				x := queries[(g+i)%len(queries)].x
+				query := q(x, x, x+0.5, x+0.5, 1)
+				sub.Set(query)
+				c.Put(query, 0, 0, []int64{int64(i)}, 1)
+				c.Get(query, 0, nil)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Stats().Subscribers; got != 0 {
+		t.Fatalf("subscribers = %d after all closed, want 0", got)
+	}
+}

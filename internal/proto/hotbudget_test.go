@@ -1,0 +1,120 @@
+package proto
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"repro/internal/hotcache"
+	"repro/internal/index"
+	"repro/internal/retrieval"
+	"repro/internal/stats"
+	"repro/internal/wavelet"
+	"repro/internal/workload"
+)
+
+// startHotServer is startHardenedServer with a hot cache wired into the
+// retrieval layer, for the budgeted-payload-replay tests.
+func startHotServer(t *testing.T) (addr string, d *workload.Dataset, hot *hotcache.Cache, st *stats.Stats, shutdown func()) {
+	t.Helper()
+	d = workload.Generate(workload.Spec{NumObjects: 8, Levels: 3, Seed: 5})
+	// The sharded index versions its contents (index.Epocher) — the
+	// prerequisite for wiring a hot cache at all.
+	rsrv := retrieval.NewServer(d.Store, index.NewSharded(d.Store, index.XYW, index.ShardedConfig{}))
+	hot = hotcache.New(hotcache.Config{})
+	rsrv.SetHotCache(hot)
+	st = stats.New()
+	srv := NewServer(rsrv, d.Spec.Levels, t.Logf)
+	srv.SetStats(st)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := srv.Serve(lis); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+	return lis.Addr().String(), d, hot, st, func() {
+		srv.Close()
+		<-done
+	}
+}
+
+// TestBudgetedFrameServedFromHotPayload pins the satellite behaviour:
+// a budgeted (v4) frame whose budget keeps the full coefficient set is
+// served from the cached hot payload — byte-identical on the wire to
+// the populating encode pass — instead of bypassing the cache the way
+// budgeted frames did before.
+func TestBudgetedFrameServedFromHotPayload(t *testing.T) {
+	addr, d, hot, st, shutdown := startHotServer(t)
+	defer shutdown()
+	space := d.Store.Bounds().XY()
+	subs := []retrieval.SubQuery{{Region: space, WMin: 0, WMax: 1}}
+	send := func(w *Writer) error {
+		return w.WriteBudgetRequest(Request{Speed: 0.3, Subs: subs, MaxBytes: 0})
+	}
+
+	// Session one pays the encode pass and populates the payload cache.
+	frame1, resp1 := rawExchange(t, addr, send, TagBudgetResponse)
+	if len(resp1.Coeffs) == 0 || resp1.Dropped != 0 {
+		t.Fatalf("populating frame: %d coeffs, %d dropped", len(resp1.Coeffs), resp1.Dropped)
+	}
+	if got := hot.Stats().PayloadHits; got != 0 {
+		t.Fatalf("populating frame counted %d payload hits", got)
+	}
+
+	// Session two replays the serialized payload.
+	frame2, resp2 := rawExchange(t, addr, send, TagBudgetResponse)
+	if !bytes.Equal(frame1, frame2) {
+		t.Fatalf("payload replay is not byte-identical: %d vs %d bytes", len(frame1), len(frame2))
+	}
+	if len(resp2.Coeffs) != len(resp1.Coeffs) {
+		t.Fatalf("replayed %d coeffs, want %d", len(resp2.Coeffs), len(resp1.Coeffs))
+	}
+	if got := hot.Stats().PayloadHits; got < 1 {
+		t.Fatal("non-truncated budgeted frame did not replay the cached payload")
+	}
+	if got := st.Snapshot().HotBypassBudget; got != 0 {
+		t.Fatalf("non-truncated budgeted frames recorded %d budget bypasses", got)
+	}
+}
+
+// TestBudgetedTruncationBypassesHotPayload is the counterpart: once the
+// budget truncates the frame, the response is per-session state (the
+// deterministic prefix depends on what this session has already been
+// delivered), so the shared payload cannot be reused — and the bypass
+// is counted.
+func TestBudgetedTruncationBypassesHotPayload(t *testing.T) {
+	addr, d, hot, st, shutdown := startHotServer(t)
+	defer shutdown()
+	space := d.Store.Bounds().XY()
+	subs := []retrieval.SubQuery{{Region: space, WMin: 0, WMax: 1}}
+
+	// Warm the cache with an unbudgeted pass and learn the universe size.
+	_, full := rawExchange(t, addr, func(w *Writer) error {
+		return w.WriteRequest(Request{Speed: 0.3, Subs: subs})
+	}, TagResponse)
+	if len(full.Coeffs) < 4 {
+		t.Fatalf("workload too small: %d coeffs", len(full.Coeffs))
+	}
+
+	budget := int64(len(full.Coeffs)/2) * wavelet.WireBytes
+	_, truncated := rawExchange(t, addr, func(w *Writer) error {
+		return w.WriteBudgetRequest(Request{Speed: 0.3, Subs: subs, MaxBytes: budget})
+	}, TagBudgetResponse)
+	if truncated.Dropped == 0 {
+		t.Fatal("half-universe budget did not truncate")
+	}
+	if int64(len(truncated.Coeffs))*wavelet.WireBytes > budget {
+		t.Fatalf("truncated frame overflows its budget: %d coeffs", len(truncated.Coeffs))
+	}
+	if got := st.Snapshot().HotBypassBudget; got != 1 {
+		t.Fatalf("HotBypassBudget = %d, want 1", got)
+	}
+	if got := hot.Stats().PayloadHits; got != 0 {
+		t.Fatalf("truncated frame replayed a payload (%d hits)", got)
+	}
+}

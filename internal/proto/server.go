@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/hotcache"
 	"repro/internal/index"
 	"repro/internal/retrieval"
 	"repro/internal/stats"
@@ -351,6 +352,17 @@ func (s *Server) handle(conn net.Conn) {
 	// frame's bytes are in payloadBuf. nil for in-memory scenes.
 	pinner, _ := scene.Source.(index.PinningSource)
 	var pins *index.Pins
+	// hotSub is this session's hot-region subscription (nil until the
+	// session first serves a frame provably equal to a cache entry). It
+	// follows the viewer: each hot frame re-points it at that frame's
+	// bucket, keeping the region's entry — and its shared serialized
+	// payload — exempt from LRU eviction while anyone watches it.
+	var hotSub *hotcache.Sub
+	defer func() {
+		if hotSub != nil {
+			hotSub.Close()
+		}
+	}()
 	defer func() {
 		// Park only sessions that actually started: an interrupted
 		// connection that never served a request or resume has no
@@ -415,6 +427,11 @@ func (s *Server) handle(conn net.Conn) {
 			s.setConnScene(conn, scene.Name)
 			pinner, _ = scene.Source.(index.PinningSource)
 			pins = nil // a pin set is bound to one store
+			if hotSub != nil {
+				// A subscription is bound to one scene's cache.
+				hotSub.Close()
+				hotSub = nil
+			}
 			sess = &engine.ResumeEntry{Session: retrieval.NewSession(scene.Server)}
 			if err := s.sendHello(conn, w, scene, token); err != nil {
 				s.st.RecordError()
@@ -508,9 +525,21 @@ func (s *Server) handle(conn net.Conn) {
 			hot := scene.Server.HotCache()
 			var payload []byte
 			if hot != nil && resp.Hot.Valid {
+				// Multicast registration: this session is watching the hot
+				// region it just retrieved; keep the region's entry resident
+				// until the session moves on or disconnects.
+				if hotSub == nil {
+					hotSub = hot.Subscribe()
+				}
+				hotSub.Set(resp.Hot.Query)
 				if p, ok := hot.Payload(resp.Hot.Query, resp.Hot.Epoch); ok && len(p) == len(resp.IDs)*wireCoeffBytes {
 					payload = p
 				}
+			} else if hot != nil && tag == TagBudgetRequest {
+				// A budgeted frame that cannot carry a HotRef — the budget
+				// truncated it (or the merge dropped something) — pays the
+				// full encode pass even with a hot cache wired.
+				s.st.RecordHotBypassBudget()
 			}
 			if payload == nil {
 				payloadBuf = payloadBuf[:0]

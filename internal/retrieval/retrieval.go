@@ -99,10 +99,13 @@ type Server struct {
 	workers int
 	st      *stats.Stats
 	scene   string
-	// hot memoizes sub-query results for repeated window queries; epoch
-	// is the index's content version used to invalidate it. Both are set
-	// together by SetHotCache; nil disables caching.
+	// hot memoizes sub-query results for repeated window queries and co
+	// singleflights concurrent identical searches; epoch is the index's
+	// content version used to validate both. Either layer requires the
+	// index to implement index.Epocher (see SetHotCache/SetCoalescer);
+	// nil disables it.
 	hot   *hotcache.Cache
+	co    *Coalescer
 	epoch index.Epocher
 	// pinner is the store again when it pages coefficients from disk
 	// (index.PinningSource); coefficient reads that outlive one call —
@@ -155,15 +158,46 @@ func (s *Server) Scene() string { return s.scene }
 // to uncached execution across mutations. Not safe to call while
 // requests are in flight.
 func (s *Server) SetHotCache(hot *hotcache.Cache) {
-	if e, ok := s.idx.(index.Epocher); ok && hot != nil {
-		s.hot, s.epoch = hot, e
-		return
+	if _, ok := s.idx.(index.Epocher); !ok {
+		hot = nil
 	}
-	s.hot, s.epoch = nil, nil
+	s.hot = hot
+	s.refreshEpoch()
 }
 
 // HotCache returns the cache wired via SetHotCache (nil when disabled).
 func (s *Server) HotCache() *hotcache.Cache { return s.hot }
+
+// SetCoalescer wires a query coalescer into the search path (nil
+// disables it). Like the hot cache, coalescing takes effect only when
+// the index implements index.Epocher: without an epoch there is no
+// proof two concurrent searches would return the same answer, so the
+// coalescer stays off and every session searches independently. Shared
+// results are epoch-revalidated at adoption, so responses remain
+// byte-identical to independent execution. Not safe to call while
+// requests are in flight.
+func (s *Server) SetCoalescer(co *Coalescer) {
+	if _, ok := s.idx.(index.Epocher); !ok {
+		co = nil
+	}
+	s.co = co
+	s.refreshEpoch()
+}
+
+// Coalescer returns the coalescer wired via SetCoalescer (nil when
+// disabled).
+func (s *Server) Coalescer() *Coalescer { return s.co }
+
+// refreshEpoch re-derives the epoch source after SetHotCache or
+// SetCoalescer: present while either layer is on, nil when both are off
+// (keeping the raw search path branch-free on the epoch check).
+func (s *Server) refreshEpoch() {
+	if s.hot == nil && s.co == nil {
+		s.epoch = nil
+		return
+	}
+	s.epoch, _ = s.idx.(index.Epocher)
+}
 
 // SetParallelism bounds the worker pool that executes one request's
 // sub-queries; 1 (or less) runs them serially on the calling goroutine.
@@ -506,11 +540,12 @@ func (s *Server) queryOf(sub *SubQuery) index.Query {
 
 // searchOne answers one sub-query: through the hot cache when one is
 // wired (Get, else search-and-Put under the seqlock epoch protocol),
-// directly against the index otherwise. out.ids is reused as the result
-// buffer when present.
+// through the coalescer when one is wired (sharing one index pass among
+// concurrent identical searches), directly against the index otherwise.
+// out.ids is reused as the result buffer when present.
 func (s *Server) searchOne(sub *SubQuery, out *subResult, cur *index.Cursor) {
 	q := s.queryOf(sub)
-	if s.hot == nil {
+	if s.hot == nil && s.co == nil {
 		if cur == nil {
 			// Fresh-allocation path (Execute): hand the index's own result
 			// slice through instead of copying it.
@@ -521,11 +556,26 @@ func (s *Server) searchOne(sub *SubQuery, out *subResult, cur *index.Cursor) {
 		return
 	}
 	e0 := s.epoch.Epoch()
-	var ok bool
-	if out.ids, out.io, ok = s.hot.Get(q, e0, out.ids[:0]); ok {
-		// The cached io is replayed so the response is byte-identical to
-		// the uncached serve that populated the entry.
-		out.hot, out.epoch = true, e0
+	if s.hot != nil {
+		var ok bool
+		if out.ids, out.io, ok = s.hot.Get(q, e0, out.ids[:0]); ok {
+			// The cached io is replayed so the response is byte-identical to
+			// the uncached serve that populated the entry.
+			out.hot, out.epoch = true, e0
+			return
+		}
+	}
+	if s.co != nil {
+		var stable bool
+		out.ids, out.io, out.epoch, stable = s.co.do(s, q, e0, out.ids[:0], cur)
+		out.hot = stable
+		if s.hot != nil && stable {
+			// The coalescer proved the result valid at the stable even
+			// epoch it returns, so the hot cache may memoize it under that
+			// epoch — one recomputation refreshes the entry for every
+			// subscriber.
+			s.hot.Put(q, out.epoch, out.epoch, out.ids, out.io)
+		}
 		return
 	}
 	out.ids, out.io = s.runSearch(q, out.ids[:0], cur)

@@ -201,6 +201,18 @@ type Stats struct {
 	pagerMu      sync.Mutex
 	pagerSources []func() PagerStats
 
+	// Query-coalescer gauge sources (see AddCoalescerSource): one per
+	// scene with crowd coalescing on, pulled at Snapshot time.
+	coalesceMu      sync.Mutex
+	coalesceSources []func() CoalesceStats
+
+	// Crowd/maintenance counters: scrub passes run by the background
+	// scrubber (cmd/server -scrub-interval) and budgeted frames that had
+	// a hot cache wired but could not replay its payload because the
+	// budget truncated the response (DESIGN.md §16).
+	scrubRuns       atomic.Int64
+	hotBypassBudget atomic.Int64
+
 	breakdowns // per-scene and per-shard attribution (breakdown.go)
 }
 
@@ -214,6 +226,9 @@ type HotCacheStats struct {
 	PinFails      int64 // inserts abandoned because a backing page was unreadable
 	Entries       int64
 	Bytes         int64
+	Subscribers   int64 // open region subscriptions (gauge)
+	SubRefreshes  int64 // multicast recomputations into subscribed buckets
+	PayloadHits   int64 // responses replayed from a cached serialized payload
 }
 
 func (a HotCacheStats) add(b HotCacheStats) HotCacheStats {
@@ -224,6 +239,9 @@ func (a HotCacheStats) add(b HotCacheStats) HotCacheStats {
 	a.PinFails += b.PinFails
 	a.Entries += b.Entries
 	a.Bytes += b.Bytes
+	a.Subscribers += b.Subscribers
+	a.SubRefreshes += b.SubRefreshes
+	a.PayloadHits += b.PayloadHits
 	return a
 }
 
@@ -306,6 +324,75 @@ func (s *Stats) pagerSnapshot() (PagerStats, int) {
 		sum = sum.add(fn())
 	}
 	return sum, len(sources)
+}
+
+// CoalesceStats is one query coalescer's gauge set, pulled from a
+// registered source at Snapshot time (mirrors
+// retrieval.CoalescerStats; this package must not import retrieval).
+// Routed == Led + Shared + BypassCollision + BypassStale once traffic
+// quiesces.
+type CoalesceStats struct {
+	Routed          int64
+	Led             int64 // index searches actually executed by flight leaders
+	Shared          int64 // sub-queries answered by adopting another session's pass
+	BypassCollision int64 // bucket held a different exact query
+	BypassStale     int64 // flight unstable or its epoch had moved
+	Flights         int64 // current in-flight/lingering entries (gauge)
+}
+
+func (a CoalesceStats) add(b CoalesceStats) CoalesceStats {
+	a.Routed += b.Routed
+	a.Led += b.Led
+	a.Shared += b.Shared
+	a.BypassCollision += b.BypassCollision
+	a.BypassStale += b.BypassStale
+	a.Flights += b.Flights
+	return a
+}
+
+// AddCoalescerSource registers a gauge provider for one query coalescer
+// (typically one per scene with crowd coalescing enabled). Snapshot
+// sums every registered source into its Coalesce field. Call at
+// startup, before serving.
+func (s *Stats) AddCoalescerSource(fn func() CoalesceStats) {
+	if s == nil || fn == nil {
+		return
+	}
+	s.coalesceMu.Lock()
+	s.coalesceSources = append(s.coalesceSources, fn)
+	s.coalesceMu.Unlock()
+}
+
+// coalesceSnapshot sums the registered coalescer sources.
+func (s *Stats) coalesceSnapshot() (CoalesceStats, int) {
+	s.coalesceMu.Lock()
+	sources := s.coalesceSources
+	s.coalesceMu.Unlock()
+	var sum CoalesceStats
+	for _, fn := range sources {
+		sum = sum.add(fn())
+	}
+	return sum, len(sources)
+}
+
+// RecordScrub counts one background scrub pass over a paged store (see
+// cmd/server -scrub-interval).
+func (s *Stats) RecordScrub() {
+	if s == nil {
+		return
+	}
+	s.scrubRuns.Add(1)
+}
+
+// RecordHotBypassBudget counts one budgeted frame that had a hot cache
+// wired but could not reuse a cached payload — its response was
+// truncated (or otherwise diverged from the cache entry), so it paid
+// the full encode pass.
+func (s *Stats) RecordHotBypassBudget() {
+	if s == nil {
+		return
+	}
+	s.hotBypassBudget.Add(1)
 }
 
 // Default is the process-wide collector. Components record into it
@@ -569,6 +656,12 @@ type Snapshot struct {
 	ABRRTT               time.Duration
 	ABRBudget            int64 // gauge, bytes per frame
 
+	// ScrubRuns counts background scrub passes over paged stores;
+	// HotBypassBudget counts budgeted frames that could not replay a
+	// cached hot payload (truncation forced a full encode).
+	ScrubRuns       int64
+	HotBypassBudget int64
+
 	Latency   HistogramSnapshot
 	RequestIO HistogramSnapshot
 	Backoff   HistogramSnapshot
@@ -584,6 +677,12 @@ type Snapshot struct {
 	// means every scene is in-memory and String omits the section.
 	Pager  PagerStats
 	Pagers int
+
+	// Coalesce sums every registered query coalescer's gauges (see
+	// AddCoalescerSource); Coalescers is how many sources contributed —
+	// zero means no scene coalesces and String omits the section.
+	Coalesce   CoalesceStats
+	Coalescers int
 
 	// Scenes breaks the request counters down by engine scene (nil unless
 	// RecordScene ran); Shards breaks index search I/O down by shard (nil
@@ -602,11 +701,14 @@ func (s *Stats) Snapshot() Snapshot {
 	}
 	hot, hotCaches := s.hotSnapshot()
 	pager, pagers := s.pagerSnapshot()
+	coalesce, coalescers := s.coalesceSnapshot()
 	return Snapshot{
 		Hot:            hot,
 		HotCaches:      hotCaches,
 		Pager:          pager,
 		Pagers:         pagers,
+		Coalesce:       coalesce,
+		Coalescers:     coalescers,
 		SessionsOpened: s.sessionsOpened.Load(),
 		SessionsActive: s.sessionsActive.Load(),
 		Requests:       s.requests.Load(),
@@ -646,6 +748,8 @@ func (s *Stats) Snapshot() Snapshot {
 		ABRBandwidth:         s.abrBandwidth.Load(),
 		ABRRTT:               time.Duration(s.abrRTT.Load()),
 		ABRBudget:            s.abrBudget.Load(),
+		ScrubRuns:            s.scrubRuns.Load(),
+		HotBypassBudget:      s.hotBypassBudget.Load(),
 
 		Latency:   s.latency.Snapshot(),
 		RequestIO: s.requestIO.Snapshot(),
@@ -662,6 +766,19 @@ func (s Snapshot) String() string {
 		hot = fmt.Sprintf(" · hot cache %d/%d hit/miss · %d entries / %s · %d evicted · %d invalidated",
 			s.Hot.Hits, s.Hot.Misses, s.Hot.Entries, fmtBytes(s.Hot.Bytes),
 			s.Hot.Evictions, s.Hot.Invalidations)
+		if s.Hot.Subscribers > 0 || s.Hot.SubRefreshes > 0 || s.Hot.PayloadHits > 0 {
+			hot += fmt.Sprintf(" · %d subscribers · %d multicast refreshes · %d payload replays",
+				s.Hot.Subscribers, s.Hot.SubRefreshes, s.Hot.PayloadHits)
+		}
+		if s.HotBypassBudget > 0 {
+			hot += fmt.Sprintf(" · %d budget bypasses", s.HotBypassBudget)
+		}
+	}
+	coalesce := ""
+	if s.Coalescers > 0 {
+		coalesce = fmt.Sprintf(" · coalesce %d routed · %d led · %d shared · %d/%d collision/stale bypass",
+			s.Coalesce.Routed, s.Coalesce.Led, s.Coalesce.Shared,
+			s.Coalesce.BypassCollision, s.Coalesce.BypassStale)
 	}
 	pager := ""
 	if s.Pagers > 0 {
@@ -676,6 +793,9 @@ func (s Snapshot) String() string {
 		}
 		if s.Hot.PinFails > 0 {
 			pager += fmt.Sprintf(" · %d hot-cache pin failures", s.Hot.PinFails)
+		}
+		if s.ScrubRuns > 0 {
+			pager += fmt.Sprintf(" · %d scrub runs", s.ScrubRuns)
 		}
 	}
 	abr := ""
@@ -705,7 +825,7 @@ func (s Snapshot) String() string {
 		s.Checkpoints, fmtBytes(s.CheckpointBytes),
 		s.RecordsReplayed, s.TailsTruncated, s.RecordsQuarantined,
 		s.JournalCompactions, s.ResumesRestored, s.Drains) +
-		hot + pager + abr + s.breakdownString()
+		hot + coalesce + pager + abr + s.breakdownString()
 }
 
 func fmtBytes(b int64) string {

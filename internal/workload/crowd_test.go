@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func testCrowd(seed int64) CrowdSpec {
+	return CrowdSpec{
+		Space:      geom.R2(0, 0, 400, 400),
+		Clients:    40,
+		Steps:      24,
+		Attractors: 3,
+		Overlap:    0.8,
+		Seed:       seed,
+	}
+}
+
+func sameTourPath(a, b []geom.Vec2) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCrowdDeterministicBySeed(t *testing.T) {
+	a := GenerateCrowd(testCrowd(42))
+	b := GenerateCrowd(testCrowd(42))
+	for i := range a {
+		if !sameTourPath(a[i].Pos, b[i].Pos) {
+			t.Fatalf("client %d: same seed produced different paths", i)
+		}
+	}
+	c := GenerateCrowd(testCrowd(43))
+	identical := 0
+	for i := range a {
+		if sameTourPath(a[i].Pos, c[i].Pos) {
+			identical++
+		}
+	}
+	if identical > 0 {
+		t.Fatalf("different seeds produced %d identical paths", identical)
+	}
+}
+
+func TestCrowdTourIsolation(t *testing.T) {
+	// CrowdTour(i) must not depend on other tours having been generated:
+	// a cold standalone generation matches the batch.
+	spec := testCrowd(7)
+	batch := GenerateCrowd(spec)
+	for _, i := range []int{0, 5, spec.flockCutoff() - 1, spec.flockCutoff(), spec.Clients - 1} {
+		cold := CrowdTour(spec, i)
+		if !sameTourPath(cold.Pos, batch[i].Pos) {
+			t.Fatalf("client %d: standalone path differs from batch", i)
+		}
+		if cold.Speed != batch[i].Speed || cold.VMax != batch[i].VMax {
+			t.Fatalf("client %d: standalone speed params differ from batch", i)
+		}
+	}
+}
+
+func TestCrowdFlocksSharePathsExactly(t *testing.T) {
+	// Every member of a flock follows the attractor float-for-float —
+	// the property that makes their window queries coincide and coalesce.
+	spec := testCrowd(11)
+	tours := GenerateCrowd(spec)
+	for i := 0; i < spec.Clients; i++ {
+		k := spec.FlockOf(i)
+		if k < 0 {
+			continue
+		}
+		want := AttractorPath(spec, k)
+		if !sameTourPath(tours[i].Pos, want.Pos) {
+			t.Fatalf("flocked client %d does not follow attractor %d exactly", i, k)
+		}
+	}
+	// Distinct attractors must diverge, or "overlap factor" means nothing.
+	a0, a1 := AttractorPath(spec, 0), AttractorPath(spec, 1)
+	if sameTourPath(a0.Pos, a1.Pos) {
+		t.Fatal("attractors 0 and 1 produced identical paths")
+	}
+}
+
+func TestCrowdOverlapBounds(t *testing.T) {
+	// The flocked fraction tracks Overlap to within one client, for any
+	// overlap, including the exact 0 and 1 endpoints.
+	for _, overlap := range []float64{0, 0.25, 0.5, 0.8, 0.9, 1} {
+		spec := testCrowd(3)
+		spec.Overlap = overlap
+		flocked := 0
+		for i := 0; i < spec.Clients; i++ {
+			if spec.FlockOf(i) >= 0 {
+				flocked++
+			}
+		}
+		got := float64(flocked) / float64(spec.Clients)
+		if math.Abs(got-overlap) > 1.0/float64(spec.Clients) {
+			t.Fatalf("overlap %.2f: flocked fraction %.3f off by more than one client", overlap, got)
+		}
+		if overlap == 0 && flocked != 0 {
+			t.Fatalf("overlap 0 flocked %d clients", flocked)
+		}
+		if overlap == 1 && flocked != spec.Clients {
+			t.Fatalf("overlap 1 flocked only %d of %d clients", flocked, spec.Clients)
+		}
+	}
+}
+
+func TestCrowdRoamersIndependent(t *testing.T) {
+	// Roamers must not collapse onto each other or onto any attractor.
+	spec := testCrowd(19)
+	tours := GenerateCrowd(spec)
+	roamers := []int{}
+	for i := 0; i < spec.Clients; i++ {
+		if spec.FlockOf(i) < 0 {
+			roamers = append(roamers, i)
+		}
+	}
+	if len(roamers) < 2 {
+		t.Fatalf("spec produced %d roamers, need ≥ 2", len(roamers))
+	}
+	for x := 0; x < len(roamers); x++ {
+		for y := x + 1; y < len(roamers); y++ {
+			if sameTourPath(tours[roamers[x]].Pos, tours[roamers[y]].Pos) {
+				t.Fatalf("roamers %d and %d share a path", roamers[x], roamers[y])
+			}
+		}
+		for k := 0; k < spec.Attractors; k++ {
+			if sameTourPath(tours[roamers[x]].Pos, AttractorPath(spec, k).Pos) {
+				t.Fatalf("roamer %d follows attractor %d", roamers[x], k)
+			}
+		}
+	}
+}
+
+func TestCrowdStaysInSpace(t *testing.T) {
+	spec := testCrowd(23)
+	for _, tour := range GenerateCrowd(spec) {
+		for s, p := range tour.Pos {
+			if !spec.Space.Contains(p) {
+				t.Fatalf("step %d at %+v escapes space %+v", s, p, spec.Space)
+			}
+		}
+	}
+}

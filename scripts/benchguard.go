@@ -1,0 +1,162 @@
+// Command benchguard compares freshly produced BENCH_*.json benchmark
+// artifacts against the versions committed at HEAD and reports every
+// numeric leaf whose relative change exceeds a tolerance. It is an
+// informational guard: `make ci` runs it after regenerating the
+// artifacts so a perf regression is visible in the log, but the exit
+// status stays zero unless -strict is set (timings are hardware-bound;
+// only a human can decide whether a delta is a regression or a noisy
+// runner).
+//
+// Usage:
+//
+//	go run ./scripts [-tolerance 0.25] [-strict] [BENCH_foo.json ...]
+//
+// With no file arguments it globs BENCH_*.json in the working
+// directory. Files missing from HEAD (first commit of a new benchmark)
+// or from the working tree are reported and skipped.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+func main() {
+	tolerance := flag.Float64("tolerance", 0.25, "relative change above which a numeric leaf is reported (0.25 = 25%)")
+	strict := flag.Bool("strict", false, "exit non-zero when any leaf exceeds the tolerance")
+	flag.Parse()
+
+	files := flag.Args()
+	if len(files) == 0 {
+		var err error
+		files, err = filepath.Glob("BENCH_*.json")
+		if err != nil || len(files) == 0 {
+			fmt.Println("benchguard: no BENCH_*.json artifacts found")
+			return
+		}
+		sort.Strings(files)
+	}
+
+	exceeded := 0
+	for _, f := range files {
+		exceeded += guard(f, *tolerance)
+	}
+	if exceeded > 0 {
+		fmt.Printf("benchguard: %d leaf value(s) moved more than %.0f%% vs HEAD\n", exceeded, *tolerance*100)
+		if *strict {
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("benchguard: all artifacts within %.0f%% of HEAD\n", *tolerance*100)
+	}
+}
+
+// guard diffs one artifact and returns how many leaves exceeded the
+// tolerance.
+func guard(path string, tolerance float64) int {
+	fresh, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Printf("benchguard: %s: not in the working tree (%v); skipped\n", path, err)
+		return 0
+	}
+	committed, err := exec.Command("git", "show", "HEAD:"+filepath.ToSlash(path)).Output()
+	if err != nil {
+		fmt.Printf("benchguard: %s: not committed at HEAD yet; skipped\n", path)
+		return 0
+	}
+	var oldDoc, newDoc any
+	if err := json.Unmarshal(committed, &oldDoc); err != nil {
+		fmt.Printf("benchguard: %s@HEAD: %v; skipped\n", path, err)
+		return 0
+	}
+	if err := json.Unmarshal(fresh, &newDoc); err != nil {
+		fmt.Printf("benchguard: %s: %v; skipped\n", path, err)
+		return 0
+	}
+
+	var deltas []string
+	walk(path, oldDoc, newDoc, tolerance, &deltas)
+	if len(deltas) == 0 {
+		fmt.Printf("benchguard: %s: within tolerance\n", path)
+		return 0
+	}
+	for _, d := range deltas {
+		fmt.Println("benchguard: " + d)
+	}
+	return len(deltas)
+}
+
+// walk recurses over parallel JSON trees and appends a line per numeric
+// leaf whose relative change exceeds the tolerance. Structural changes
+// (added/removed/retyped nodes) are reported too — a benchmark that
+// changed shape deserves a look as much as one that changed value.
+func walk(path string, oldNode, newNode any, tolerance float64, out *[]string) {
+	switch o := oldNode.(type) {
+	case map[string]any:
+		n, ok := newNode.(map[string]any)
+		if !ok {
+			*out = append(*out, fmt.Sprintf("%s: was an object, now %T", path, newNode))
+			return
+		}
+		keys := make([]string, 0, len(o))
+		for k := range o {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if nv, ok := n[k]; ok {
+				walk(path+"."+k, o[k], nv, tolerance, out)
+			} else {
+				*out = append(*out, fmt.Sprintf("%s.%s: removed", path, k))
+			}
+		}
+		for k := range n {
+			if _, ok := o[k]; !ok {
+				*out = append(*out, fmt.Sprintf("%s.%s: added", path, k))
+			}
+		}
+	case []any:
+		n, ok := newNode.([]any)
+		if !ok {
+			*out = append(*out, fmt.Sprintf("%s: was an array, now %T", path, newNode))
+			return
+		}
+		if len(o) != len(n) {
+			*out = append(*out, fmt.Sprintf("%s: length %d -> %d", path, len(o), len(n)))
+		}
+		for i := 0; i < len(o) && i < len(n); i++ {
+			walk(fmt.Sprintf("%s[%d]", path, i), o[i], n[i], tolerance, out)
+		}
+	case float64:
+		n, ok := newNode.(float64)
+		if !ok {
+			*out = append(*out, fmt.Sprintf("%s: was a number, now %T", path, newNode))
+			return
+		}
+		if o == n {
+			return
+		}
+		// Relative to the larger magnitude so 0 -> x and x -> 0 both
+		// register as a 100% move instead of dividing by zero.
+		rel := math.Abs(n-o) / math.Max(math.Abs(o), math.Abs(n))
+		if rel > tolerance {
+			*out = append(*out, fmt.Sprintf("%s: %v -> %v (%+.1f%%)", path, o, n, (n/math.Max(o, math.SmallestNonzeroFloat64)-1)*100))
+		}
+	default:
+		if !equalScalar(oldNode, newNode) {
+			*out = append(*out, fmt.Sprintf("%s: %v -> %v", path, oldNode, newNode))
+		}
+	}
+}
+
+func equalScalar(a, b any) bool {
+	ab, aerr := json.Marshal(a)
+	bb, berr := json.Marshal(b)
+	return aerr == nil && berr == nil && string(ab) == string(bb)
+}
